@@ -1,0 +1,26 @@
+"""Benchmark: design-choice ablations (WFBP, HybComm, partitioning, shards)."""
+
+from repro.experiments import ablation
+
+
+def test_ablation_system_variants(benchmark, once):
+    """Full Poseidon vs. variants with one design choice removed."""
+    result = once(benchmark, ablation.run_system_ablation, "vgg19", 16, 10.0)
+    full = result.speedup("full poseidon")
+    assert full >= result.speedup("no WFBP")
+    assert full >= result.speedup("no HybComm (PS only)")
+    assert full >= result.speedup("coarse partitioning")
+
+
+def test_ablation_server_shard_count(benchmark, once):
+    """More PS shards spread load and improve PS-only throughput."""
+    speedups = once(benchmark, ablation.run_server_count_ablation,
+                    "vgg19", 16, 10.0, (1, 4, 16))
+    assert speedups[16] > speedups[1]
+
+
+def test_ablation_multigpu(benchmark, once):
+    """Multi-GPU-per-node scaling (Section 5.1)."""
+    from repro.experiments import multigpu
+    result = once(benchmark, multigpu.run_multigpu, ("googlenet",))
+    assert result.speedup("GoogLeNet", 1, 4) > 3.5

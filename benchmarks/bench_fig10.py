@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 10 (per-node communication load)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_per_node_traffic(benchmark, once):
+    """Traffic balance of TF-WFBP / Adam / Poseidon for VGG19 on 8 nodes."""
+    result = once(benchmark, fig10.run_fig10)
+    assert result.imbalance("Adam") > 2.0
+    assert result.imbalance("TF+WFBP") < 1.1
+    assert result.mean_gbits("Poseidon (TF)") < result.mean_gbits("TF+WFBP")

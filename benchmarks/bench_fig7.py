@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (GPU computation vs. stall on 8 nodes)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_stall_breakdown(benchmark, once):
+    """Compute/stall split for TF, TF+WFBP and Poseidon on 8 nodes."""
+    result = once(benchmark, fig7.run_fig7, 8)
+    for model in ("Inception-V3", "VGG19", "VGG19-22K"):
+        assert result.busy_fraction(model, "Poseidon (TF)") > 0.9
+        assert (result.stall_fraction(model, "TF")
+                >= result.stall_fraction(model, "Poseidon (TF)"))
+    assert result.stall_fraction("VGG19-22K", "TF") > 0.3

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9 (ResNet-152 throughput + convergence)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_resnet152(benchmark, once):
+    """Throughput scaling plus the statistical-performance panel."""
+    result = once(benchmark, fig9.run_fig9, (1, 2, 4, 8, 16, 32))
+    # Paper: 31x speedup on 32 nodes; 0.24 error within ~90 epochs.
+    assert result.speedup("Poseidon (TF)", 32) > 28.0
+    for nodes in (16, 32):
+        epochs = result.epochs_to_target(nodes)
+        assert epochs is not None and epochs <= 90

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the substrates underneath the experiments.
+
+These do not correspond to a paper artefact; they track the performance of
+the building blocks (DES engine, numpy layers, communication substrates) so
+regressions in the simulator or the functional runtime are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.parameter_server import ShardedParameterServer
+from repro.comm.quantization import OneBitQuantizer
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.model_zoo import get_model_spec
+from repro.nn.optim import SGD
+from repro.sim import Environment
+from repro.simulation.workload import build_workload
+
+
+def test_des_event_throughput(benchmark):
+    """Raw event-processing rate of the discrete-event engine."""
+    def run_chain():
+        env = Environment()
+
+        def proc():
+            for _ in range(5_000):
+                yield env.timeout(0.001)
+
+        env.run_process(proc())
+        return env.events_processed
+
+    events = benchmark(run_chain)
+    assert events >= 5_000
+
+
+def test_dense_layer_forward_backward(benchmark):
+    """Forward+backward of a 1024x1024 Dense layer on a 64-sample batch."""
+    rng = np.random.default_rng(0)
+    layer = Dense("fc", 1024, 1024, rng=rng)
+    x = rng.standard_normal((64, 1024)).astype(np.float32)
+    grad = rng.standard_normal((64, 1024)).astype(np.float32)
+
+    def step():
+        layer.forward(x)
+        layer.backward(grad)
+        return layer.grads["weight"].shape
+
+    assert benchmark(step) == (1024, 1024)
+
+
+def test_conv_layer_forward_backward(benchmark):
+    """Forward+backward of a 32-channel 3x3 convolution on 16x16 images."""
+    rng = np.random.default_rng(0)
+    layer = Conv2D("conv", 16, 32, kernel=3, pad=1, rng=rng)
+    x = rng.standard_normal((8, 16, 16, 16)).astype(np.float32)
+
+    def step():
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        return out.shape
+
+    assert benchmark(step) == (8, 32, 16, 16)
+
+
+def test_parameter_server_push_pull(benchmark):
+    """One full push/aggregate/pull cycle of a 4M-parameter layer."""
+    rng = np.random.default_rng(0)
+    params = {"fc": {"weight": rng.standard_normal((2048, 2048)).astype(np.float32)}}
+    grad = {"weight": rng.standard_normal((2048, 2048)).astype(np.float32)}
+
+    def cycle():
+        server = ShardedParameterServer(params, num_workers=1,
+                                        optimizer=SGD(learning_rate=0.01))
+        server.push(0, "fc", grad)
+        return server.pull(0, "fc", min_version=1)["weight"].shape
+
+    assert benchmark(cycle) == (2048, 2048)
+
+
+def test_onebit_quantization_rate(benchmark):
+    """Quantize+dequantize a 1M-element gradient."""
+    rng = np.random.default_rng(0)
+    grad = rng.standard_normal((1024, 1024)).astype(np.float32)
+    quantizer = OneBitQuantizer()
+
+    def cycle():
+        quantized = quantizer.quantize("w", grad)
+        return quantized.dequantize().shape
+
+    assert benchmark(cycle) == (1024, 1024)
+
+
+@pytest.mark.parametrize("model", ["vgg19", "resnet-152"])
+def test_workload_derivation(benchmark, model):
+    """Spec -> simulation workload derivation time for large models."""
+    spec = get_model_spec(model)
+    workload = benchmark(build_workload, spec)
+    assert workload.num_units > 5

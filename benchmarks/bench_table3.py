@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 3 (model statistics)."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def test_table3_model_statistics(benchmark, once):
+    """Build every Table 3 model spec and compare against the paper."""
+    result = once(benchmark, table3.run_table3)
+    assert result.row("VGG19").params_millions == pytest.approx(143, rel=0.02)
+    assert result.row("VGG19-22K").params_millions == pytest.approx(229, rel=0.02)
+    assert result.row("ResNet-152").params_millions == pytest.approx(60.2, rel=0.02)

@@ -1,0 +1,45 @@
+"""Poseidon reproduction library.
+
+This package reproduces the system described in *"Poseidon: An Efficient
+Communication Architecture for Distributed Deep Learning on GPU Clusters"*
+(Zhang et al., USENIX ATC 2017).
+
+The library is organised in layers, bottom-up:
+
+* :mod:`repro.nn` -- a numpy neural-network substrate plus a model zoo whose
+  per-layer specifications match the networks evaluated in the paper.
+* :mod:`repro.data` -- synthetic stand-ins for the paper's datasets.
+* :mod:`repro.sim` -- a small process-based discrete-event simulation engine.
+* :mod:`repro.cluster` -- GPU machines, NICs and links built on :mod:`repro.sim`.
+* :mod:`repro.comm` -- communication substrates: parameter server,
+  sufficient-factor broadcasting, the Adam strategy and 1-bit quantization.
+* :mod:`repro.core` -- Poseidon itself: coordinator, cost model, KV store,
+  syncers, wait-free backpropagation and hybrid communication.
+* :mod:`repro.engines` -- Caffe-like and TensorFlow-like engine behaviour.
+* :mod:`repro.parallel` -- a functional (threaded, real numpy math)
+  data-parallel training runtime.
+* :mod:`repro.simulation` -- throughput/traffic/convergence simulation used
+  by the experiment harness.
+* :mod:`repro.experiments` -- one module per table/figure of the paper.
+"""
+
+from repro.version import __version__
+from repro.config import (
+    BandwidthPreset,
+    ClusterConfig,
+    GpuModel,
+    TrainingConfig,
+)
+from repro.core.poseidon import PoseidonContext, CommunicationPlan
+from repro.core.cost_model import CommScheme
+
+__all__ = [
+    "__version__",
+    "BandwidthPreset",
+    "ClusterConfig",
+    "GpuModel",
+    "TrainingConfig",
+    "PoseidonContext",
+    "CommunicationPlan",
+    "CommScheme",
+]

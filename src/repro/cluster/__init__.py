@@ -1,0 +1,21 @@
+"""Cluster model: GPU machines and Ethernet links on top of :mod:`repro.sim`.
+
+The model mirrors the paper's testbed: single-GPU (optionally multi-GPU)
+machines, each with a full-duplex Ethernet NIC of configurable bandwidth,
+connected through a non-blocking switch.  Every NIC direction is a FIFO
+channel; the switch itself is never the bottleneck (as with the paper's
+40GbE switch), so contention only occurs at node uplinks and downlinks --
+which is exactly where the paper locates the communication bottlenecks
+(Section 2.2, Section 5.3).
+"""
+
+from repro.cluster.machine import ClusterModel, GpuDevice, Machine, NetworkInterface
+from repro.cluster.traffic import TrafficAccount
+
+__all__ = [
+    "ClusterModel",
+    "Machine",
+    "GpuDevice",
+    "NetworkInterface",
+    "TrafficAccount",
+]

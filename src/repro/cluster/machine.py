@@ -1,0 +1,201 @@
+"""Machines, GPUs and NICs.
+
+Transfers are modelled at flow granularity: a flow occupies the sender's
+uplink and the receiver's downlink for ``bytes / bandwidth`` (plus a fixed
+latency).  Flows whose far end is spread uniformly across many nodes (the
+fine-grained KV store scatter/gather) can be addressed to the *fabric*, a
+pseudo-endpoint with unlimited bandwidth, so that only the local NIC is
+occupied; the aggregate load those flows impose on the remote NICs is
+modelled by the corresponding fabric-to-node flows issued on the remote side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro import units
+from repro.config import ClusterConfig
+from repro.exceptions import SimulationError
+from repro.sim import Environment, Resource
+from repro.cluster.traffic import TrafficAccount
+
+#: Node id used to address the switching fabric pseudo-endpoint.
+FABRIC = -1
+
+
+class GpuDevice:
+    """A GPU modelled as a serial compute resource with busy-time accounting."""
+
+    def __init__(self, env: Environment, node_id: int, index: int,
+                 effective_flops: float):
+        self.env = env
+        self.node_id = node_id
+        self.index = index
+        self.effective_flops = float(effective_flops)
+        self.resource = Resource(env, capacity=1, name=f"gpu{node_id}.{index}")
+        self.busy_seconds = 0.0
+
+    def compute(self, seconds: float) -> Generator:
+        """Process: run a kernel sequence of the given duration."""
+        if seconds < 0:
+            raise SimulationError(f"negative compute duration: {seconds}")
+        request = self.resource.request()
+        yield request
+        try:
+            yield self.env.timeout(seconds)
+            self.busy_seconds += seconds
+        finally:
+            self.resource.release(request)
+
+    def compute_flops(self, flops: float) -> Generator:
+        """Process: run ``flops`` worth of work at the device's throughput."""
+        return self.compute(flops / self.effective_flops)
+
+
+class NetworkInterface:
+    """A full-duplex NIC: independent FIFO uplink and downlink channels."""
+
+    def __init__(self, env: Environment, node_id: int, bandwidth_bps: float,
+                 latency_seconds: float = 0.0):
+        if bandwidth_bps <= 0:
+            raise SimulationError(f"NIC bandwidth must be positive, got {bandwidth_bps}")
+        self.env = env
+        self.node_id = node_id
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_seconds = float(latency_seconds)
+        self.uplink = Resource(env, capacity=1, name=f"nic{node_id}.up")
+        self.downlink = Resource(env, capacity=1, name=f"nic{node_id}.down")
+        self.traffic = TrafficAccount(node_id)
+
+    def wire_time(self, nbytes: float) -> float:
+        """Serialisation delay of ``nbytes`` on this NIC."""
+        return units.transfer_seconds(nbytes, self.bandwidth_bps)
+
+
+class Machine:
+    """A worker/server node: one NIC and one or more GPUs."""
+
+    def __init__(self, env: Environment, node_id: int, config: ClusterConfig):
+        self.env = env
+        self.node_id = node_id
+        self.nic = NetworkInterface(
+            env, node_id, config.effective_bandwidth_bps, config.latency_seconds
+        )
+        self.gpus: List[GpuDevice] = [
+            GpuDevice(env, node_id, index, config.gpu.effective_flops)
+            for index in range(config.gpus_per_node)
+        ]
+
+    @property
+    def gpu(self) -> GpuDevice:
+        """The first (leader) GPU of the node."""
+        return self.gpus[0]
+
+
+class ClusterModel:
+    """The simulated cluster: machines plus flow-level transfer primitives."""
+
+    def __init__(self, env: Environment, config: ClusterConfig):
+        self.env = env
+        self.config = config
+        num_nodes = config.num_workers
+        if not config.colocate_servers:
+            num_nodes += config.num_servers
+        self.machines: Dict[int, Machine] = {
+            node_id: Machine(env, node_id, config) for node_id in range(num_nodes)
+        }
+
+    # -- topology helpers --------------------------------------------------------
+    @property
+    def worker_ids(self) -> List[int]:
+        """Node ids acting as workers."""
+        return list(range(self.config.num_workers))
+
+    @property
+    def server_ids(self) -> List[int]:
+        """Node ids hosting parameter-server shards."""
+        if self.config.colocate_servers:
+            return [sid % self.config.num_workers for sid in range(self.config.num_servers)]
+        first = self.config.num_workers
+        return list(range(first, first + self.config.num_servers))
+
+    def machine(self, node_id: int) -> Machine:
+        """Look up a machine by node id.
+
+        Raises:
+            SimulationError: if the node id is unknown (or is the fabric).
+        """
+        if node_id == FABRIC:
+            raise SimulationError("the fabric pseudo-node has no machine")
+        try:
+            return self.machines[node_id]
+        except KeyError as exc:
+            raise SimulationError(f"unknown node id {node_id}") from exc
+
+    # -- flows ---------------------------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: float, tag: str = "untagged"
+                 ) -> Generator:
+        """Process: move ``nbytes`` from ``src`` to ``dst``.
+
+        Either endpoint may be :data:`FABRIC`, in which case only the other
+        endpoint's NIC is occupied.  A transfer between a node and itself is
+        local and takes no network time (the colocated-PS-shard fast path).
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        if src == FABRIC and dst == FABRIC:
+            raise SimulationError("transfer needs at least one real endpoint")
+        if src == dst or nbytes == 0:
+            return
+        src_nic = None if src == FABRIC else self.machine(src).nic
+        dst_nic = None if dst == FABRIC else self.machine(dst).nic
+
+        bandwidth = min(
+            nic.bandwidth_bps for nic in (src_nic, dst_nic) if nic is not None
+        )
+        latency = max(
+            nic.latency_seconds for nic in (src_nic, dst_nic) if nic is not None
+        )
+        duration = units.transfer_seconds(nbytes, bandwidth) + latency
+
+        up_request = src_nic.uplink.request() if src_nic is not None else None
+        if up_request is not None:
+            yield up_request
+        down_request = dst_nic.downlink.request() if dst_nic is not None else None
+        if down_request is not None:
+            yield down_request
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            if up_request is not None:
+                src_nic.uplink.release(up_request)
+                src_nic.traffic.record_sent(nbytes, tag)
+            if down_request is not None:
+                dst_nic.downlink.release(down_request)
+                dst_nic.traffic.record_received(nbytes, tag)
+
+    def broadcast(self, src: int, dst_ids: List[int], nbytes_each: float,
+                  tag: str = "untagged") -> Generator:
+        """Process: send ``nbytes_each`` from ``src`` to every node in ``dst_ids``.
+
+        The sender's uplink carries the transfers back to back (FIFO); each
+        receiver's downlink is occupied for its own copy.  Completes when the
+        last copy has been delivered.
+        """
+        transfers = [
+            self.env.process(self.transfer(src, dst, nbytes_each, tag=tag))
+            for dst in dst_ids
+            if dst != src
+        ]
+        if transfers:
+            yield self.env.all_of(transfers)
+
+    # -- accounting ------------------------------------------------------------------
+    def reset_traffic(self) -> None:
+        """Clear all per-node traffic counters."""
+        for machine in self.machines.values():
+            machine.nic.traffic.reset()
+
+    def traffic_by_node(self) -> Dict[int, TrafficAccount]:
+        """Per-node traffic accounts, keyed by node id."""
+        return {node_id: m.nic.traffic for node_id, m in self.machines.items()}

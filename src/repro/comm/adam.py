@@ -1,0 +1,113 @@
+"""Project Adam's communication strategy for FC layers.
+
+Instead of broadcasting sufficient factors peer-to-peer (SFB) or pushing
+dense gradients (PS), Adam workers *push* sufficient factors to the single
+parameter-server shard that owns the layer and then *pull back the full
+updated parameter matrix* (Section 3.2).  This reduces the push direction
+but makes the owning server broadcast ``P1`` full matrices per iteration,
+which is the load imbalance Figure 10 visualises.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.message import ByteMeter
+from repro.exceptions import CommunicationError
+from repro.nn.optim import SGD
+from repro.nn.sufficient_factors import SufficientFactors
+
+ArrayDict = Dict[str, np.ndarray]
+
+
+class _AdamSlot:
+    """Aggregation state of one FC layer owned by one server shard."""
+
+    def __init__(self, params: ArrayDict):
+        self.params = {key: value.copy() for key, value in params.items()}
+        self.pending: List[Tuple[SufficientFactors, ArrayDict]] = []
+        self.version = 0
+        self.condition = threading.Condition()
+
+
+class AdamSFServer:
+    """Functional model of Adam's SF-push / matrix-pull synchronization."""
+
+    def __init__(self, initial_params: Dict[str, ArrayDict], num_workers: int,
+                 optimizer: Optional[SGD] = None, aggregation: str = "mean"):
+        if num_workers < 1:
+            raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
+        if aggregation not in ("mean", "sum"):
+            raise CommunicationError(
+                f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
+            )
+        self.num_workers = int(num_workers)
+        self.aggregation = aggregation
+        self.optimizer = optimizer or SGD(learning_rate=0.01)
+        self._slots = {name: _AdamSlot(params) for name, params in initial_params.items()}
+        self.meter = ByteMeter()
+
+    def _slot(self, layer: str) -> _AdamSlot:
+        try:
+            return self._slots[layer]
+        except KeyError as exc:
+            raise CommunicationError(f"Adam server has no layer {layer!r}") from exc
+
+    def version(self, layer: str) -> int:
+        """Number of aggregated updates applied to ``layer``."""
+        return self._slot(layer).version
+
+    def push_factors(self, worker_id: int, layer: str, factors: SufficientFactors,
+                     extras: Optional[ArrayDict] = None) -> int:
+        """Push one worker's sufficient factors to the owning shard."""
+        slot = self._slot(layer)
+        extras = extras or {}
+        nbytes = factors.nbytes + sum(int(v.nbytes) for v in extras.values())
+        with slot.condition:
+            slot.pending.append((factors, {k: np.asarray(v) for k, v in extras.items()}))
+            if len(slot.pending) > self.num_workers:
+                raise CommunicationError(
+                    f"layer {layer!r}: more pushes than workers in one iteration"
+                )
+            if len(slot.pending) == self.num_workers:
+                self._apply_locked(layer, slot)
+        self.meter.record(nbytes, "received", tag=f"adam-push:{layer}")
+        return nbytes
+
+    def pull_matrix(self, worker_id: int, layer: str, min_version: int,
+                    timeout: Optional[float] = 30.0) -> ArrayDict:
+        """Pull the full updated parameter matrix (the expensive direction)."""
+        slot = self._slot(layer)
+        with slot.condition:
+            if not slot.condition.wait_for(
+                    lambda: slot.version >= min_version, timeout=timeout):
+                raise CommunicationError(
+                    f"pull of {layer!r} timed out waiting for version {min_version}"
+                )
+            params = {key: value.copy() for key, value in slot.params.items()}
+        nbytes = sum(int(v.nbytes) for v in params.values())
+        self.meter.record(nbytes, "sent", tag=f"adam-pull:{layer}")
+        return params
+
+    def _apply_locked(self, layer: str, slot: _AdamSlot) -> None:
+        weight_total = None
+        extra_totals: ArrayDict = {}
+        for factors, extras in slot.pending:
+            dense = factors.reconstruct()
+            weight_total = dense if weight_total is None else weight_total + dense
+            for key, value in extras.items():
+                extra_totals[key] = extra_totals.get(key, 0.0) + value
+        if self.aggregation == "mean":
+            weight_total = weight_total / float(self.num_workers)
+            extra_totals = {k: v / float(self.num_workers) for k, v in extra_totals.items()}
+        if "weight" in slot.params and weight_total is not None:
+            self.optimizer.apply(f"{layer}/weight", slot.params["weight"], weight_total)
+        for key, grad in extra_totals.items():
+            if key in slot.params:
+                self.optimizer.apply(f"{layer}/{key}", slot.params[key], grad)
+        slot.pending.clear()
+        slot.version += 1
+        slot.condition.notify_all()

@@ -1,0 +1,120 @@
+"""Message envelope and byte accounting.
+
+The functional substrates exchange numpy payloads directly (they live in one
+process), but every exchange is described by a :class:`Message` so that the
+number of bytes that *would* cross the network is accounted identically to
+the wire formats of the real system: dense float32 tensors, sufficient
+factors, or 1-bit quantized tensors.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro import units
+
+
+class MessageKind(str, enum.Enum):
+    """Payload types exchanged by the synchronization substrates."""
+
+    DENSE_GRADIENT = "dense_gradient"
+    SUFFICIENT_FACTORS = "sufficient_factors"
+    QUANTIZED_GRADIENT = "quantized_gradient"
+    PARAMETERS = "parameters"
+    CONTROL = "control"
+
+
+_MESSAGE_IDS = itertools.count()
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Wire size of a payload: numpy arrays, dicts/lists of arrays, or objects
+    exposing ``nbytes``."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(value) for value in payload.values())
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(value) for value in payload)
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return 0
+
+
+@dataclass(frozen=True)
+class Message:
+    """One synchronization message.
+
+    Attributes:
+        kind: payload type.
+        layer: layer name the payload belongs to.
+        iteration: training iteration the payload was produced in.
+        src: sender identifier (worker id or ``server``).
+        dst: receiver identifier.
+        payload: the actual numpy data.
+        nbytes: wire size; computed from the payload if not given.
+    """
+
+    kind: MessageKind
+    layer: str
+    iteration: int
+    src: str
+    dst: str
+    payload: Any = None
+    nbytes: int = -1
+    message_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            object.__setattr__(self, "nbytes", payload_nbytes(self.payload))
+
+
+class ByteMeter:
+    """Thread-safe counter of bytes sent/received, grouped by tag."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.sent = 0
+        self.received = 0
+        self.by_tag: Dict[str, int] = {}
+
+    def record(self, nbytes: int, direction: str = "sent",
+               tag: Optional[str] = None) -> None:
+        """Record a transfer of ``nbytes`` in the given direction."""
+        with self._lock:
+            if direction == "sent":
+                self.sent += int(nbytes)
+            elif direction == "received":
+                self.received += int(nbytes)
+            else:
+                raise ValueError(f"unknown direction {direction!r}")
+            if tag is not None:
+                self.by_tag[tag] = self.by_tag.get(tag, 0) + int(nbytes)
+
+    @property
+    def total(self) -> int:
+        """Total bytes in both directions."""
+        return self.sent + self.received
+
+    @property
+    def total_megabytes(self) -> float:
+        """Total traffic in MiB."""
+        return self.total / units.MB
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the counters, safe to read while training continues."""
+        with self._lock:
+            return {
+                "sent": self.sent,
+                "received": self.received,
+                **{f"tag:{key}": value for key, value in self.by_tag.items()},
+            }

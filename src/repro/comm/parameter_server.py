@@ -1,0 +1,208 @@
+"""A bulk-synchronous sharded parameter server.
+
+Functional equivalent of the paper's KV-store-backed PS (Section 4.1): the
+server holds the authoritative copy of every layer's parameters, receives
+gradient contributions from all workers, applies them once every worker has
+contributed (bulk synchronous consistency: a KV pair is broadcast when its
+update count equals the number of workers), and hands the fresh parameters
+back.
+
+Because the functional runtime lives in a single process, "shards" are a
+partitioning of the parameters used for byte accounting and balance
+statistics; correctness does not depend on the shard count.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.message import ByteMeter
+from repro.exceptions import CommunicationError
+from repro.nn.optim import SGD
+
+#: A layer's parameters or gradients: parameter name -> array.
+ArrayDict = Dict[str, np.ndarray]
+
+
+class _LayerSlot:
+    """Per-layer aggregation state."""
+
+    def __init__(self, params: ArrayDict):
+        self.params = {key: value.copy() for key, value in params.items()}
+        self.pending: List[ArrayDict] = []
+        self.version = 0
+        self.condition = threading.Condition()
+
+
+class ShardedParameterServer:
+    """BSP parameter server over named layers.
+
+    Args:
+        initial_params: layer name -> parameter dict; defines the global
+            model state all workers will train.
+        num_workers: number of workers that must contribute per iteration.
+        optimizer: optimiser applied to the global parameters on aggregation.
+        aggregation: ``"mean"`` (average worker gradients; equivalent to
+            training on the combined batch with the same learning rate) or
+            ``"sum"`` (the literal form of Eq. 2).
+    """
+
+    def __init__(self, initial_params: Dict[str, ArrayDict], num_workers: int,
+                 optimizer: Optional[SGD] = None, aggregation: str = "mean"):
+        if num_workers < 1:
+            raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
+        if aggregation not in ("mean", "sum"):
+            raise CommunicationError(
+                f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
+            )
+        self.num_workers = int(num_workers)
+        self.aggregation = aggregation
+        self.optimizer = optimizer or SGD(learning_rate=0.01)
+        self._slots: Dict[str, _LayerSlot] = {
+            name: _LayerSlot(params) for name, params in initial_params.items()
+        }
+        self.meter = ByteMeter()
+        self._apply_hooks: List[Callable[[str, ArrayDict], None]] = []
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def layer_names(self) -> List[str]:
+        """Names of the layers this server manages."""
+        return list(self._slots)
+
+    def version(self, layer: str) -> int:
+        """Number of aggregated updates applied to ``layer`` so far."""
+        return self._slot(layer).version
+
+    def global_params(self, layer: str) -> ArrayDict:
+        """Copy of the current global parameters of ``layer``."""
+        slot = self._slot(layer)
+        with slot.condition:
+            return {key: value.copy() for key, value in slot.params.items()}
+
+    def add_apply_hook(self, hook: Callable[[str, ArrayDict], None]) -> None:
+        """Register a callback invoked with (layer, aggregated gradient) on apply."""
+        self._apply_hooks.append(hook)
+
+    def _slot(self, layer: str) -> _LayerSlot:
+        try:
+            return self._slots[layer]
+        except KeyError as exc:
+            raise CommunicationError(f"parameter server has no layer {layer!r}") from exc
+
+    # -- worker-facing API ----------------------------------------------------------
+    def push(self, worker_id: int, layer: str, grads: ArrayDict,
+             nbytes: Optional[int] = None) -> int:
+        """Contribute one worker's gradient for ``layer``.
+
+        The last contribution of the iteration triggers aggregation and the
+        optimiser step.  Returns the number of bytes this push represents on
+        the wire.
+        """
+        slot = self._slot(layer)
+        push_bytes = int(nbytes) if nbytes is not None else sum(
+            int(g.nbytes) for g in grads.values())
+        with slot.condition:
+            for key, grad in grads.items():
+                if key not in slot.params:
+                    raise CommunicationError(
+                        f"layer {layer!r} has no parameter {key!r}"
+                    )
+                if grad.shape != slot.params[key].shape:
+                    raise CommunicationError(
+                        f"layer {layer!r} parameter {key!r}: gradient shape "
+                        f"{grad.shape} does not match parameter {slot.params[key].shape}"
+                    )
+            slot.pending.append({key: np.asarray(g) for key, g in grads.items()})
+            if len(slot.pending) > self.num_workers:
+                raise CommunicationError(
+                    f"layer {layer!r} received {len(slot.pending)} pushes for "
+                    f"{self.num_workers} workers; a worker pushed twice in one iteration"
+                )
+            if len(slot.pending) == self.num_workers:
+                self._apply_locked(layer, slot)
+        self.meter.record(push_bytes, "received", tag=f"push:{layer}")
+        return push_bytes
+
+    def pull(self, worker_id: int, layer: str, min_version: int,
+             timeout: Optional[float] = 30.0) -> ArrayDict:
+        """Block until ``layer`` has reached ``min_version`` and return its params.
+
+        Raises:
+            CommunicationError: if the wait times out (deadlock guard).
+        """
+        slot = self._slot(layer)
+        with slot.condition:
+            if not slot.condition.wait_for(
+                    lambda: slot.version >= min_version, timeout=timeout):
+                raise CommunicationError(
+                    f"pull of layer {layer!r} timed out waiting for version "
+                    f"{min_version} (current {slot.version})"
+                )
+            params = {key: value.copy() for key, value in slot.params.items()}
+        pull_bytes = sum(int(p.nbytes) for p in params.values())
+        self.meter.record(pull_bytes, "sent", tag=f"pull:{layer}")
+        return params
+
+    # -- fault tolerance ----------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Snapshot the global parameter state (plus per-layer versions).
+
+        The paper's KV store "will regularly checkpoint current parameter
+        states for fault tolerance" (Section 4.1); this returns a deep copy
+        that :meth:`restore` accepts.
+        """
+        snapshot: Dict[str, Dict[str, np.ndarray]] = {}
+        for name, slot in self._slots.items():
+            with slot.condition:
+                snapshot[name] = {key: value.copy() for key, value in slot.params.items()}
+                snapshot[name]["__version__"] = np.array(slot.version)
+        return snapshot
+
+    def restore(self, snapshot: Dict[str, Dict[str, np.ndarray]]) -> None:
+        """Restore parameters and versions from a :meth:`checkpoint` snapshot.
+
+        Raises:
+            CommunicationError: if the snapshot covers unknown layers or has
+                mismatched shapes.
+        """
+        for name, params in snapshot.items():
+            slot = self._slot(name)
+            with slot.condition:
+                for key, value in params.items():
+                    if key == "__version__":
+                        slot.version = int(value)
+                        continue
+                    if key not in slot.params:
+                        raise CommunicationError(
+                            f"snapshot has unknown parameter {name}/{key}")
+                    if value.shape != slot.params[key].shape:
+                        raise CommunicationError(
+                            f"snapshot shape mismatch for {name}/{key}: "
+                            f"{value.shape} vs {slot.params[key].shape}")
+                    np.copyto(slot.params[key], value)
+                slot.pending.clear()
+                slot.condition.notify_all()
+
+    # -- aggregation -------------------------------------------------------------------
+    def _apply_locked(self, layer: str, slot: _LayerSlot) -> None:
+        """Aggregate pending gradients and update the global params (lock held)."""
+        aggregated: ArrayDict = {}
+        for key in slot.params:
+            stacked = [pending[key] for pending in slot.pending if key in pending]
+            if not stacked:
+                continue
+            total = np.sum(stacked, axis=0)
+            if self.aggregation == "mean":
+                total = total / float(self.num_workers)
+            aggregated[key] = total
+        for key, grad in aggregated.items():
+            self.optimizer.apply(f"{layer}/{key}", slot.params[key], grad)
+        slot.pending.clear()
+        slot.version += 1
+        for hook in self._apply_hooks:
+            hook(layer, aggregated)
+        slot.condition.notify_all()

@@ -1,0 +1,118 @@
+"""1-bit gradient quantization with error feedback (the CNTK baseline).
+
+Section 5.3 of the paper compares Poseidon against CNTK's 1-bit SGD: each
+gradient element is reduced to its sign, a per-column scale restores the
+magnitude, and the quantization error is carried over ("error feedback")
+into the next iteration's gradient.  The paper observes that the delayed
+residual updates hurt convergence on image models (Figure 11) even though
+the technique works well for speech.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CommunicationError
+
+
+@dataclass(frozen=True)
+class QuantizedGradient:
+    """A 1-bit quantized tensor plus reconstruction scales.
+
+    Attributes:
+        signs: boolean array, True where the (residual-corrected) gradient is
+            non-negative.
+        positive_scale: per-column mean of the non-negative entries.
+        negative_scale: per-column mean of the negative entries.
+        shape: original tensor shape.
+    """
+
+    signs: np.ndarray
+    positive_scale: np.ndarray
+    negative_scale: np.ndarray
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: one bit per element plus the float32 scales."""
+        bits = int(np.prod(self.shape))
+        return bits // 8 + int(self.positive_scale.nbytes) + int(self.negative_scale.nbytes)
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the dense tensor from signs and scales."""
+        dense = np.where(self.signs, self.positive_scale, self.negative_scale)
+        return dense.reshape(self.shape).astype(np.float32)
+
+
+class OneBitQuantizer:
+    """Stateful 1-bit quantizer with per-parameter error feedback."""
+
+    def __init__(self) -> None:
+        self._residuals: Dict[str, np.ndarray] = {}
+
+    def residual(self, key: str) -> Optional[np.ndarray]:
+        """The residual currently carried for ``key`` (None before first use)."""
+        return self._residuals.get(key)
+
+    def quantize(self, key: str, gradient: np.ndarray) -> QuantizedGradient:
+        """Quantize ``gradient`` to 1 bit, folding in and updating the residual."""
+        if gradient.ndim == 0:
+            raise CommunicationError("cannot quantize a scalar gradient")
+        corrected = gradient + self._residuals.get(key, 0.0)
+        matrix = corrected.reshape(corrected.shape[0], -1)
+        signs = matrix >= 0
+        positive_scale = np.zeros((1, matrix.shape[1]), dtype=np.float32)
+        negative_scale = np.zeros((1, matrix.shape[1]), dtype=np.float32)
+        for column in range(matrix.shape[1]):
+            pos = matrix[signs[:, column], column]
+            neg = matrix[~signs[:, column], column]
+            positive_scale[0, column] = pos.mean() if pos.size else 0.0
+            negative_scale[0, column] = neg.mean() if neg.size else 0.0
+        quantized = QuantizedGradient(
+            signs=signs,
+            positive_scale=positive_scale,
+            negative_scale=negative_scale,
+            shape=corrected.shape,
+        )
+        self._residuals[key] = corrected - quantized.dequantize()
+        return quantized
+
+    def quantize_dict(self, layer: str, grads: Dict[str, np.ndarray],
+                      min_elements: int = 64
+                      ) -> Tuple[Dict[str, QuantizedGradient], Dict[str, np.ndarray]]:
+        """Quantize every large-enough array in a gradient dict.
+
+        Small tensors (biases) are cheaper to send exactly than to quantize;
+        they are returned unmodified in the second dict.
+        """
+        quantized: Dict[str, QuantizedGradient] = {}
+        dense: Dict[str, np.ndarray] = {}
+        for key, grad in grads.items():
+            if grad.size >= min_elements and grad.ndim >= 2:
+                quantized[key] = self.quantize(f"{layer}/{key}", grad)
+            else:
+                dense[key] = grad
+        return quantized, dense
+
+    def reset(self) -> None:
+        """Drop all residual state."""
+        self._residuals.clear()
+
+
+def dequantize_dict(quantized: Dict[str, QuantizedGradient],
+                    dense: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Merge quantized and dense parts back into a full gradient dict."""
+    result = {key: q.dequantize() for key, q in quantized.items()}
+    result.update({key: np.asarray(value) for key, value in dense.items()})
+    return result
+
+
+def quantized_nbytes(quantized: Dict[str, QuantizedGradient],
+                     dense: Dict[str, np.ndarray]) -> int:
+    """Wire size of a mixed quantized/dense gradient message."""
+    total = sum(q.nbytes for q in quantized.values())
+    total += sum(int(v.nbytes) for v in dense.values())
+    return total

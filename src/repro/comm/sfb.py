@@ -1,0 +1,139 @@
+"""Sufficient-factor broadcasting (SFB).
+
+The peer-to-peer scheme of Figure 2(b): every worker broadcasts the
+sufficient factors of its FC-layer gradients to all peers, reconstructs the
+full gradient locally from everyone's factors, and applies the update to its
+own model replica.  Because every replica applies the same aggregate update
+(the sum of everyone's outer products) with the same optimiser state,
+replicas stay bit-wise consistent without a central server.
+
+The functional implementation below is a shared bulletin board with BSP
+semantics: ``publish`` posts a worker's factors for (layer, iteration) and
+``collect`` blocks until all workers have posted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.message import ByteMeter
+from repro.exceptions import CommunicationError
+from repro.nn.sufficient_factors import SufficientFactors
+
+#: Extra (non-factorisable) arrays sent alongside the factors, e.g. the bias
+#: gradient of an FC layer.  name -> array.
+ExtraDict = Dict[str, np.ndarray]
+
+
+class SufficientFactorBroadcaster:
+    """A BSP bulletin board for sufficient factors."""
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self._board: Dict[Tuple[str, int], Dict[int, Tuple[SufficientFactors, ExtraDict]]] = {}
+        self._condition = threading.Condition()
+        self.meter = ByteMeter()
+
+    def publish(self, worker_id: int, layer: str, iteration: int,
+                factors: SufficientFactors, extras: Optional[ExtraDict] = None) -> int:
+        """Post a worker's factors; returns the wire bytes of the broadcast.
+
+        The wire cost counts ``num_workers - 1`` copies (one per peer), the
+        P2P fan-out of Figure 2(b).
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise CommunicationError(
+                f"worker_id {worker_id} out of range [0, {self.num_workers})"
+            )
+        extras = extras or {}
+        key = (layer, int(iteration))
+        with self._condition:
+            entry = self._board.setdefault(key, {})
+            if worker_id in entry:
+                raise CommunicationError(
+                    f"worker {worker_id} already published {layer!r} at iteration {iteration}"
+                )
+            entry[worker_id] = (factors, {k: np.asarray(v) for k, v in extras.items()})
+            self._condition.notify_all()
+        per_peer = factors.nbytes + sum(int(v.nbytes) for v in extras.values())
+        nbytes = per_peer * (self.num_workers - 1)
+        self.meter.record(nbytes, "sent", tag=f"sfb:{layer}")
+        return nbytes
+
+    def collect(self, worker_id: int, layer: str, iteration: int,
+                timeout: Optional[float] = 30.0
+                ) -> List[Tuple[int, SufficientFactors, ExtraDict]]:
+        """Block until every worker has published (layer, iteration).
+
+        Returns:
+            A list of ``(worker_id, factors, extras)`` sorted by worker id,
+            including the caller's own contribution (so aggregation is simply
+            a sum over the list).
+
+        Raises:
+            CommunicationError: on timeout.
+        """
+        key = (layer, int(iteration))
+        with self._condition:
+            def _complete() -> bool:
+                return len(self._board.get(key, {})) >= self.num_workers
+
+            if not self._condition.wait_for(_complete, timeout=timeout):
+                have = len(self._board.get(key, {}))
+                raise CommunicationError(
+                    f"collect of {layer!r}@{iteration} timed out with "
+                    f"{have}/{self.num_workers} contributions"
+                )
+            entry = self._board[key]
+            result = [(wid, factors, extras)
+                      for wid, (factors, extras) in sorted(entry.items())]
+        received = sum(
+            factors.nbytes + sum(int(v.nbytes) for v in extras.values())
+            for wid, factors, extras in result if wid != worker_id
+        )
+        self.meter.record(received, "received", tag=f"sfb:{layer}")
+        return result
+
+    def garbage_collect(self, before_iteration: int) -> int:
+        """Drop board entries older than ``before_iteration``; returns count dropped."""
+        with self._condition:
+            stale = [key for key in self._board if key[1] < before_iteration]
+            for key in stale:
+                del self._board[key]
+        return len(stale)
+
+    @staticmethod
+    def aggregate(contributions: List[Tuple[int, SufficientFactors, ExtraDict]],
+                  aggregation: str = "mean") -> Tuple[np.ndarray, ExtraDict]:
+        """Reconstruct and combine everyone's gradients.
+
+        Returns:
+            ``(weight_gradient, extra_gradients)`` where the weight gradient
+            is the sum (or mean) of all reconstructed outer products.
+        """
+        if not contributions:
+            raise CommunicationError("cannot aggregate an empty contribution list")
+        if aggregation not in ("mean", "sum"):
+            raise CommunicationError(
+                f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
+            )
+        weight_grad = None
+        extra_totals: ExtraDict = {}
+        for _, factors, extras in contributions:
+            dense = factors.reconstruct()
+            weight_grad = dense if weight_grad is None else weight_grad + dense
+            for key, value in extras.items():
+                if key in extra_totals:
+                    extra_totals[key] = extra_totals[key] + value
+                else:
+                    extra_totals[key] = value.copy()
+        if aggregation == "mean":
+            count = float(len(contributions))
+            weight_grad = weight_grad / count
+            extra_totals = {key: value / count for key, value in extra_totals.items()}
+        return weight_grad, extra_totals

@@ -1,0 +1,204 @@
+"""Cluster and training configuration objects.
+
+These dataclasses describe the experimental setup of the paper: a cluster of
+single-GPU machines connected by Ethernet of configurable bandwidth, where
+every machine acts as a worker and (usually) also hosts a shard of the
+parameter server, exactly as in the paper's testbed ("every node also holding
+1/8 of parameters as a PS shard", Section 2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro import units
+from repro.exceptions import ConfigurationError
+
+
+class BandwidthPreset(float, enum.Enum):
+    """Ethernet ratings used in the paper's evaluation (values in Gb/s)."""
+
+    GBE_1 = 1.0
+    GBE_2 = 2.0
+    GBE_5 = 5.0
+    GBE_10 = 10.0
+    GBE_20 = 20.0
+    GBE_30 = 30.0
+    GBE_40 = 40.0
+
+    @property
+    def bits_per_second(self) -> float:
+        """Bandwidth in bits per second."""
+        return units.gbe(self.value)
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """A simple throughput model of a GPU.
+
+    The simulator converts per-layer FLOP counts to compute time using
+    ``effective_flops``; calibration against the paper's reported single-node
+    images/second happens per model (see
+    :mod:`repro.simulation.workload`), so the absolute value here only
+    matters for uncalibrated models.
+
+    Attributes:
+        name: marketing name of the card.
+        effective_flops: sustained single-precision FLOP/s for DL kernels.
+        memory_bytes: device memory, used only for sanity checks on batch size.
+        pcie_bandwidth_bps: host-to-device copy bandwidth (bits/s); the paper
+            notes DRAM<->GPU copies are a minor overhead that Poseidon also
+            overlaps.
+    """
+
+    name: str = "TITAN X"
+    effective_flops: float = 6.0 * units.TFLOPS
+    memory_bytes: float = 12 * units.GB
+    pcie_bandwidth_bps: float = 100 * units.GBIT
+
+    def compute_seconds(self, flops: float) -> float:
+        """Time to execute ``flops`` floating point operations."""
+        if flops < 0:
+            raise ConfigurationError(f"flops must be non-negative, got {flops}")
+        return flops / self.effective_flops
+
+
+#: The GPU used throughout the paper's evaluation.
+TITAN_X = GpuModel()
+
+#: The K80 GPUs of the AWS p2.8xlarge multi-GPU experiment (Section 5.1);
+#: lower throughput than Titan X, which the paper notes makes the
+#: communication burden less severe.
+TESLA_K80 = GpuModel(
+    name="Tesla K80 (half)",
+    effective_flops=2.8 * units.TFLOPS,
+    memory_bytes=12 * units.GB,
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Describes a GPU cluster for both the simulator and the cost model.
+
+    Attributes:
+        num_workers: number of worker nodes (``P1`` in the paper).
+        num_servers: number of parameter-server shards (``P2``).  In the
+            paper's testbed every worker node also hosts a PS shard, so the
+            default mirrors ``num_workers``.
+        bandwidth_gbps: per-node Ethernet bandwidth in Gb/s (full duplex).
+        gpus_per_node: number of GPUs on each worker node.
+        gpu: throughput model of each GPU.
+        colocate_servers: whether PS shards live on worker nodes (sharing
+            their NIC) or on dedicated machines.
+        kv_pair_bytes: size of a KV-store pair; Poseidon uses a "fixed small
+            size (e.g. 2MB)" to spread parameters evenly across shards.
+        latency_seconds: per-message network latency added to every transfer.
+        network_efficiency: fraction of the NIC line rate achievable as
+            application goodput (TCP/IP framing, kernel overheads,
+            incast pressure during bulk-synchronous scatter/gather).  The
+            default 0.55 is calibrated so the simulated Caffe+WFBP point for
+            VGG19-22K on 32 nodes matches the paper's reported 21.5x; every
+            other number in the evaluation emerges from the model.
+    """
+
+    num_workers: int
+    num_servers: Optional[int] = None
+    bandwidth_gbps: float = BandwidthPreset.GBE_40.value
+    gpus_per_node: int = 1
+    gpu: GpuModel = field(default_factory=lambda: TITAN_X)
+    colocate_servers: bool = True
+    kv_pair_bytes: int = 2 * units.MB
+    latency_seconds: float = 50 * units.US
+    network_efficiency: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.num_servers is None:
+            object.__setattr__(self, "num_servers", self.num_workers)
+        if self.num_servers < 1:
+            raise ConfigurationError(
+                f"num_servers must be >= 1, got {self.num_servers}"
+            )
+        if self.bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth_gbps must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.gpus_per_node < 1:
+            raise ConfigurationError(
+                f"gpus_per_node must be >= 1, got {self.gpus_per_node}"
+            )
+        if self.kv_pair_bytes <= 0:
+            raise ConfigurationError(
+                f"kv_pair_bytes must be positive, got {self.kv_pair_bytes}"
+            )
+        if not 0.0 < self.network_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"network_efficiency must be in (0, 1], got {self.network_efficiency}"
+            )
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Per-node NIC line rate in bits per second."""
+        return units.gbe(self.bandwidth_gbps)
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """Achievable application goodput per NIC direction in bits per second."""
+        return self.bandwidth_bps * self.network_efficiency
+
+    @property
+    def total_gpus(self) -> int:
+        """Total number of GPUs across the cluster."""
+        return self.num_workers * self.gpus_per_node
+
+    def with_workers(self, num_workers: int) -> "ClusterConfig":
+        """Return a copy with a different worker count (servers follow if colocated)."""
+        num_servers = num_workers if self.colocate_servers else self.num_servers
+        return replace(self, num_workers=num_workers, num_servers=num_servers)
+
+    def with_bandwidth(self, bandwidth_gbps: float) -> "ClusterConfig":
+        """Return a copy with a different per-node bandwidth."""
+        return replace(self, bandwidth_gbps=bandwidth_gbps)
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of a (possibly distributed) SGD run.
+
+    Attributes:
+        batch_size: per-worker mini-batch size (``K`` in the paper's cost
+            model).
+        learning_rate: SGD step size.
+        momentum: classical momentum coefficient.
+        weight_decay: L2 regularisation strength.
+        iterations: number of training iterations to run.
+        seed: base RNG seed; workers derive their own seeds from it.
+    """
+
+    batch_size: int = 32
+    learning_rate: float = 0.01
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    iterations: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if not 0.0 <= self.momentum < 1.0:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {self.momentum}"
+            )
+        if self.iterations < 0:
+            raise ConfigurationError(
+                f"iterations must be non-negative, got {self.iterations}"
+            )

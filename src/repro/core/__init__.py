@@ -1,0 +1,41 @@
+"""Poseidon core: the paper's primary contribution.
+
+* :mod:`repro.core.cost_model` -- the analytic communication-cost model of
+  Table 1 and the :class:`CommScheme` vocabulary.
+* :mod:`repro.core.kvstore` -- fine-grained (2 MB) KV-pair partitioning of
+  model parameters across server shards.
+* :mod:`repro.core.coordinator` -- the coordinator with its information book
+  and the ``BestScheme`` selection of Algorithm 1.
+* :mod:`repro.core.hybrid` -- the HybComm planner that assigns a scheme to
+  every layer.
+* :mod:`repro.core.wfbp` -- wait-free backpropagation scheduling.
+* :mod:`repro.core.syncer` -- per-layer syncers (Send / Receive / Move).
+* :mod:`repro.core.consistency` -- bulk-synchronous consistency management.
+* :mod:`repro.core.poseidon` -- :class:`PoseidonContext`, the top-level API.
+"""
+
+from repro.core.cost_model import CommScheme, CostModel
+from repro.core.coordinator import Coordinator
+from repro.core.hybrid import HybridCommPlanner, SyncDecision
+from repro.core.kvstore import KVPair, KVStorePartition
+from repro.core.poseidon import CommunicationPlan, PoseidonContext
+from repro.core.wfbp import ScheduleMode, WFBPScheduler
+from repro.core.consistency import BSPController
+from repro.core.staleness import SSPClock, StalenessBoundedQueue
+
+__all__ = [
+    "SSPClock",
+    "StalenessBoundedQueue",
+    "CommScheme",
+    "CostModel",
+    "Coordinator",
+    "HybridCommPlanner",
+    "SyncDecision",
+    "KVPair",
+    "KVStorePartition",
+    "CommunicationPlan",
+    "PoseidonContext",
+    "ScheduleMode",
+    "WFBPScheduler",
+    "BSPController",
+]

@@ -1,0 +1,91 @@
+"""Bulk-synchronous-parallel (BSP) consistency management.
+
+Poseidon "implements the bulk synchronous consistency (BSP) model as
+follows.  The client library maintains a binary vector C with length the
+number of syncers and values reset to zeros at the start of each iteration.
+A syncer will set its corresponding entry in C as 1 when its job finishes,
+and the client starts the next iteration when all entries are 1" (Section
+4.1).  The KV store counts updates per KV pair and broadcasts when the count
+equals the number of workers (that half lives in
+:class:`~repro.comm.parameter_server.ShardedParameterServer`).
+
+:class:`BSPController` is the client-side half used by the functional
+trainer; it is thread-safe because syncer jobs complete on worker-local
+thread pools.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import TrainingError
+
+
+class BSPController:
+    """Per-worker sync-completion vector plus a cross-worker barrier."""
+
+    def __init__(self, num_workers: int, syncer_names: Sequence[str]):
+        if num_workers < 1:
+            raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
+        if not syncer_names:
+            raise TrainingError("BSPController needs at least one syncer name")
+        self.num_workers = int(num_workers)
+        self.syncer_names: List[str] = list(syncer_names)
+        self._vectors: List[Dict[str, bool]] = [
+            {name: False for name in self.syncer_names} for _ in range(self.num_workers)
+        ]
+        self._locks = [threading.Lock() for _ in range(self.num_workers)]
+        self._events = [threading.Event() for _ in range(self.num_workers)]
+        self._barrier = threading.Barrier(self.num_workers)
+        self.iterations_completed = 0
+
+    # -- per-worker sync vector -----------------------------------------------------
+    def reset_worker(self, worker_id: int) -> None:
+        """Zero the worker's completion vector at the start of an iteration."""
+        with self._locks[worker_id]:
+            for name in self.syncer_names:
+                self._vectors[worker_id][name] = False
+            self._events[worker_id].clear()
+
+    def mark_done(self, worker_id: int, syncer_name: str) -> None:
+        """Record that one syncer finished its job for this iteration.
+
+        Raises:
+            TrainingError: if the syncer name is unknown.
+        """
+        if syncer_name not in self._vectors[worker_id]:
+            raise TrainingError(f"unknown syncer {syncer_name!r}")
+        with self._locks[worker_id]:
+            self._vectors[worker_id][syncer_name] = True
+            if all(self._vectors[worker_id].values()):
+                self._events[worker_id].set()
+
+    def pending(self, worker_id: int) -> List[str]:
+        """Names of syncers that have not completed yet for this worker."""
+        with self._locks[worker_id]:
+            return [name for name, done in self._vectors[worker_id].items() if not done]
+
+    def wait_worker(self, worker_id: int, timeout: Optional[float] = 60.0) -> None:
+        """Block until every syncer of this worker finished the iteration.
+
+        Raises:
+            TrainingError: on timeout, listing the stuck syncers.
+        """
+        if not self._events[worker_id].wait(timeout=timeout):
+            raise TrainingError(
+                f"worker {worker_id} timed out waiting for syncers: "
+                f"{self.pending(worker_id)}"
+            )
+
+    # -- global barrier -------------------------------------------------------------
+    def barrier(self, worker_id: int, timeout: Optional[float] = 60.0) -> None:
+        """Cross-worker iteration barrier (the bulk-synchronous step boundary)."""
+        try:
+            index = self._barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            raise TrainingError(
+                f"BSP barrier broken while worker {worker_id} was waiting"
+            ) from exc
+        if index == 0:
+            self.iterations_completed += 1

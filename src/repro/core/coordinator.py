@@ -1,0 +1,114 @@
+"""The coordinator.
+
+"To setup distributed training, the client program first instantiates
+Poseidon by creating a coordinator within its process.  Coordinators will
+first collect necessary information, including the cluster information
+(e.g., the number of workers and server nodes ...) and the model
+architecture ... the coordinator will initialize the KV stores and the
+client library" (Section 4.1).
+
+The coordinator owns the *information book* -- a key/value view of the
+cluster and model configuration queried through :meth:`Coordinator.query` --
+and exposes :meth:`best_scheme` (Algorithm 1) through the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.config import ClusterConfig, TrainingConfig
+from repro.core.cost_model import CommScheme, CostModel
+from repro.core.kvstore import KVStorePartition, partition_coarse_grained, partition_fine_grained
+from repro.exceptions import ConfigurationError
+from repro.nn.spec import LayerKind, LayerSpec, ModelSpec
+
+
+class Coordinator:
+    """Holds model + cluster configuration and answers planning queries."""
+
+    def __init__(self, model: ModelSpec, cluster: ClusterConfig,
+                 training: TrainingConfig, fine_grained: bool = True):
+        self.model = model
+        self.cluster = cluster
+        self.training = training
+        self.fine_grained = bool(fine_grained)
+        self.cost_model = CostModel(cluster, training.batch_size)
+        self._partition: KVStorePartition = (
+            partition_fine_grained(model, cluster.num_servers, cluster.kv_pair_bytes)
+            if fine_grained
+            else partition_coarse_grained(model, cluster.num_servers)
+        )
+        self._information_book: Dict[str, Any] = self._build_information_book()
+
+    # -- information book ------------------------------------------------------
+    def _build_information_book(self) -> Dict[str, Any]:
+        book: Dict[str, Any] = {
+            "n_worker": self.cluster.num_workers,
+            "n_server": self.cluster.num_servers,
+            "batchsize": self.training.batch_size,
+            "bandwidth_gbps": self.cluster.bandwidth_gbps,
+            "kv_pair_bytes": self.cluster.kv_pair_bytes,
+            "model_name": self.model.name,
+            "num_layers": self.model.num_layers,
+            "total_params": self.model.total_params,
+        }
+        for layer in self.model.layers:
+            book[f"layer:{layer.name}:type"] = layer.kind.value
+            book[f"layer:{layer.name}:params"] = layer.param_count
+            if layer.kind is LayerKind.FC:
+                m, n = layer.fc_dims
+                book[f"layer:{layer.name}:width"] = m
+                book[f"layer:{layer.name}:height"] = n
+        return book
+
+    def query(self, *properties: str) -> Union[Any, List[Any]]:
+        """Look up one or more entries of the information book.
+
+        Mirrors the paper's ``Query`` API (Table 2).  A single property
+        returns a scalar; multiple properties return a list in order.
+
+        Raises:
+            KeyError: if a property is unknown.
+        """
+        if not properties:
+            raise ConfigurationError("query() needs at least one property name")
+        values = []
+        for name in properties:
+            if name not in self._information_book:
+                raise KeyError(f"information book has no entry {name!r}")
+            values.append(self._information_book[name])
+        return values[0] if len(values) == 1 else values
+
+    def update_information(self, key: str, value: Any) -> None:
+        """Insert or overwrite an information-book entry (kept in sync
+        across nodes in the real system; a plain dict write here)."""
+        self._information_book[key] = value
+
+    # -- planning ---------------------------------------------------------------
+    @property
+    def partition(self) -> KVStorePartition:
+        """The KV-store partition the coordinator computed at start-up."""
+        return self._partition
+
+    def layer(self, name: str) -> LayerSpec:
+        """Resolve a layer by name."""
+        return self.model.layer(name)
+
+    def best_scheme(self, layer: Union[str, LayerSpec]) -> CommScheme:
+        """Algorithm 1: the cheapest communication method for ``layer``."""
+        spec = self.model.layer(layer) if isinstance(layer, str) else layer
+        return self.cost_model.best_scheme(spec)
+
+    def scheme_assignments(self) -> Dict[str, CommScheme]:
+        """Best scheme for every parameter layer of the model."""
+        return {
+            layer.name: self.best_scheme(layer)
+            for layer in self.model.parameter_layers()
+        }
+
+    def sfb_layers(self) -> Sequence[LayerSpec]:
+        """Parameter layers that Algorithm 1 assigns to SFB."""
+        return tuple(
+            layer for layer in self.model.parameter_layers()
+            if self.best_scheme(layer) is CommScheme.SFB
+        )

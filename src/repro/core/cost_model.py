@@ -1,0 +1,225 @@
+"""The analytic communication-cost model of Table 1.
+
+For an ``M x N`` fully-connected layer synchronized across ``P1`` worker
+nodes and ``P2`` server shards with per-worker batch size ``K``, Table 1
+gives the number of *parameters* (float values) a node must transmit plus
+receive in one iteration under three strategies:
+
+=============  =======================  =========================  ==============================
+Strategy       Server node              Worker node                Server & worker node
+=============  =======================  =========================  ==============================
+PS             ``2 P1 M N / P2``        ``2 M N``                  ``2 M N (P1 + P2 - 2) / P2``
+SFB            (no servers)             ``2 K (P1 - 1)(M + N)``    (same as worker)
+Adam (max)     ``P1 M N + P1 K (M+N)``  ``K (M + N) + M N``        ``(P1-1)(M N + K M + K N)``
+=============  =======================  =========================  ==============================
+
+``BestScheme`` (Algorithm 1) chooses SFB for an FC layer exactly when its
+worker-side SFB cost is at most the PS cost of a combined server/worker
+node; everything else goes through the parameter server.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import units
+from repro.config import ClusterConfig
+from repro.exceptions import ConfigurationError
+from repro.nn.spec import LayerKind, LayerSpec
+
+
+class CommScheme(str, enum.Enum):
+    """Communication strategies Poseidon can assign to a layer."""
+
+    PS = "ps"
+    SFB = "sfb"
+    ADAM = "adam"
+    ONEBIT = "onebit"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class LayerCostEstimate:
+    """Parameter-count cost estimates of one layer under every strategy.
+
+    All values count float parameters transmitted+received per iteration,
+    matching the units of Table 1.  ``None`` marks strategies that do not
+    apply (SFB/Adam on non-FC layers).
+    """
+
+    layer: str
+    ps_worker: float
+    ps_server: float
+    ps_server_and_worker: float
+    sfb_worker: Optional[float]
+    adam_server_max: Optional[float]
+    adam_worker: Optional[float]
+    adam_server_and_worker: Optional[float]
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """Dictionary view used by the Table 1 experiment renderer."""
+        return {
+            "ps_worker": self.ps_worker,
+            "ps_server": self.ps_server,
+            "ps_server_and_worker": self.ps_server_and_worker,
+            "sfb_worker": self.sfb_worker,
+            "adam_server_max": self.adam_server_max,
+            "adam_worker": self.adam_worker,
+            "adam_server_and_worker": self.adam_server_and_worker,
+        }
+
+
+# -- raw Table 1 formulas (parameter counts) -------------------------------------
+
+
+def ps_worker_cost(m: int, n: int) -> float:
+    """PS cost at a pure worker node: push the gradient, pull the parameters."""
+    _validate_dims(m, n)
+    return 2.0 * m * n
+
+
+def ps_server_cost(m: int, n: int, num_workers: int, num_servers: int) -> float:
+    """PS cost at a pure server node holding ``1/P2`` of the layer."""
+    _validate_dims(m, n)
+    _validate_cluster(num_workers, num_servers)
+    return 2.0 * num_workers * m * n / num_servers
+
+
+def ps_combined_cost(m: int, n: int, num_workers: int, num_servers: int) -> float:
+    """PS cost at a node that is both a worker and a server shard."""
+    _validate_dims(m, n)
+    _validate_cluster(num_workers, num_servers)
+    return 2.0 * m * n * (num_workers + num_servers - 2) / num_servers
+
+
+def sfb_worker_cost(m: int, n: int, batch_size: int, num_workers: int) -> float:
+    """SFB cost at a worker: broadcast own factors, receive everyone else's."""
+    _validate_dims(m, n)
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if num_workers < 1:
+        raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+    return 2.0 * batch_size * (num_workers - 1) * (m + n)
+
+
+def adam_server_cost(m: int, n: int, batch_size: int, num_workers: int) -> float:
+    """Adam cost at the server shard owning the layer (the hotspot)."""
+    _validate_dims(m, n)
+    return num_workers * m * n + num_workers * batch_size * (m + n)
+
+
+def adam_worker_cost(m: int, n: int, batch_size: int) -> float:
+    """Adam cost at a worker: push factors, pull the full matrix."""
+    _validate_dims(m, n)
+    return batch_size * (m + n) + m * n
+
+
+def adam_combined_cost(m: int, n: int, batch_size: int, num_workers: int) -> float:
+    """Adam cost at a node that is both the owning server and a worker."""
+    _validate_dims(m, n)
+    return (num_workers - 1) * (m * n + batch_size * m + batch_size * n)
+
+
+def _validate_dims(m: int, n: int) -> None:
+    if m < 1 or n < 1:
+        raise ConfigurationError(f"matrix dims must be >= 1, got {m}x{n}")
+
+
+def _validate_cluster(num_workers: int, num_servers: int) -> None:
+    if num_workers < 1 or num_servers < 1:
+        raise ConfigurationError(
+            f"cluster sizes must be >= 1, got P1={num_workers} P2={num_servers}"
+        )
+
+
+# -- model-level cost interface ---------------------------------------------------
+
+
+class CostModel:
+    """Evaluates Table 1 for concrete layers and cluster configurations."""
+
+    def __init__(self, cluster: ClusterConfig, batch_size: int):
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.cluster = cluster
+        self.batch_size = int(batch_size)
+
+    # -- per-layer ------------------------------------------------------------
+    def estimate_layer(self, layer: LayerSpec) -> LayerCostEstimate:
+        """Cost estimates (parameter counts) of one layer under all strategies."""
+        p1 = self.cluster.num_workers
+        p2 = self.cluster.num_servers
+        k = self.batch_size
+        if layer.kind is LayerKind.FC:
+            m, n = layer.fc_dims
+        else:
+            # Non-FC layers are treated as an indecomposable parameter blob;
+            # only the dense PS path applies.  Model it as a 1 x P matrix so
+            # that the PS formulas stay exact (2 * params per worker, etc.).
+            m, n = 1, max(layer.param_count, 1)
+        estimate = LayerCostEstimate(
+            layer=layer.name,
+            ps_worker=ps_worker_cost(m, n),
+            ps_server=ps_server_cost(m, n, p1, p2),
+            ps_server_and_worker=ps_combined_cost(m, n, p1, p2),
+            sfb_worker=(
+                sfb_worker_cost(m, n, k, p1) if layer.sf_decomposable else None
+            ),
+            adam_server_max=(
+                adam_server_cost(m, n, k, p1) if layer.sf_decomposable else None
+            ),
+            adam_worker=(
+                adam_worker_cost(m, n, k) if layer.sf_decomposable else None
+            ),
+            adam_server_and_worker=(
+                adam_combined_cost(m, n, k, p1) if layer.sf_decomposable else None
+            ),
+        )
+        return estimate
+
+    def best_scheme(self, layer: LayerSpec) -> CommScheme:
+        """Algorithm 1: pick SFB for an FC layer when it beats the PS cost."""
+        if not layer.sf_decomposable or layer.kind is not LayerKind.FC:
+            return CommScheme.PS
+        m, n = layer.fc_dims
+        p1 = self.cluster.num_workers
+        p2 = self.cluster.num_servers
+        k = self.batch_size
+        if p1 == 1:
+            # A single worker never needs to communicate factors.
+            return CommScheme.PS
+        sfb = sfb_worker_cost(m, n, k, p1)
+        ps = ps_combined_cost(m, n, p1, p2)
+        return CommScheme.SFB if sfb <= ps else CommScheme.PS
+
+    # -- bytes-on-the-wire helpers ----------------------------------------------
+    def scheme_cost_params(self, layer: LayerSpec, scheme: CommScheme) -> float:
+        """Parameter count a combined server/worker node moves for ``layer``."""
+        estimate = self.estimate_layer(layer)
+        if scheme is CommScheme.PS:
+            return estimate.ps_server_and_worker
+        if scheme is CommScheme.SFB:
+            if estimate.sfb_worker is None:
+                raise ConfigurationError(
+                    f"layer {layer.name!r} is not SF-decomposable; SFB does not apply"
+                )
+            return estimate.sfb_worker
+        if scheme is CommScheme.ADAM:
+            if estimate.adam_server_and_worker is None:
+                raise ConfigurationError(
+                    f"layer {layer.name!r} is not SF-decomposable; Adam does not apply"
+                )
+            return estimate.adam_server_and_worker
+        if scheme is CommScheme.ONEBIT:
+            # 1-bit quantization shrinks the PS payload by ~32x in both
+            # directions (scales are negligible at this granularity).
+            return estimate.ps_server_and_worker / 32.0
+        raise ConfigurationError(f"unknown scheme {scheme!r}")
+
+    def scheme_cost_bytes(self, layer: LayerSpec, scheme: CommScheme) -> float:
+        """Same as :meth:`scheme_cost_params` but in bytes."""
+        return self.scheme_cost_params(layer, scheme) * units.FLOAT32_BYTES

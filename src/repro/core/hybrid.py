@@ -1,0 +1,136 @@
+"""HybComm: the hybrid communication planner.
+
+HybComm "takes into account these factors [layer type/shape/size, batch
+size, cluster size] and allows to dynamically adjust the communication
+method for different parts of a model -- it always chooses the best method
+from available ones whenever it results in fewer communication overheads"
+(Section 3.2).
+
+The planner produces one :class:`SyncDecision` per parameter layer: the
+chosen scheme, the per-node byte cost under both candidate schemes, and the
+saving.  The plan is static for a fixed cluster/batch configuration (the
+network structure is "predefined and fixed throughout training"), but a new
+plan can be computed at any time if the cluster changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.core.coordinator import Coordinator
+from repro.core.cost_model import CommScheme
+from repro.nn.spec import LayerSpec
+
+
+@dataclass(frozen=True)
+class SyncDecision:
+    """The planner's decision for one parameter layer.
+
+    Attributes:
+        layer: layer name.
+        scheme: the scheme HybComm selected.
+        ps_bytes: bytes a combined server/worker node would move under PS.
+        sfb_bytes: same under SFB (``None`` when SFB does not apply).
+        layer_param_bytes: dense size of the layer's parameters.
+    """
+
+    layer: str
+    scheme: CommScheme
+    ps_bytes: float
+    sfb_bytes: Optional[float]
+    layer_param_bytes: int
+
+    @property
+    def chosen_bytes(self) -> float:
+        """Bytes moved per node under the chosen scheme."""
+        if self.scheme is CommScheme.SFB and self.sfb_bytes is not None:
+            return self.sfb_bytes
+        return self.ps_bytes
+
+    @property
+    def savings_bytes(self) -> float:
+        """Bytes saved relative to always using the parameter server."""
+        return max(0.0, self.ps_bytes - self.chosen_bytes)
+
+
+class HybridCommPlanner:
+    """Computes per-layer scheme assignments from the coordinator's cost model."""
+
+    def __init__(self, coordinator: Coordinator):
+        self.coordinator = coordinator
+
+    def decide_layer(self, layer: LayerSpec, force_scheme: Optional[CommScheme] = None
+                     ) -> SyncDecision:
+        """Decision for a single layer (optionally forcing a scheme)."""
+        cost_model = self.coordinator.cost_model
+        ps_bytes = cost_model.scheme_cost_bytes(layer, CommScheme.PS)
+        sfb_bytes = (
+            cost_model.scheme_cost_bytes(layer, CommScheme.SFB)
+            if layer.sf_decomposable else None
+        )
+        scheme = force_scheme or self.coordinator.best_scheme(layer)
+        return SyncDecision(
+            layer=layer.name,
+            scheme=scheme,
+            ps_bytes=ps_bytes,
+            sfb_bytes=sfb_bytes,
+            layer_param_bytes=layer.param_bytes,
+        )
+
+    def plan(self, force_scheme: Optional[CommScheme] = None) -> List[SyncDecision]:
+        """Decisions for every parameter layer of the model.
+
+        Args:
+            force_scheme: bypass Algorithm 1 and force every layer onto one
+                scheme (used by the always-PS / always-SFB ablations).
+        """
+        decisions = []
+        for layer in self.coordinator.model.parameter_layers():
+            forced = force_scheme
+            if forced is CommScheme.SFB and not layer.sf_decomposable:
+                forced = CommScheme.PS
+            decisions.append(self.decide_layer(layer, force_scheme=forced))
+        return decisions
+
+    # -- aggregate views -----------------------------------------------------------
+    def bytes_per_iteration(self, decisions: Optional[List[SyncDecision]] = None
+                            ) -> Dict[str, float]:
+        """Total per-node bytes per iteration under the plan vs. pure PS."""
+        decisions = decisions if decisions is not None else self.plan()
+        hybrid_total = sum(decision.chosen_bytes for decision in decisions)
+        ps_total = sum(decision.ps_bytes for decision in decisions)
+        return {
+            "hybrid_bytes": hybrid_total,
+            "ps_bytes": ps_total,
+            "savings_bytes": ps_total - hybrid_total,
+            "savings_fraction": (
+                (ps_total - hybrid_total) / ps_total if ps_total else 0.0
+            ),
+        }
+
+    def summary(self, decisions: Optional[List[SyncDecision]] = None) -> str:
+        """Readable per-layer plan, largest layers first."""
+        decisions = decisions if decisions is not None else self.plan()
+        ordered = sorted(decisions, key=lambda d: d.layer_param_bytes, reverse=True)
+        lines = ["HybComm plan (largest layers first):"]
+        for decision in ordered[:20]:
+            sfb_txt = (
+                units.human_bytes(decision.sfb_bytes)
+                if decision.sfb_bytes is not None else "n/a"
+            )
+            lines.append(
+                f"  {decision.layer:<28s} -> {decision.scheme.value:<4s}  "
+                f"ps={units.human_bytes(decision.ps_bytes):>10s}  "
+                f"sfb={sfb_txt:>10s}"
+            )
+        if len(ordered) > 20:
+            lines.append(f"  ... and {len(ordered) - 20} smaller layers")
+        totals = self.bytes_per_iteration(decisions)
+        lines.append(
+            f"  total per node: {units.human_bytes(totals['hybrid_bytes'])} "
+            f"(pure PS {units.human_bytes(totals['ps_bytes'])}, "
+            f"saving {totals['savings_fraction'] * 100:.1f}%)"
+        )
+        return "\n".join(lines)

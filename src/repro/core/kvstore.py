@@ -1,0 +1,173 @@
+"""Fine-grained KV-store partitioning of model parameters.
+
+Poseidon "sets the size of a KV pair to a fixed small size (e.g., 2MB), so
+as to partition and distribute model parameters to server nodes as equally
+as possible, reducing the risk of Ethernet bottleneck" (Section 4.1).  This
+module implements exactly that: parameters of every layer are chopped into
+chunks of at most ``kv_pair_bytes`` and the chunks are spread across the
+server shards so that per-shard byte counts are balanced.
+
+The contrast case -- TensorFlow's coarse per-tensor placement, where a whole
+layer (e.g. VGG19's 400 MB ``fc6`` weight) lands on one server -- is also
+provided, because the paper's Figure 7/10 analysis hinges on the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro import units
+from repro.exceptions import PartitionError
+from repro.nn.spec import LayerSpec, ModelSpec
+
+
+@dataclass(frozen=True)
+class KVPair:
+    """One key-value chunk of a layer's parameters.
+
+    Attributes:
+        key: unique identifier, ``"<layer>/<chunk index>"``.
+        layer: name of the layer the chunk belongs to.
+        nbytes: chunk size in bytes.
+        shard: index of the server shard holding the chunk.
+    """
+
+    key: str
+    layer: str
+    nbytes: int
+    shard: int
+
+
+@dataclass
+class KVStorePartition:
+    """The assignment of every KV pair to a server shard."""
+
+    pairs: List[KVPair]
+    num_shards: int
+    kv_pair_bytes: int
+
+    # -- lookups -------------------------------------------------------------
+    def pairs_for_layer(self, layer: str) -> List[KVPair]:
+        """All chunks of one layer."""
+        return [pair for pair in self.pairs if pair.layer == layer]
+
+    def layer_bytes_per_shard(self, layer: str) -> Dict[int, int]:
+        """Bytes of ``layer`` held by each shard (shards with zero omitted)."""
+        result: Dict[int, int] = {}
+        for pair in self.pairs_for_layer(layer):
+            result[pair.shard] = result.get(pair.shard, 0) + pair.nbytes
+        return result
+
+    def shard_bytes(self) -> Dict[int, int]:
+        """Total bytes held by each shard."""
+        result = {shard: 0 for shard in range(self.num_shards)}
+        for pair in self.pairs:
+            result[pair.shard] += pair.nbytes
+        return result
+
+    @property
+    def total_bytes(self) -> int:
+        """Total parameter bytes across all shards."""
+        return sum(pair.nbytes for pair in self.pairs)
+
+    def imbalance(self) -> float:
+        """Max shard load divided by mean shard load (1.0 = perfectly even)."""
+        loads = list(self.shard_bytes().values())
+        mean = sum(loads) / len(loads) if loads else 0.0
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    def summary(self) -> str:
+        """Human-readable balance summary."""
+        loads = self.shard_bytes()
+        lines = [
+            f"KV store partition: {len(self.pairs)} pairs, {self.num_shards} shards, "
+            f"pair size <= {units.human_bytes(self.kv_pair_bytes)}, "
+            f"imbalance {self.imbalance():.3f}"
+        ]
+        for shard, load in sorted(loads.items()):
+            lines.append(f"  shard {shard:3d}: {units.human_bytes(load)}")
+        return "\n".join(lines)
+
+
+def partition_fine_grained(model: ModelSpec, num_shards: int,
+                           kv_pair_bytes: int = 2 * units.MB) -> KVStorePartition:
+    """Poseidon's partitioning: fixed-size KV pairs, balanced across shards.
+
+    Chunks are assigned greedily to the currently least-loaded shard, which
+    for equal-size chunks is equivalent to round-robin and keeps the maximum
+    load within one chunk of the mean.
+
+    Raises:
+        PartitionError: on invalid shard count or pair size.
+    """
+    _validate(num_shards, kv_pair_bytes)
+    loads = [0] * num_shards
+    pairs: List[KVPair] = []
+    for layer in model.parameter_layers():
+        remaining = layer.param_bytes
+        chunk_index = 0
+        while remaining > 0:
+            size = min(kv_pair_bytes, remaining)
+            shard = min(range(num_shards), key=lambda s: loads[s])
+            pairs.append(
+                KVPair(
+                    key=f"{layer.name}/{chunk_index}",
+                    layer=layer.name,
+                    nbytes=size,
+                    shard=shard,
+                )
+            )
+            loads[shard] += size
+            remaining -= size
+            chunk_index += 1
+    return KVStorePartition(pairs=pairs, num_shards=num_shards,
+                            kv_pair_bytes=kv_pair_bytes)
+
+
+def partition_coarse_grained(model: ModelSpec, num_shards: int) -> KVStorePartition:
+    """TensorFlow-style placement: one whole tensor (layer) per shard.
+
+    Layers are placed round-robin in definition order, which mirrors how
+    stock distributed TensorFlow assigns variables to parameter-server tasks
+    and reproduces the hotspot the paper observes for large FC tensors.
+    """
+    _validate(num_shards, 1)
+    pairs: List[KVPair] = []
+    for index, layer in enumerate(model.parameter_layers()):
+        shard = index % num_shards
+        pairs.append(
+            KVPair(
+                key=f"{layer.name}/0",
+                layer=layer.name,
+                nbytes=layer.param_bytes,
+                shard=shard,
+            )
+        )
+    return KVStorePartition(pairs=pairs, num_shards=num_shards,
+                            kv_pair_bytes=max((p.nbytes for p in pairs), default=0))
+
+
+def chunk_layer(layer: LayerSpec, kv_pair_bytes: int = 2 * units.MB
+                ) -> List[Tuple[str, int]]:
+    """Split one layer into ``(key, nbytes)`` chunks of at most the pair size."""
+    if kv_pair_bytes <= 0:
+        raise PartitionError(f"kv_pair_bytes must be positive, got {kv_pair_bytes}")
+    chunks: List[Tuple[str, int]] = []
+    remaining = layer.param_bytes
+    index = 0
+    while remaining > 0:
+        size = min(kv_pair_bytes, remaining)
+        chunks.append((f"{layer.name}/{index}", size))
+        remaining -= size
+        index += 1
+    return chunks
+
+
+def _validate(num_shards: int, kv_pair_bytes: int) -> None:
+    if num_shards < 1:
+        raise PartitionError(f"num_shards must be >= 1, got {num_shards}")
+    if kv_pair_bytes < 1:
+        raise PartitionError(f"kv_pair_bytes must be >= 1, got {kv_pair_bytes}")

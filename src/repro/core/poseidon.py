@@ -1,0 +1,143 @@
+"""Top-level Poseidon API.
+
+:class:`PoseidonContext` is what a user of the library instantiates: given a
+model architecture, a cluster description and training hyper-parameters, it
+wires up the coordinator, the KV-store partition and the HybComm planner,
+and exposes the resulting :class:`CommunicationPlan`.  Both the throughput
+simulator and the functional distributed trainer consume this plan, exactly
+as Caffe/TensorFlow consume Poseidon's client library in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.config import ClusterConfig, TrainingConfig
+from repro.core.coordinator import Coordinator
+from repro.core.cost_model import CommScheme
+from repro.core.hybrid import HybridCommPlanner, SyncDecision
+from repro.core.kvstore import KVStorePartition
+from repro.nn.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class CommunicationPlan:
+    """The static synchronization plan for one model on one cluster.
+
+    Attributes:
+        model_name: the planned model.
+        decisions: one :class:`SyncDecision` per parameter layer.
+        assignments: layer name -> chosen scheme (a convenience view).
+        hybrid_bytes_per_node: per-node bytes per iteration under the plan.
+        ps_bytes_per_node: per-node bytes per iteration under pure PS.
+    """
+
+    model_name: str
+    decisions: List[SyncDecision]
+    assignments: Dict[str, CommScheme]
+    hybrid_bytes_per_node: float
+    ps_bytes_per_node: float
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of PS traffic eliminated by hybrid communication."""
+        if self.ps_bytes_per_node == 0:
+            return 0.0
+        return 1.0 - self.hybrid_bytes_per_node / self.ps_bytes_per_node
+
+    @property
+    def sfb_layer_names(self) -> List[str]:
+        """Layers the plan synchronizes via sufficient-factor broadcasting."""
+        return [name for name, scheme in self.assignments.items()
+                if scheme is CommScheme.SFB]
+
+    def scheme_for(self, layer_name: str) -> CommScheme:
+        """Scheme assigned to ``layer_name``.
+
+        Raises:
+            KeyError: if the plan has no such layer.
+        """
+        return self.assignments[layer_name]
+
+
+class PoseidonContext:
+    """Poseidon's planning facade for one (model, cluster, training) triple."""
+
+    def __init__(self, model: ModelSpec, cluster: ClusterConfig,
+                 training: Optional[TrainingConfig] = None,
+                 fine_grained: bool = True,
+                 hybrid_enabled: bool = True):
+        self.model = model
+        self.cluster = cluster
+        self.training = training or TrainingConfig(
+            batch_size=model.default_batch_size)
+        self.fine_grained = bool(fine_grained)
+        self.hybrid_enabled = bool(hybrid_enabled)
+        self.coordinator = Coordinator(
+            model, cluster, self.training, fine_grained=fine_grained)
+        self.planner = HybridCommPlanner(self.coordinator)
+        self._plan: Optional[CommunicationPlan] = None
+
+    # -- planning -------------------------------------------------------------
+    @property
+    def plan(self) -> CommunicationPlan:
+        """The (lazily computed, cached) communication plan."""
+        if self._plan is None:
+            self._plan = self.build_plan()
+        return self._plan
+
+    def build_plan(self, force_scheme: Optional[CommScheme] = None
+                   ) -> CommunicationPlan:
+        """Compute a plan, optionally forcing every layer onto one scheme."""
+        if force_scheme is None and not self.hybrid_enabled:
+            force_scheme = CommScheme.PS
+        decisions = self.planner.plan(force_scheme=force_scheme)
+        totals = self.planner.bytes_per_iteration(decisions)
+        return CommunicationPlan(
+            model_name=self.model.name,
+            decisions=decisions,
+            assignments={d.layer: d.scheme for d in decisions},
+            hybrid_bytes_per_node=totals["hybrid_bytes"],
+            ps_bytes_per_node=totals["ps_bytes"],
+        )
+
+    def best_scheme(self, layer_name: str) -> CommScheme:
+        """Algorithm 1 for a single layer (the coordinator's ``BestScheme``)."""
+        return self.coordinator.best_scheme(layer_name)
+
+    @property
+    def kv_partition(self) -> KVStorePartition:
+        """The fine- (or coarse-) grained KV partition for this cluster."""
+        return self.coordinator.partition
+
+    # -- reporting ---------------------------------------------------------------
+    def bytes_per_iteration(self, scheme: Optional[CommScheme] = None) -> float:
+        """Per-node communication bytes per iteration.
+
+        Args:
+            scheme: ``None`` for the hybrid plan, otherwise force a scheme.
+        """
+        if scheme is None:
+            return self.plan.hybrid_bytes_per_node
+        decisions = self.planner.plan(force_scheme=scheme)
+        return sum(decision.chosen_bytes for decision in decisions)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the context and plan."""
+        plan = self.plan
+        lines = [
+            f"Poseidon plan for {self.model.name} on {self.cluster.num_workers} workers "
+            f"/ {self.cluster.num_servers} server shards "
+            f"({self.cluster.bandwidth_gbps:g} GbE, batch {self.training.batch_size})",
+            f"  parameters: {self.model.total_params / 1e6:.1f}M "
+            f"({self.model.fc_param_fraction * 100:.0f}% in FC layers)",
+            f"  SFB layers: {', '.join(plan.sfb_layer_names) or '(none)'}",
+            f"  per-node traffic/iteration: "
+            f"{units.human_bytes(plan.hybrid_bytes_per_node)} hybrid vs "
+            f"{units.human_bytes(plan.ps_bytes_per_node)} pure PS "
+            f"({plan.savings_fraction * 100:.1f}% saved)",
+            f"  KV partition imbalance: {self.kv_partition.imbalance():.3f}",
+        ]
+        return "\n".join(lines)

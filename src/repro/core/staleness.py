@@ -1,0 +1,150 @@
+"""Bounded-staleness (SSP) consistency.
+
+The paper focuses on bulk-synchronous execution but notes that "Poseidon's
+design can easily be applied to asynchronous or bounded-asynchronous
+consistency models [12, 8]" (Section 1).  This module provides that
+extension point: a Stale Synchronous Parallel clock in the style of
+SSPTable/Bösen — every worker advances its own clock after each iteration,
+and a worker may run ahead of the slowest worker by at most ``staleness``
+clocks before it must wait.
+
+With ``staleness = 0`` the controller degenerates to BSP (every worker waits
+for every other worker at every clock), which is the configuration all
+paper experiments use; larger bounds trade gradient freshness for straggler
+tolerance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.exceptions import TrainingError
+
+
+class SSPClock:
+    """A stale-synchronous-parallel clock shared by all workers."""
+
+    def __init__(self, num_workers: int, staleness: int = 0):
+        if num_workers < 1:
+            raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
+        if staleness < 0:
+            raise TrainingError(f"staleness must be >= 0, got {staleness}")
+        self.num_workers = int(num_workers)
+        self.staleness = int(staleness)
+        self._clocks: List[int] = [0] * self.num_workers
+        self._condition = threading.Condition()
+
+    # -- inspection ---------------------------------------------------------------
+    def clock(self, worker_id: int) -> int:
+        """Current clock of one worker."""
+        self._check_worker(worker_id)
+        with self._condition:
+            return self._clocks[worker_id]
+
+    def min_clock(self) -> int:
+        """Clock of the slowest worker (the 'global' clock)."""
+        with self._condition:
+            return min(self._clocks)
+
+    def lag(self, worker_id: int) -> int:
+        """How far ahead of the slowest worker this worker currently is."""
+        self._check_worker(worker_id)
+        with self._condition:
+            return self._clocks[worker_id] - min(self._clocks)
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of every worker's clock."""
+        with self._condition:
+            return dict(enumerate(self._clocks))
+
+    # -- protocol -------------------------------------------------------------------
+    def advance(self, worker_id: int, timeout: Optional[float] = 60.0) -> int:
+        """Finish one iteration: bump the worker's clock, then enforce the bound.
+
+        Blocks while the worker is more than ``staleness`` clocks ahead of the
+        slowest worker.  Returns the worker's new clock value.
+
+        Raises:
+            TrainingError: if the wait exceeds ``timeout`` (straggler guard).
+        """
+        self._check_worker(worker_id)
+        with self._condition:
+            self._clocks[worker_id] += 1
+            new_clock = self._clocks[worker_id]
+            self._condition.notify_all()
+
+            def _within_bound() -> bool:
+                return new_clock - min(self._clocks) <= self.staleness
+
+            if not self._condition.wait_for(_within_bound, timeout=timeout):
+                raise TrainingError(
+                    f"worker {worker_id} blocked at clock {new_clock}: slowest "
+                    f"worker is at {min(self._clocks)} with staleness bound "
+                    f"{self.staleness}"
+                )
+        return new_clock
+
+    def can_proceed(self, worker_id: int) -> bool:
+        """Whether the worker could start its next iteration without blocking."""
+        self._check_worker(worker_id)
+        with self._condition:
+            return (self._clocks[worker_id] + 1 - min(self._clocks)) <= self.staleness \
+                or self._clocks[worker_id] == min(self._clocks)
+
+    def _check_worker(self, worker_id: int) -> None:
+        if not 0 <= worker_id < self.num_workers:
+            raise TrainingError(
+                f"worker_id {worker_id} out of range [0, {self.num_workers})"
+            )
+
+
+class StalenessBoundedQueue:
+    """Per-layer update buffer with bounded version staleness.
+
+    A lightweight companion to :class:`SSPClock` for asynchronous parameter
+    serving: readers may observe parameters that are at most ``staleness``
+    versions behind the newest applied update, mirroring how an SSP parameter
+    server answers reads.
+    """
+
+    def __init__(self, staleness: int = 0):
+        if staleness < 0:
+            raise TrainingError(f"staleness must be >= 0, got {staleness}")
+        self.staleness = int(staleness)
+        self._latest_version = 0
+        self._condition = threading.Condition()
+
+    @property
+    def latest_version(self) -> int:
+        """Version of the most recent applied update."""
+        with self._condition:
+            return self._latest_version
+
+    def publish(self, version: int) -> None:
+        """Record that ``version`` has been applied to the global parameters."""
+        with self._condition:
+            if version > self._latest_version:
+                self._latest_version = version
+                self._condition.notify_all()
+
+    def wait_for_read(self, requested_version: int,
+                      timeout: Optional[float] = 60.0) -> int:
+        """Block until a read at ``requested_version`` satisfies the bound.
+
+        Returns the version the read will observe (the newest available).
+
+        Raises:
+            TrainingError: on timeout.
+        """
+        with self._condition:
+            def _fresh_enough() -> bool:
+                return self._latest_version >= requested_version - self.staleness
+
+            if not self._condition.wait_for(_fresh_enough, timeout=timeout):
+                raise TrainingError(
+                    f"read at version {requested_version} timed out; newest "
+                    f"applied update is {self._latest_version} with staleness "
+                    f"bound {self.staleness}"
+                )
+            return self._latest_version

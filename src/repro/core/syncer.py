@@ -1,0 +1,188 @@
+"""Per-layer syncers.
+
+"The client library will create a syncer for each NN layer during network
+assembling (so that each layer one-to-one maps to one syncer), accounting
+for its parameter synchronization" (Section 4.1).  A syncer owns the
+layer's communication: it moves gradients out of the layer (``Move``),
+ships them using the scheme the coordinator selected (``Send``), waits for
+the synchronized result (``Receive``) and installs it back into the layer
+(``Move`` again) -- the exact sequence of Algorithm 2's ``SYNC`` function.
+
+The functional syncers below operate on real numpy layers and the
+functional substrates in :mod:`repro.comm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.comm.adam import AdamSFServer
+from repro.comm.parameter_server import ShardedParameterServer
+from repro.comm.quantization import OneBitQuantizer, dequantize_dict, quantized_nbytes
+from repro.comm.sfb import SufficientFactorBroadcaster
+from repro.core.cost_model import CommScheme
+from repro.exceptions import TrainingError
+from repro.nn.layers.base import Layer
+from repro.nn.layers.dense import Dense
+from repro.nn.optim import SGD
+from repro.nn.sufficient_factors import factorize_dense_gradient
+
+
+@dataclass
+class SyncStats:
+    """Byte counters accumulated by one syncer."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    syncs: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total bytes in both directions."""
+        return self.bytes_sent + self.bytes_received
+
+
+class Syncer:
+    """Synchronizes one layer's parameters under a fixed scheme."""
+
+    def __init__(self, worker_id: int, layer: Layer, scheme: CommScheme,
+                 ps: Optional[ShardedParameterServer] = None,
+                 sfb: Optional[SufficientFactorBroadcaster] = None,
+                 adam: Optional[AdamSFServer] = None,
+                 local_optimizer: Optional[SGD] = None,
+                 quantizer: Optional[OneBitQuantizer] = None,
+                 aggregation: str = "mean"):
+        self.worker_id = int(worker_id)
+        self.layer = layer
+        self.scheme = CommScheme(scheme)
+        self.ps = ps
+        self.sfb = sfb
+        self.adam = adam
+        self.local_optimizer = local_optimizer
+        self.quantizer = quantizer
+        self.aggregation = aggregation
+        self.stats = SyncStats()
+        self._staged_grads: Optional[Dict[str, np.ndarray]] = None
+        self._validate_backends()
+
+    def _validate_backends(self) -> None:
+        if self.scheme in (CommScheme.PS, CommScheme.ONEBIT) and self.ps is None:
+            raise TrainingError(
+                f"syncer for {self.layer.name!r}: scheme {self.scheme} needs a parameter server"
+            )
+        if self.scheme is CommScheme.ONEBIT and self.quantizer is None:
+            raise TrainingError(
+                f"syncer for {self.layer.name!r}: 1-bit scheme needs a quantizer"
+            )
+        if self.scheme is CommScheme.SFB:
+            if self.sfb is None or self.local_optimizer is None:
+                raise TrainingError(
+                    f"syncer for {self.layer.name!r}: SFB needs a broadcaster and a local optimizer"
+                )
+            if not isinstance(self.layer, Dense):
+                raise TrainingError(
+                    f"syncer for {self.layer.name!r}: SFB applies only to Dense layers"
+                )
+        if self.scheme is CommScheme.ADAM:
+            if self.adam is None:
+                raise TrainingError(
+                    f"syncer for {self.layer.name!r}: Adam scheme needs an AdamSFServer"
+                )
+            if not isinstance(self.layer, Dense):
+                raise TrainingError(
+                    f"syncer for {self.layer.name!r}: Adam scheme applies only to Dense layers"
+                )
+
+    # -- paper API ----------------------------------------------------------------
+    def move_out(self) -> Dict[str, np.ndarray]:
+        """``Move(GPU2CPU)``: stage the layer's gradients for communication."""
+        self._staged_grads = self.layer.get_grads()
+        return self._staged_grads
+
+    def send_and_receive(self, iteration: int) -> SyncStats:
+        """``Send`` then ``Receive`` then ``Move(CPU2GPU)`` for one iteration.
+
+        Blocks until the layer's parameters reflect every worker's
+        contribution for ``iteration`` (BSP).
+        """
+        if self._staged_grads is None:
+            self.move_out()
+        handler = {
+            CommScheme.PS: self._sync_ps,
+            CommScheme.ONEBIT: self._sync_onebit,
+            CommScheme.SFB: self._sync_sfb,
+            CommScheme.ADAM: self._sync_adam,
+        }[self.scheme]
+        handler(iteration)
+        self._staged_grads = None
+        self.stats.syncs += 1
+        return self.stats
+
+    def sync(self, iteration: int) -> SyncStats:
+        """Full syncer job: Move out, Send, Receive, Move in (Algorithm 2)."""
+        self.move_out()
+        return self.send_and_receive(iteration)
+
+    # -- scheme implementations ------------------------------------------------------
+    def _sync_ps(self, iteration: int) -> None:
+        assert self.ps is not None and self._staged_grads is not None
+        sent = self.ps.push(self.worker_id, self.layer.name, self._staged_grads)
+        params = self.ps.pull(self.worker_id, self.layer.name, min_version=iteration + 1)
+        self.layer.set_params(params)
+        self.stats.bytes_sent += sent
+        self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
+
+    def _sync_onebit(self, iteration: int) -> None:
+        assert self.ps is not None and self.quantizer is not None
+        assert self._staged_grads is not None
+        quantized, dense = self.quantizer.quantize_dict(
+            self.layer.name, self._staged_grads)
+        wire_bytes = quantized_nbytes(quantized, dense)
+        lossy_grads = dequantize_dict(quantized, dense)
+        self.ps.push(self.worker_id, self.layer.name, lossy_grads, nbytes=wire_bytes)
+        params = self.ps.pull(self.worker_id, self.layer.name, min_version=iteration + 1)
+        self.layer.set_params(params)
+        self.stats.bytes_sent += wire_bytes
+        self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
+
+    def _sync_sfb(self, iteration: int) -> None:
+        assert self.sfb is not None and self.local_optimizer is not None
+        dense_layer = self.layer
+        assert isinstance(dense_layer, Dense)
+        u, v = dense_layer.sufficient_factors()
+        factors = factorize_dense_gradient(u, v)
+        extras = {"bias": dense_layer.grads["bias"]}
+        sent = self.sfb.publish(self.worker_id, self.layer.name, iteration, factors,
+                                extras=extras)
+        contributions = self.sfb.collect(self.worker_id, self.layer.name, iteration)
+        weight_grad, extra_grads = self.sfb.aggregate(
+            contributions, aggregation=self.aggregation)
+        self.local_optimizer.apply(
+            f"{self.layer.name}/weight", dense_layer.params["weight"], weight_grad)
+        if "bias" in extra_grads:
+            self.local_optimizer.apply(
+                f"{self.layer.name}/bias", dense_layer.params["bias"], extra_grads["bias"])
+        received = sum(
+            factors.nbytes + sum(int(val.nbytes) for val in extras_dict.values())
+            for wid, factors, extras_dict in contributions if wid != self.worker_id
+        )
+        self.stats.bytes_sent += sent
+        self.stats.bytes_received += received
+
+    def _sync_adam(self, iteration: int) -> None:
+        assert self.adam is not None
+        dense_layer = self.layer
+        assert isinstance(dense_layer, Dense)
+        u, v = dense_layer.sufficient_factors()
+        factors = factorize_dense_gradient(u, v)
+        extras = {"bias": dense_layer.grads["bias"]}
+        sent = self.adam.push_factors(self.worker_id, self.layer.name, factors,
+                                      extras=extras)
+        params = self.adam.pull_matrix(self.worker_id, self.layer.name,
+                                       min_version=iteration + 1)
+        self.layer.set_params(params)
+        self.stats.bytes_sent += sent
+        self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())

@@ -1,0 +1,105 @@
+"""Wait-free backpropagation (WFBP) scheduling.
+
+WFBP overlaps communication with computation by starting a layer's
+synchronization "once its gradients are generated after [its backward
+pass]", instead of waiting for the whole backward pass to finish (Section
+3.1, Algorithm 2).  Two pieces live here:
+
+* :class:`ScheduleMode` -- the vocabulary shared by the functional trainer
+  and the throughput simulator (overlapped vs. sequential synchronization).
+* :class:`WFBPScheduler` -- the client library's thread pool: syncer jobs
+  are scheduled onto it as each layer's backward pass completes, and the
+  trainer waits for all of them before starting the next iteration
+  (``wait_until(sync_count == net.num_layers)`` in Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional
+
+from repro.exceptions import TrainingError
+
+
+class ScheduleMode(str, enum.Enum):
+    """When layer synchronization may start relative to computation."""
+
+    #: Synchronize layer ``l`` as soon as its backward pass finishes
+    #: (Poseidon's wait-free backpropagation).
+    WFBP = "wfbp"
+    #: Synchronize only after the full backward pass (the vanilla PS baseline).
+    SEQUENTIAL = "sequential"
+
+
+class WFBPScheduler:
+    """A per-worker pool of synchronization threads.
+
+    In WFBP mode, jobs run on a :class:`ThreadPoolExecutor` so that the
+    caller (the worker's compute loop) can keep executing backward passes of
+    lower layers while upper layers synchronize.  In sequential mode jobs are
+    deferred and executed in submission order when :meth:`wait_all` is called,
+    which reproduces the "communication waits for computation" baseline.
+    """
+
+    def __init__(self, mode: ScheduleMode = ScheduleMode.WFBP, num_threads: int = 4):
+        if num_threads < 1:
+            raise TrainingError(f"num_threads must be >= 1, got {num_threads}")
+        self.mode = ScheduleMode(mode)
+        self.num_threads = int(num_threads)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if self.mode is ScheduleMode.WFBP:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_threads, thread_name_prefix="poseidon-sync"
+            )
+        self._futures: List[Future] = []
+        self._deferred: List[Callable[[], Any]] = []
+        self.jobs_scheduled = 0
+
+    def schedule(self, job: Callable[[], Any]) -> Optional[Future]:
+        """Queue one syncer job (Algorithm 2, line 7).
+
+        Returns the future in WFBP mode, ``None`` in sequential mode (the job
+        has merely been deferred).
+        """
+        self.jobs_scheduled += 1
+        if self.mode is ScheduleMode.WFBP:
+            assert self._executor is not None
+            future = self._executor.submit(job)
+            self._futures.append(future)
+            return future
+        self._deferred.append(job)
+        return None
+
+    def wait_all(self, timeout: Optional[float] = 120.0) -> List[Any]:
+        """Block until every scheduled job has finished; returns their results.
+
+        Raises:
+            TrainingError: if any job raised, with the original exception
+                chained.
+        """
+        results: List[Any] = []
+        if self.mode is ScheduleMode.SEQUENTIAL:
+            deferred, self._deferred = self._deferred, []
+            for job in deferred:
+                results.append(job())
+            return results
+        futures, self._futures = self._futures, []
+        for future in futures:
+            try:
+                results.append(future.result(timeout=timeout))
+            except Exception as exc:  # noqa: BLE001 - rethrown with context
+                raise TrainingError(f"syncer job failed: {exc}") from exc
+        return results
+
+    def shutdown(self) -> None:
+        """Stop the thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WFBPScheduler":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,48 @@
+"""Data-parallel dataset partitioning.
+
+Data parallelism (Section 2.1) partitions the training data across the
+worker machines; every worker draws its mini-batches from its own partition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def partition_indices(num_samples: int, num_workers: int, seed: int = 0,
+                      shuffle: bool = True) -> List[np.ndarray]:
+    """Split ``range(num_samples)`` into ``num_workers`` near-equal partitions.
+
+    Partition sizes differ by at most one sample; each index appears exactly
+    once across all partitions.
+
+    Raises:
+        ConfigurationError: if there are fewer samples than workers.
+    """
+    if num_workers < 1:
+        raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+    if num_samples < num_workers:
+        raise ConfigurationError(
+            f"cannot partition {num_samples} samples across {num_workers} workers"
+        )
+    indices = np.arange(num_samples)
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(indices)
+    return [partition.copy() for partition in np.array_split(indices, num_workers)]
+
+
+def shard_dataset(images: np.ndarray, labels: np.ndarray, num_workers: int,
+                  seed: int = 0) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Materialise per-worker ``(images, labels)`` shards."""
+    if images.shape[0] != labels.shape[0]:
+        raise ConfigurationError(
+            f"images and labels disagree on sample count: "
+            f"{images.shape[0]} vs {labels.shape[0]}"
+        )
+    partitions = partition_indices(images.shape[0], num_workers, seed=seed)
+    return [(images[part], labels[part]) for part in partitions]

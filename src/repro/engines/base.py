@@ -1,0 +1,81 @@
+"""System behaviour descriptors consumed by the throughput simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro import units
+from repro.core.wfbp import ScheduleMode
+
+
+class Partitioning(str, enum.Enum):
+    """How parameters are spread over PS shards."""
+
+    #: Poseidon's KV store: fixed-size (2 MB) pairs balanced across shards.
+    FINE = "fine"
+    #: Stock distributed TensorFlow: one whole tensor per shard.
+    COARSE = "coarse"
+
+
+class CommMode(str, enum.Enum):
+    """Which synchronization scheme(s) a system uses."""
+
+    #: Dense gradients through the parameter server for every layer.
+    PS = "ps"
+    #: Poseidon's HybComm: per-layer choice between PS and SFB (Algorithm 1).
+    HYBRID = "hybrid"
+    #: Sufficient factors pushed to the owning shard, full matrices pulled
+    #: back (Project Adam, Section 5.3).
+    ADAM = "adam"
+    #: 1-bit quantized gradients through the PS (CNTK baseline).
+    ONEBIT = "onebit"
+    #: Force SFB for every factorisable layer (ablation).
+    SFB_ONLY = "sfb"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one evaluated system.
+
+    Attributes:
+        name: label used in figures and result tables.
+        engine: ``"caffe"`` or ``"tensorflow"`` (cosmetic; behaviour is fully
+            captured by the remaining fields).
+        schedule: WFBP (overlap communication with backprop) or sequential.
+        partitioning: fine-grained KV pairs or coarse per-tensor placement.
+        comm: communication scheme selection.
+        overlap_pull: whether receiving updated parameters overlaps with the
+            backward pass (false for stock TF, which fetches at the start of
+            the next iteration, and for the vanilla Caffe+PS baseline).
+        overlap_host_copy: whether DRAM<->GPU staging copies are overlapped
+            with computation (false only for the vanilla Caffe+PS baseline,
+            which is why its single-node throughput is below plain Caffe).
+        host_copy_bandwidth_bps: effective bandwidth of non-overlapped
+            staging copies.
+    """
+
+    name: str
+    engine: str
+    schedule: ScheduleMode
+    partitioning: Partitioning
+    comm: CommMode
+    overlap_pull: bool = True
+    overlap_host_copy: bool = True
+    host_copy_bandwidth_bps: float = 16 * units.GBIT
+
+    def renamed(self, name: str) -> "SystemConfig":
+        """Copy of this system under a different display name."""
+        return replace(self, name=name)
+
+    def with_comm(self, comm: CommMode) -> "SystemConfig":
+        """Copy of this system using a different communication scheme."""
+        return replace(self, comm=comm)
+
+    def with_schedule(self, schedule: ScheduleMode) -> "SystemConfig":
+        """Copy of this system using a different synchronization schedule."""
+        return replace(self, schedule=schedule)
+
+    def with_partitioning(self, partitioning: Partitioning) -> "SystemConfig":
+        """Copy of this system using a different PS partitioning."""
+        return replace(self, partitioning=partitioning)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the Poseidon reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers embedding the library can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cluster, training or model configuration was supplied."""
+
+
+class ModelSpecError(ReproError):
+    """A model specification is malformed (e.g. inconsistent layer shapes)."""
+
+
+class CommunicationError(ReproError):
+    """A communication substrate detected a protocol violation."""
+
+
+class PartitionError(ReproError):
+    """Parameters could not be partitioned into KV pairs / shards."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TrainingError(ReproError):
+    """The functional distributed trainer failed."""
+
+
+class ShapeError(ReproError):
+    """A tensor with an unexpected shape was passed to a layer or loss."""

@@ -1,0 +1,54 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning a structured result
+object and a ``render`` function producing the text table/series the paper
+reports.  ``python -m repro.experiments.runner`` (or the installed
+``poseidon-experiments`` script) regenerates everything and prints a
+paper-vs-measured comparison.
+
+Index (see DESIGN.md for the full mapping):
+
+========  =======================================================
+table1    Analytic communication cost of PS / SFB / Adam
+table3    Model statistics
+fig5      Caffe-engine throughput scaling at 40 GbE
+fig6      TensorFlow-engine throughput scaling at 40 GbE
+fig7      GPU computation vs. stall breakdown on 8 nodes
+fig8      Throughput scaling under limited bandwidth
+fig9      ResNet-152 throughput and statistical convergence
+fig10     Per-node communication load (TF-WFBP / Adam / Poseidon)
+fig11     CIFAR-10 quick: exact sync vs. 1-bit quantization
+multigpu  Multi-GPU-per-node scaling (Section 5.1)
+ablation  Design-choice ablations (KV pair size, WFBP, HybComm)
+========  =======================================================
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for discoverability)
+    ablation,
+    fidelity,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    multigpu,
+    table1,
+    table3,
+)
+
+__all__ = [
+    "table1",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "multigpu",
+    "ablation",
+    "fidelity",
+]

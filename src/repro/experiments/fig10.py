@@ -1,0 +1,95 @@
+"""Figure 10: per-node communication load for VGG19 on 8 nodes.
+
+The paper monitors the network traffic of each machine while training VGG19
+with three strategies: TF-WFBP (dense PS with balanced KV partitioning),
+Adam (SF push / full-matrix pull, which overloads the shard owning each FC
+layer) and Poseidon (balanced and small).  The figure shows one bar per node
+in Gb per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro import units
+from repro.config import ClusterConfig
+from repro.engines import ADAM_TF, POSEIDON_TF, TF_WFBP
+from repro.engines.base import SystemConfig
+from repro.experiments.report import format_table
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.throughput import SimulationResult, simulate_system
+
+#: Systems compared in Figure 10.
+FIG10_SYSTEMS: Sequence[SystemConfig] = (TF_WFBP, ADAM_TF, POSEIDON_TF)
+
+
+@dataclass
+class TrafficResult:
+    """Per-node traffic (gigabits per iteration) for each system."""
+
+    model: str
+    num_nodes: int
+    per_node_gbits: Dict[str, List[float]] = field(default_factory=dict)
+    simulations: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def imbalance(self, system: str) -> float:
+        """Max / mean per-node traffic (1.0 = perfectly balanced)."""
+        loads = self.per_node_gbits[system]
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+    def mean_gbits(self, system: str) -> float:
+        """Mean per-node traffic of one system."""
+        loads = self.per_node_gbits[system]
+        return sum(loads) / len(loads)
+
+    def max_gbits(self, system: str) -> float:
+        """Peak per-node traffic of one system (the bursty node)."""
+        return max(self.per_node_gbits[system])
+
+
+def run_fig10(model_key: str = "vgg19", num_nodes: int = 8,
+              bandwidth_gbps: float = 40.0,
+              systems: Sequence[SystemConfig] = FIG10_SYSTEMS) -> TrafficResult:
+    """Measure per-node traffic for the three systems of Figure 10."""
+    spec = get_model_spec(model_key)
+    cluster = ClusterConfig(num_workers=num_nodes, bandwidth_gbps=bandwidth_gbps)
+    result = TrafficResult(model=spec.name, num_nodes=num_nodes)
+    for system in systems:
+        simulation = simulate_system(spec, system, cluster)
+        gbits = [
+            units.bytes_to_bits(nbytes) / units.GBIT
+            for nbytes in simulation.per_node_traffic_bytes
+        ]
+        result.per_node_gbits[system.name] = gbits
+        result.simulations[system.name] = simulation
+    return result
+
+
+def render(result: TrafficResult) -> str:
+    """Render per-node bars plus balance statistics."""
+    rows = []
+    for system, loads in result.per_node_gbits.items():
+        rows.append((
+            system,
+            result.mean_gbits(system),
+            result.max_gbits(system),
+            f"{result.imbalance(system):.2f}x",
+            " ".join(f"{load:.1f}" for load in loads),
+        ))
+    return format_table(
+        headers=["System", "Mean Gb/iter", "Max Gb/iter", "Imbalance",
+                 "Per-node Gb/iter"],
+        rows=rows,
+        title=(f"Figure 10: per-node communication load, {result.model} on "
+               f"{result.num_nodes} nodes"),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig10()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

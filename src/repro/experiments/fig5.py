@@ -1,0 +1,89 @@
+"""Figure 5: Caffe-engine throughput scaling at 40 GbE.
+
+Speedup vs. number of nodes for GoogLeNet, VGG19 and VGG19-22K under
+Caffe+PS (vanilla parameter server), Caffe+WFBP (Poseidon's client library
+with HybComm disabled) and the full Poseidon, with single-node Caffe as the
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.engines import CAFFE_PS, CAFFE_WFBP, POSEIDON_CAFFE
+from repro.engines.base import SystemConfig
+from repro.experiments.report import format_series, format_table
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.speedup import ScalingCurve, scaling_curve
+
+#: Models of Figure 5, keyed by registry name.
+FIG5_MODELS = ("googlenet", "vgg19", "vgg19-22k")
+
+#: Systems of Figure 5.
+FIG5_SYSTEMS: Sequence[SystemConfig] = (CAFFE_PS, CAFFE_WFBP, POSEIDON_CAFFE)
+
+#: Node counts on the x-axis.
+FIG5_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class ScalingFigureResult:
+    """Scaling curves of one figure: model -> system -> curve."""
+
+    figure: str
+    bandwidth_gbps: float
+    curves: Dict[str, Dict[str, ScalingCurve]] = field(default_factory=dict)
+
+    def curve(self, model: str, system: str) -> ScalingCurve:
+        """Curve for one (model, system) pair."""
+        return self.curves[model][system]
+
+    def speedup(self, model: str, system: str, nodes: int) -> float:
+        """Speedup of one system at one cluster size."""
+        return self.curve(model, system).speedup_at(nodes)
+
+
+def run_fig5(node_counts: Sequence[int] = FIG5_NODE_COUNTS,
+             models: Sequence[str] = FIG5_MODELS,
+             systems: Sequence[SystemConfig] = FIG5_SYSTEMS,
+             bandwidth_gbps: float = 40.0) -> ScalingFigureResult:
+    """Simulate every Figure 5 series."""
+    result = ScalingFigureResult(figure="fig5", bandwidth_gbps=bandwidth_gbps)
+    for model_key in models:
+        spec = get_model_spec(model_key)
+        result.curves[spec.name] = {}
+        for system in systems:
+            result.curves[spec.name][system.name] = scaling_curve(
+                spec, system, node_counts=node_counts,
+                bandwidth_gbps=bandwidth_gbps)
+    return result
+
+
+def render(result: ScalingFigureResult) -> str:
+    """Render one series per (model, system), plus a 32-node summary table."""
+    lines: List[str] = [
+        f"Figure 5: Caffe-engine speedups at {result.bandwidth_gbps:g} GbE "
+        f"(baseline: single-node Caffe)"
+    ]
+    summary_rows = []
+    for model, systems in result.curves.items():
+        for system, curve in systems.items():
+            lines.append("  " + format_series(
+                f"{model:12s} {system:18s}", curve.node_counts, curve.speedups))
+            summary_rows.append(
+                (model, system, curve.final_speedup,
+                 f"{curve.scaling_efficiency() * 100:.0f}%"))
+    lines.append("")
+    lines.append(format_table(
+        headers=["Model", "System", "Speedup @ max nodes", "Efficiency"],
+        rows=summary_rows))
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig5()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,69 @@
+"""Figure 6: TensorFlow-engine throughput scaling at 40 GbE.
+
+Speedup vs. number of nodes for Inception-V3, VGG19 and VGG19-22K under
+stock distributed TensorFlow, TF+WFBP (Poseidon's client library with dense
+PS communication) and the full Poseidon, with single-node TensorFlow as the
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engines import POSEIDON_TF, TF, TF_WFBP
+from repro.engines.base import SystemConfig
+from repro.experiments.fig5 import ScalingFigureResult
+from repro.experiments.report import format_series, format_table
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.speedup import scaling_curve
+
+#: Models of Figure 6, keyed by registry name.
+FIG6_MODELS = ("inception-v3", "vgg19", "vgg19-22k")
+
+#: Systems of Figure 6.
+FIG6_SYSTEMS: Sequence[SystemConfig] = (TF, TF_WFBP, POSEIDON_TF)
+
+#: Node counts on the x-axis.
+FIG6_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def run_fig6(node_counts: Sequence[int] = FIG6_NODE_COUNTS,
+             models: Sequence[str] = FIG6_MODELS,
+             systems: Sequence[SystemConfig] = FIG6_SYSTEMS,
+             bandwidth_gbps: float = 40.0) -> ScalingFigureResult:
+    """Simulate every Figure 6 series."""
+    result = ScalingFigureResult(figure="fig6", bandwidth_gbps=bandwidth_gbps)
+    for model_key in models:
+        spec = get_model_spec(model_key)
+        result.curves[spec.name] = {}
+        for system in systems:
+            result.curves[spec.name][system.name] = scaling_curve(
+                spec, system, node_counts=node_counts,
+                bandwidth_gbps=bandwidth_gbps)
+    return result
+
+
+def render(result: ScalingFigureResult) -> str:
+    """Render one series per (model, system), plus a 32-node summary table."""
+    lines = [
+        f"Figure 6: TensorFlow-engine speedups at {result.bandwidth_gbps:g} GbE "
+        f"(baseline: single-node TensorFlow)"
+    ]
+    summary_rows = []
+    for model, systems in result.curves.items():
+        for system, curve in systems.items():
+            lines.append("  " + format_series(
+                f"{model:12s} {system:14s}", curve.node_counts, curve.speedups))
+            summary_rows.append((model, system, curve.final_speedup))
+    lines.append("")
+    lines.append(format_table(
+        headers=["Model", "System", "Speedup @ max nodes"], rows=summary_rows))
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

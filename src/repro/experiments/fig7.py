@@ -1,0 +1,84 @@
+"""Figure 7: GPU computation vs. stall time on 8 nodes.
+
+For Inception-V3, VGG19 and VGG19-22K under TF, TF+WFBP and Poseidon, the
+paper plots the fraction of each iteration the GPU spends computing versus
+waiting for parameter synchronization.  Poseidon keeps the GPU busy almost
+all of the time; stock TensorFlow wastes a large fraction waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.config import ClusterConfig
+from repro.engines import POSEIDON_TF, TF, TF_WFBP
+from repro.engines.base import SystemConfig
+from repro.experiments.report import format_table
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.throughput import SimulationResult, simulate_system
+
+#: Models of Figure 7, keyed by registry name.
+FIG7_MODELS = ("inception-v3", "vgg19", "vgg19-22k")
+
+#: Systems of Figure 7.
+FIG7_SYSTEMS: Sequence[SystemConfig] = (TF, TF_WFBP, POSEIDON_TF)
+
+
+@dataclass
+class StallBreakdownResult:
+    """Computation/stall fractions: model -> system -> SimulationResult."""
+
+    num_nodes: int
+    bandwidth_gbps: float
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def stall_fraction(self, model: str, system: str) -> float:
+        """Stall fraction of one (model, system) pair."""
+        return self.results[model][system].gpu_stall_fraction
+
+    def busy_fraction(self, model: str, system: str) -> float:
+        """Computation fraction of one (model, system) pair."""
+        return self.results[model][system].gpu_busy_fraction
+
+
+def run_fig7(num_nodes: int = 8, bandwidth_gbps: float = 40.0,
+             models: Sequence[str] = FIG7_MODELS,
+             systems: Sequence[SystemConfig] = FIG7_SYSTEMS) -> StallBreakdownResult:
+    """Simulate the 8-node stall breakdown of Figure 7."""
+    result = StallBreakdownResult(num_nodes=num_nodes, bandwidth_gbps=bandwidth_gbps)
+    cluster = ClusterConfig(num_workers=num_nodes, bandwidth_gbps=bandwidth_gbps)
+    for model_key in models:
+        spec = get_model_spec(model_key)
+        result.results[spec.name] = {}
+        for system in systems:
+            result.results[spec.name][system.name] = simulate_system(
+                spec, system, cluster)
+    return result
+
+
+def render(result: StallBreakdownResult) -> str:
+    """Render the stall/computation percentages."""
+    rows: List[tuple] = []
+    for model, systems in result.results.items():
+        for system, sim in systems.items():
+            rows.append((
+                model,
+                system,
+                f"{sim.gpu_busy_fraction * 100:.0f}%",
+                f"{sim.gpu_stall_fraction * 100:.0f}%",
+            ))
+    return format_table(
+        headers=["Model", "System", "Computation", "Stall"],
+        rows=rows,
+        title=(f"Figure 7: GPU computation vs. stall time on {result.num_nodes} "
+               f"nodes at {result.bandwidth_gbps:g} GbE"),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig7()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,88 @@
+"""Figure 8: throughput scaling under limited bandwidth (Caffe engine).
+
+GoogLeNet is swept over 2/5/10 GbE and VGG19 / VGG19-22K over 10/20/30 GbE,
+comparing Caffe+WFBP (PS only) against the full Poseidon.  This is the
+experiment where HybComm matters most: with 10 GbE, a PS-only system loses
+half its throughput on VGG19 while Poseidon keeps scaling almost linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engines import CAFFE_WFBP, POSEIDON_CAFFE
+from repro.engines.base import SystemConfig
+from repro.experiments.report import format_series
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.speedup import ScalingCurve, scaling_curve
+
+#: (model registry key, bandwidths in GbE) pairs exactly as plotted in Figure 8.
+FIG8_SWEEPS: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
+    ("googlenet", (2.0, 5.0, 10.0)),
+    ("vgg19", (10.0, 20.0, 30.0)),
+    ("vgg19-22k", (10.0, 20.0, 30.0)),
+)
+
+#: Systems compared in Figure 8.
+FIG8_SYSTEMS: Sequence[SystemConfig] = (CAFFE_WFBP, POSEIDON_CAFFE)
+
+#: Node counts on the x-axis (Figure 8 stops at 16 nodes).
+FIG8_NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class BandwidthFigureResult:
+    """Curves keyed by model -> system -> bandwidth."""
+
+    node_counts: Sequence[int]
+    curves: Dict[str, Dict[str, Dict[float, ScalingCurve]]] = field(default_factory=dict)
+
+    def curve(self, model: str, system: str, bandwidth_gbps: float) -> ScalingCurve:
+        """Curve of one (model, system, bandwidth) combination."""
+        return self.curves[model][system][bandwidth_gbps]
+
+    def speedup(self, model: str, system: str, bandwidth_gbps: float,
+                nodes: int) -> float:
+        """Speedup at one point of the figure."""
+        return self.curve(model, system, bandwidth_gbps).speedup_at(nodes)
+
+
+def run_fig8(node_counts: Sequence[int] = FIG8_NODE_COUNTS,
+             sweeps: Sequence[Tuple[str, Sequence[float]]] = FIG8_SWEEPS,
+             systems: Sequence[SystemConfig] = FIG8_SYSTEMS) -> BandwidthFigureResult:
+    """Simulate every Figure 8 series."""
+    result = BandwidthFigureResult(node_counts=tuple(node_counts))
+    for model_key, bandwidths in sweeps:
+        spec = get_model_spec(model_key)
+        result.curves[spec.name] = {}
+        for system in systems:
+            result.curves[spec.name][system.name] = {}
+            for bandwidth in bandwidths:
+                result.curves[spec.name][system.name][bandwidth] = scaling_curve(
+                    spec, system, node_counts=node_counts,
+                    bandwidth_gbps=bandwidth)
+    return result
+
+
+def render(result: BandwidthFigureResult) -> str:
+    """Render one series per (model, system, bandwidth)."""
+    lines: List[str] = [
+        "Figure 8: throughput scaling with varying network bandwidth "
+        "(baseline: single-node Caffe)"
+    ]
+    for model, systems in result.curves.items():
+        for system, by_bandwidth in systems.items():
+            for bandwidth, curve in sorted(by_bandwidth.items()):
+                label = f"{model:12s} {system:18s} {bandwidth:4.0f} GbE"
+                lines.append("  " + format_series(
+                    label, curve.node_counts, curve.speedups))
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig8()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,109 @@
+"""Figure 9: ResNet-152 throughput scaling and statistical convergence.
+
+Panel (a): speedup vs. number of nodes for Poseidon-TensorFlow against stock
+TensorFlow.  Panel (b): top-1 error vs. epoch for 8/16/32 nodes -- Poseidon's
+synchronous training reaches the reported 0.24 error within ~90 epochs on 16
+and 32 nodes, so time-to-accuracy scales with throughput.
+
+The throughput panel uses the cluster simulator; the convergence panel uses
+the calibrated learning-curve model of
+:mod:`repro.simulation.convergence` (see DESIGN.md for the substitution
+rationale -- ImageNet-scale ResNet training is not runnable here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.engines import POSEIDON_TF, TF
+from repro.experiments.report import format_series, format_table
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.convergence import (
+    ConvergenceCurve,
+    RESNET152_FINAL_ERROR,
+    resnet152_error_curve,
+    time_to_error_hours,
+)
+from repro.simulation.speedup import ScalingCurve, scaling_curve
+
+#: Node counts of panel (a).
+FIG9_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+#: Node counts of panel (b).
+FIG9_CONVERGENCE_NODES = (8, 16, 32)
+
+
+@dataclass
+class Fig9Result:
+    """Throughput curves plus convergence curves."""
+
+    throughput: Dict[str, ScalingCurve] = field(default_factory=dict)
+    convergence: Dict[int, ConvergenceCurve] = field(default_factory=dict)
+    time_to_error_hours: Dict[int, Optional[float]] = field(default_factory=dict)
+    target_error: float = RESNET152_FINAL_ERROR
+
+    def speedup(self, system: str, nodes: int) -> float:
+        """Panel (a) speedup for one system at one cluster size."""
+        return self.throughput[system].speedup_at(nodes)
+
+    def epochs_to_target(self, nodes: int) -> Optional[float]:
+        """Panel (b): epochs needed to reach the target error."""
+        return self.convergence[nodes].epochs_to_reach(self.target_error + 0.01)
+
+
+def run_fig9(node_counts: Sequence[int] = FIG9_NODE_COUNTS,
+             convergence_nodes: Sequence[int] = FIG9_CONVERGENCE_NODES,
+             epochs: int = 120,
+             bandwidth_gbps: float = 40.0) -> Fig9Result:
+    """Simulate both panels of Figure 9."""
+    spec = get_model_spec("resnet-152")
+    result = Fig9Result()
+    for system in (POSEIDON_TF, TF):
+        result.throughput[system.name] = scaling_curve(
+            spec, system, node_counts=node_counts, bandwidth_gbps=bandwidth_gbps)
+    for nodes in convergence_nodes:
+        result.convergence[nodes] = resnet152_error_curve(nodes, epochs=epochs)
+        poseidon_curve = result.throughput[POSEIDON_TF.name]
+        try:
+            iteration_seconds = poseidon_curve.results[
+                poseidon_curve.node_counts.index(nodes)].iteration_seconds
+        except ValueError:
+            iteration_seconds = None
+        result.time_to_error_hours[nodes] = (
+            time_to_error_hours(nodes, iteration_seconds)
+            if iteration_seconds is not None else None
+        )
+    return result
+
+
+def render(result: Fig9Result) -> str:
+    """Render both panels as text."""
+    lines: List[str] = ["Figure 9(a): ResNet-152 throughput speedup"]
+    for system, curve in result.throughput.items():
+        lines.append("  " + format_series(
+            f"{system:14s}", curve.node_counts, curve.speedups))
+    lines.append("")
+    lines.append("Figure 9(b): top-1 error vs. epoch (calibrated convergence model)")
+    rows = []
+    for nodes, curve in sorted(result.convergence.items()):
+        epochs_needed = result.epochs_to_target(nodes)
+        hours = result.time_to_error_hours.get(nodes)
+        rows.append((
+            f"{nodes} nodes",
+            curve.final_error,
+            epochs_needed if epochs_needed is not None else "not reached",
+            f"{hours:.1f} h" if hours is not None else "n/a",
+        ))
+    lines.append(format_table(
+        headers=["Cluster", "Final error", "Epochs to ~0.25", "Time to accuracy"],
+        rows=rows))
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig9()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,82 @@
+"""Multi-GPU-per-node scaling (Section 5.1, "Multi-GPU Settings").
+
+Poseidon collects gradients from a node's GPUs onto a leader GPU over PCIe
+before anything touches the network; the paper reports linear scaling on 4
+local Titan X GPUs and 32x / 28x speedups for GoogLeNet / VGG19 on four AWS
+p2.8xlarge nodes (8 K80 GPUs each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import ClusterConfig, TESLA_K80
+from repro.engines import POSEIDON_CAFFE
+from repro.experiments.report import format_table
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.throughput import SimulationResult, simulate_system
+
+
+@dataclass
+class MultiGpuResult:
+    """Simulated speedups of multi-GPU configurations."""
+
+    rows: List[Tuple[str, int, int, float]] = field(default_factory=list)
+    simulations: Dict[Tuple[str, int, int], SimulationResult] = field(default_factory=dict)
+
+    def speedup(self, model: str, nodes: int, gpus_per_node: int) -> float:
+        """Speedup (vs. one GPU) of one configuration."""
+        for row_model, row_nodes, row_gpus, speedup in self.rows:
+            if (row_model, row_nodes, row_gpus) == (model, nodes, gpus_per_node):
+                return speedup
+        raise KeyError(f"no result for {model} x{nodes} nodes x{gpus_per_node} GPUs")
+
+
+def run_multigpu(models: Sequence[str] = ("googlenet", "vgg19"),
+                 bandwidth_gbps: float = 40.0) -> MultiGpuResult:
+    """Simulate the two multi-GPU settings of Section 5.1."""
+    result = MultiGpuResult()
+    configurations = (
+        # Single node, 1..4 local Titan X GPUs.
+        [(1, gpus, None) for gpus in (1, 2, 4)]
+        # Four p2.8xlarge-like nodes with 8 K80 GPUs each.
+        + [(4, 8, TESLA_K80)]
+    )
+    for model_key in models:
+        spec = get_model_spec(model_key)
+        for nodes, gpus, gpu_model in configurations:
+            cluster_kwargs = dict(num_workers=nodes, bandwidth_gbps=bandwidth_gbps,
+                                  gpus_per_node=gpus)
+            if gpu_model is not None:
+                cluster_kwargs["gpu"] = gpu_model
+            cluster = ClusterConfig(**cluster_kwargs)
+            simulation = simulate_system(spec, POSEIDON_CAFFE, cluster)
+            # Per-GPU weak scaling: total images per second over the
+            # single-GPU baseline.
+            total_gpus = nodes * gpus
+            speedup = simulation.speedup * gpus
+            result.rows.append((spec.name, nodes, gpus, speedup))
+            result.simulations[(spec.name, nodes, gpus)] = simulation
+    return result
+
+
+def render(result: MultiGpuResult) -> str:
+    """Render speedups of every configuration."""
+    rows = [
+        (model, nodes, gpus, nodes * gpus, speedup)
+        for model, nodes, gpus, speedup in result.rows
+    ]
+    return format_table(
+        headers=["Model", "Nodes", "GPUs/node", "Total GPUs", "Speedup"],
+        rows=rows,
+        title="Section 5.1: multi-GPU scaling with Poseidon (Caffe engine)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_multigpu()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,152 @@
+"""Command-line runner regenerating every table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig5 fig8  # a subset
+    python -m repro.experiments.runner --quick    # reduced problem sizes
+
+The runner prints each artefact's text rendering and, with ``--output``,
+also writes the combined report to a file (the basis of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ablation,
+    fidelity,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    multigpu,
+    table1,
+    table3,
+)
+from repro.logging_util import enable_console_logging
+
+
+def _run_table1(quick: bool) -> str:
+    return table1.render(table1.run_table1())
+
+
+def _run_table3(quick: bool) -> str:
+    return table3.render(table3.run_table3())
+
+
+def _run_fig5(quick: bool) -> str:
+    nodes = (1, 4, 16) if quick else fig5.FIG5_NODE_COUNTS
+    return fig5.render(fig5.run_fig5(node_counts=nodes))
+
+
+def _run_fig6(quick: bool) -> str:
+    nodes = (1, 4, 16) if quick else fig6.FIG6_NODE_COUNTS
+    return fig6.render(fig6.run_fig6(node_counts=nodes))
+
+
+def _run_fig7(quick: bool) -> str:
+    return fig7.render(fig7.run_fig7())
+
+
+def _run_fig8(quick: bool) -> str:
+    nodes = (1, 4, 16) if quick else fig8.FIG8_NODE_COUNTS
+    return fig8.render(fig8.run_fig8(node_counts=nodes))
+
+
+def _run_fig9(quick: bool) -> str:
+    nodes = (1, 8, 32) if quick else fig9.FIG9_NODE_COUNTS
+    return fig9.render(fig9.run_fig9(node_counts=nodes))
+
+
+def _run_fig10(quick: bool) -> str:
+    return fig10.render(fig10.run_fig10())
+
+
+def _run_fig11(quick: bool) -> str:
+    iterations = 60 if quick else 300
+    result = fig11.run_fig11(iterations=iterations,
+                             eval_every=20 if quick else 50)
+    rendering = fig11.render(result)
+    scaling = fig11.cntk_scaling()
+    lines = [rendering, "", "Section 5.3: VGG19 speedups, CNTK-1bit vs Poseidon"]
+    for system, per_nodes in scaling.items():
+        lines.append("  " + system + ": " + " ".join(
+            f"{nodes}nodes={speedup:.1f}x" for nodes, speedup in sorted(per_nodes.items())))
+    return "\n".join(lines)
+
+
+def _run_multigpu(quick: bool) -> str:
+    return multigpu.render(multigpu.run_multigpu())
+
+
+def _run_ablation(quick: bool) -> str:
+    return ablation.render(ablation.run_system_ablation())
+
+
+def _run_fidelity(quick: bool) -> str:
+    nodes = (1, 8, 16) if quick else (1, 8, 16, 32)
+    return fidelity.scaling_fidelity(node_counts=nodes).render()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "table1": _run_table1,
+    "table3": _run_table3,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "multigpu": _run_multigpu,
+    "ablation": _run_ablation,
+    "fidelity": _run_fidelity,
+}
+
+
+def run_experiments(names: Optional[List[str]] = None, quick: bool = False) -> str:
+    """Run the named experiments (all of them by default); returns the report."""
+    selected = names or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; available: {list(EXPERIMENTS)}")
+    sections: List[str] = []
+    for name in selected:
+        start = time.time()
+        rendering = EXPERIMENTS[name](quick)
+        elapsed = time.time() - start
+        header = f"=== {name} ({elapsed:.1f}s) ==="
+        sections.append(f"{header}\n{rendering}")
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the Poseidon paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset to run (default: all of {list(EXPERIMENTS)})")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced problem sizes for a fast smoke run")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+    enable_console_logging()
+    report = run_experiments(args.experiments or None, quick=args.quick)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Table 1: analytic communication cost of PS, SFB and Adam.
+
+Reproduces the worked example of Section 3.2 (a 4096x4096 FC layer, batch
+size 32, 8 workers and 8 server shards) and, more generally, evaluates the
+cost model over sweeps of the matrix shape, batch size and cluster size so
+the SFB/PS crossover can be inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.config import ClusterConfig, TrainingConfig
+from repro.core.cost_model import (
+    CommScheme,
+    adam_combined_cost,
+    adam_server_cost,
+    adam_worker_cost,
+    ps_combined_cost,
+    ps_server_cost,
+    ps_worker_cost,
+    sfb_worker_cost,
+)
+from repro.experiments import paper_reference
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Costs (millions of parameters) of one strategy for one configuration."""
+
+    method: str
+    server: float
+    worker: float
+    server_and_worker: float
+
+
+@dataclass
+class Table1Result:
+    """The rendered cost table plus the Algorithm-1 decision."""
+
+    m: int
+    n: int
+    batch_size: int
+    num_workers: int
+    num_servers: int
+    rows: List[Table1Row] = field(default_factory=list)
+    best_scheme: CommScheme = CommScheme.PS
+
+    def row(self, method: str) -> Table1Row:
+        """Look a strategy's row up by name."""
+        for entry in self.rows:
+            if entry.method == method:
+                return entry
+        raise KeyError(f"no row for method {method!r}")
+
+
+def run_table1(m: int = 4096, n: int = 4096, batch_size: int = 32,
+               num_workers: int = 8, num_servers: int = 8) -> Table1Result:
+    """Evaluate Table 1 for one FC layer configuration."""
+    to_millions = 1e-6
+    rows = [
+        Table1Row(
+            method="PS",
+            server=ps_server_cost(m, n, num_workers, num_servers) * to_millions,
+            worker=ps_worker_cost(m, n) * to_millions,
+            server_and_worker=ps_combined_cost(m, n, num_workers, num_servers) * to_millions,
+        ),
+        Table1Row(
+            method="SFB",
+            server=float("nan"),
+            worker=sfb_worker_cost(m, n, batch_size, num_workers) * to_millions,
+            server_and_worker=sfb_worker_cost(m, n, batch_size, num_workers) * to_millions,
+        ),
+        Table1Row(
+            method="Adam (max)",
+            server=adam_server_cost(m, n, batch_size, num_workers) * to_millions,
+            worker=adam_worker_cost(m, n, batch_size) * to_millions,
+            server_and_worker=adam_combined_cost(m, n, batch_size, num_workers) * to_millions,
+        ),
+    ]
+    sfb = sfb_worker_cost(m, n, batch_size, num_workers)
+    ps = ps_combined_cost(m, n, num_workers, num_servers)
+    return Table1Result(
+        m=m, n=n, batch_size=batch_size,
+        num_workers=num_workers, num_servers=num_servers,
+        rows=rows,
+        best_scheme=CommScheme.SFB if sfb <= ps else CommScheme.PS,
+    )
+
+
+def crossover_batch_size(m: int, n: int, num_workers: int, num_servers: int,
+                         max_batch: int = 4096) -> int:
+    """Smallest batch size at which PS becomes cheaper than SFB for the layer.
+
+    Returns ``max_batch + 1`` if SFB stays cheaper over the whole range.
+    """
+    for batch in range(1, max_batch + 1):
+        sfb = sfb_worker_cost(m, n, batch, num_workers)
+        ps = ps_combined_cost(m, n, num_workers, num_servers)
+        if sfb > ps:
+            return batch
+    return max_batch + 1
+
+
+def sweep_cluster_sizes(m: int = 4096, n: int = 4096, batch_size: int = 32,
+                        cluster_sizes: Sequence[int] = (2, 4, 8, 16, 32, 64)
+                        ) -> Dict[int, Table1Result]:
+    """Table 1 evaluated across cluster sizes (workers == servers)."""
+    return {
+        p: run_table1(m, n, batch_size, num_workers=p, num_servers=p)
+        for p in cluster_sizes
+    }
+
+
+def render(result: Table1Result) -> str:
+    """Render the table with the paper's worked-example comparison appended."""
+    title = (
+        f"Table 1: cost of synchronizing a {result.m}x{result.n} FC layer "
+        f"(millions of parameters; K={result.batch_size}, "
+        f"P1={result.num_workers}, P2={result.num_servers})"
+    )
+    table = format_table(
+        headers=["Method", "Server", "Worker", "Server & Worker"],
+        rows=[
+            (row.method, row.server, row.worker, row.server_and_worker)
+            for row in result.rows
+        ],
+        title=title,
+    )
+    reference = paper_reference.TABLE1_EXAMPLE
+    footer = (
+        f"\nBestScheme choice: {result.best_scheme.value.upper()}"
+        f"\nPaper worked example: PS worker {reference['ps_worker_millions']:.0f}M, "
+        f"combined {reference['ps_combined_millions']:.1f}M, "
+        f"SFB {reference['sfb_worker_millions']:.1f}M"
+    )
+    return table + footer
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_table1()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

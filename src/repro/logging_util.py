@@ -1,0 +1,38 @@
+"""Logging helpers.
+
+The library logs under the ``"repro"`` namespace.  Nothing is configured by
+default (library best practice); :func:`enable_console_logging` is a
+convenience for examples and the experiment runner.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger in the library namespace.
+
+    Args:
+        name: dotted suffix, typically ``__name__`` of the calling module.
+    """
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the library root logger.
+
+    Safe to call repeatedly; only one handler is ever installed.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

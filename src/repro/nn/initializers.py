@@ -1,0 +1,32 @@
+"""Weight initialisers for the numpy layers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Args:
+        shape: shape of the weight tensor to create.
+        fan_in: number of input units feeding the weight.
+        fan_out: number of output units the weight feeds.
+        rng: numpy random generator (callers own seeding).
+    """
+    limit = np.sqrt(6.0 / float(fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialisation, suited to ReLU networks."""
+    std = np.sqrt(2.0 / float(fan_in))
+    return (rng.standard_normal(size=shape) * std).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,20 @@
+"""Runnable numpy layers used by the functional distributed trainer."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pooling import MaxPool2D, AvgPool2D
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.dropout import Dropout
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+]

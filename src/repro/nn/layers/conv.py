@@ -1,0 +1,121 @@
+"""2-D convolution implemented with im2col.
+
+This is a correctness-oriented CPU implementation: it exists so that the
+functional distributed trainer can train real (small) convolutional networks
+-- e.g. the CIFAR-10 quick model of Figure 11 -- with exactly the gradients a
+GPU framework would compute.  Throughput of the big ImageNet models is
+handled by the simulator, not by this class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.initializers import he_normal, zeros
+from repro.nn.layers.base import Layer
+
+
+def im2col(inputs: np.ndarray, kernel: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``(B, C, H, W)`` inputs into ``(B*OH*OW, C*k*k)`` columns."""
+    batch, channels, height, width = inputs.shape
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"im2col produces empty output for input {inputs.shape} "
+            f"kernel={kernel} stride={stride} pad={pad}"
+        )
+    padded = np.pad(
+        inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    cols = np.empty(
+        (batch, channels, kernel, kernel, out_h, out_w), dtype=inputs.dtype
+    )
+    for y in range(kernel):
+        y_max = y + stride * out_h
+        for x in range(kernel):
+            x_max = x + stride * out_w
+            cols[:, :, y, x, :, :] = padded[:, :, y:y_max:stride, x:x_max:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1)
+    return cols, out_h, out_w
+
+
+def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int], kernel: int,
+           stride: int, pad: int) -> np.ndarray:
+    """Fold ``(B*OH*OW, C*k*k)`` columns back into ``(B, C, H, W)`` gradients."""
+    batch, channels, height, width = input_shape
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    cols = cols.transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad, width + 2 * pad), dtype=cols.dtype
+    )
+    for y in range(kernel):
+        y_max = y + stride * out_h
+        for x in range(kernel):
+            x_max = x + stride * out_w
+            padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, y, x, :, :]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
+class Conv2D(Layer):
+    """2-D convolution with square kernels over ``(B, C, H, W)`` inputs."""
+
+    def __init__(self, name: str, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, pad: int = 0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel = int(kernel)
+        self.stride = int(stride)
+        self.pad = int(pad)
+        fan_in = self.in_channels * self.kernel * self.kernel
+        self.params = {
+            "weight": he_normal(
+                (self.out_channels, self.in_channels, self.kernel, self.kernel),
+                fan_in=fan_in,
+                rng=rng,
+            ),
+            "bias": zeros((self.out_channels,)),
+        }
+        self.zero_grads()
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], int, int]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        self._check_input(inputs, 4)
+        if inputs.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"layer {self.name!r}: expected {self.in_channels} input channels, "
+                f"got {inputs.shape[1]}"
+            )
+        cols, out_h, out_w = im2col(inputs, self.kernel, self.stride, self.pad)
+        weight_matrix = self.params["weight"].reshape(self.out_channels, -1)
+        out = cols @ weight_matrix.T + self.params["bias"]
+        out = out.reshape(inputs.shape[0], out_h, out_w, self.out_channels)
+        out = out.transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (cols, inputs.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"layer {self.name!r}: backward called before forward(training=True)"
+            )
+        cols, input_shape, out_h, out_w = self._cache
+        self._check_input(grad_output, 4, "gradient")
+        grad_cols = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        weight_matrix = self.params["weight"].reshape(self.out_channels, -1)
+        grad_weight = grad_cols.T @ cols
+        self.grads["weight"] = grad_weight.reshape(self.params["weight"].shape)
+        self.grads["bias"] = grad_cols.sum(axis=0)
+        grad_input_cols = grad_cols @ weight_matrix
+        return col2im(grad_input_cols, input_shape, self.kernel, self.stride, self.pad)

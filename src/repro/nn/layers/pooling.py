@@ -1,0 +1,88 @@
+"""Max and average pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import im2col
+
+
+class MaxPool2D(Layer):
+    """Max pooling over square windows."""
+
+    def __init__(self, name: str, kernel: int, stride: Optional[int] = None, pad: int = 0):
+        super().__init__(name)
+        self.kernel = int(kernel)
+        self.stride = int(stride) if stride is not None else int(kernel)
+        self.pad = int(pad)
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        self._check_input(inputs, 4)
+        batch, channels, height, width = inputs.shape
+        cols, out_h, out_w = im2col(inputs, self.kernel, self.stride, self.pad)
+        cols = cols.reshape(batch * out_h * out_w, channels, self.kernel * self.kernel)
+        arg_max = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, arg_max[:, :, None], axis=2).squeeze(2)
+        out = out.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (arg_max, inputs.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"layer {self.name!r}: backward called before forward(training=True)"
+            )
+        from repro.nn.layers.conv import col2im
+
+        arg_max, input_shape, out_h, out_w = self._cache
+        batch, channels, _, _ = input_shape
+        grad = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, channels)
+        grad_cols = np.zeros(
+            (batch * out_h * out_w, channels, self.kernel * self.kernel),
+            dtype=grad_output.dtype,
+        )
+        np.put_along_axis(grad_cols, arg_max[:, :, None], grad[:, :, None], axis=2)
+        grad_cols = grad_cols.reshape(batch * out_h * out_w, -1)
+        return col2im(grad_cols, input_shape, self.kernel, self.stride, self.pad)
+
+
+class AvgPool2D(Layer):
+    """Average pooling over square windows."""
+
+    def __init__(self, name: str, kernel: int, stride: Optional[int] = None, pad: int = 0):
+        super().__init__(name)
+        self.kernel = int(kernel)
+        self.stride = int(stride) if stride is not None else int(kernel)
+        self.pad = int(pad)
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        self._check_input(inputs, 4)
+        batch, channels, height, width = inputs.shape
+        cols, out_h, out_w = im2col(inputs, self.kernel, self.stride, self.pad)
+        cols = cols.reshape(batch * out_h * out_w, channels, self.kernel * self.kernel)
+        out = cols.mean(axis=2)
+        out = out.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (inputs.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"layer {self.name!r}: backward called before forward(training=True)"
+            )
+        from repro.nn.layers.conv import col2im
+
+        input_shape, out_h, out_w = self._cache
+        batch, channels, _, _ = input_shape
+        window = self.kernel * self.kernel
+        grad = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, channels)
+        grad_cols = np.repeat(grad[:, :, None] / window, window, axis=2)
+        grad_cols = grad_cols.reshape(batch * out_h * out_w, -1)
+        return col2im(grad_cols, input_shape, self.kernel, self.stride, self.pad)

@@ -1,0 +1,67 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxCrossEntropyLoss:
+    """Softmax + cross-entropy loss with integer class labels.
+
+    The returned gradient is with respect to the *logits* and is already
+    averaged over the batch, matching the convention of Eq. (1)/(2) in the
+    paper where gradients are additive over samples and scaled by the
+    learning rate at update time.
+    """
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Compute the mean loss and the gradient w.r.t. the logits.
+
+        Args:
+            logits: ``(B, num_classes)`` raw scores.
+            labels: ``(B,)`` integer class indices.
+
+        Returns:
+            ``(loss, grad_logits)``.
+        """
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be 2-D, got shape {logits.shape}")
+        if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+            raise ShapeError(
+                f"labels must be 1-D with length {logits.shape[0]}, got {labels.shape}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ShapeError(
+                f"labels out of range [0, {logits.shape[1]}): "
+                f"min={labels.min()}, max={labels.max()}"
+            )
+        batch = logits.shape[0]
+        probs = softmax(logits)
+        log_likelihood = -np.log(probs[np.arange(batch), labels] + 1e-12)
+        loss = float(log_likelihood.mean())
+        grad = probs.copy()
+        grad[np.arange(batch), labels] -= 1.0
+        grad /= batch
+        return loss, grad
+
+    @staticmethod
+    def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 classification accuracy."""
+        predictions = logits.argmax(axis=1)
+        return float((predictions == labels).mean())
+
+    @staticmethod
+    def error_rate(logits: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 error rate (1 - accuracy), the metric plotted in Figure 11."""
+        return 1.0 - SoftmaxCrossEntropyLoss.accuracy(logits, labels)

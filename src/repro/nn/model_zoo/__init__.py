@@ -1,0 +1,50 @@
+"""Model zoo.
+
+Every network evaluated in the paper (Table 3) is available as a
+:class:`~repro.nn.spec.ModelSpec` through :func:`get_model_spec`, plus
+AlexNet (used by the Section 2.2 motivating example) and a tiny runnable MLP
+used by tests and examples.
+
+The small networks (CIFAR-10 quick, the MLP) can additionally be
+instantiated as runnable numpy :class:`~repro.nn.network.Network` objects via
+:func:`build_cifar_quick_network` / :func:`build_mlp_network` for the
+functional convergence experiments (Figure 11).
+"""
+
+from repro.nn.model_zoo.registry import (
+    MODEL_REGISTRY,
+    available_models,
+    get_model_spec,
+    register_model,
+)
+from repro.nn.model_zoo.cifar_quick import (
+    build_cifar_quick_network,
+    build_cifar_quick_small_network,
+    cifar_quick_spec,
+)
+from repro.nn.model_zoo.mlp import build_mlp_network, mlp_spec
+from repro.nn.model_zoo.alexnet import alexnet_spec
+from repro.nn.model_zoo.vgg import vgg19_spec, vgg19_22k_spec, vgg16_spec
+from repro.nn.model_zoo.googlenet import googlenet_spec
+from repro.nn.model_zoo.inception_v3 import inception_v3_spec
+from repro.nn.model_zoo.resnet import resnet50_spec, resnet152_spec
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "available_models",
+    "get_model_spec",
+    "register_model",
+    "cifar_quick_spec",
+    "build_cifar_quick_network",
+    "build_cifar_quick_small_network",
+    "mlp_spec",
+    "build_mlp_network",
+    "alexnet_spec",
+    "vgg16_spec",
+    "vgg19_spec",
+    "vgg19_22k_spec",
+    "googlenet_spec",
+    "inception_v3_spec",
+    "resnet50_spec",
+    "resnet152_spec",
+]

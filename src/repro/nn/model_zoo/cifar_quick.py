@@ -1,0 +1,106 @@
+"""CIFAR-10 quick -- the small Caffe CNN used in Figure 11.
+
+Architecture (Caffe's ``cifar10_quick``): three 5x5 conv/pool stages followed
+by two fully-connected layers, 145.6K parameters, trained with batch size 100
+and converging to roughly 73% accuracy on CIFAR-10.
+
+Besides the :class:`ModelSpec`, this module builds a runnable numpy network
+(and a downscaled variant for fast tests) used by the functional distributed
+trainer in the convergence experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Network
+from repro.nn.spec import ModelSpec, SpecBuilder
+
+
+def cifar_quick_spec() -> ModelSpec:
+    """Layer spec of Caffe's CIFAR-10 quick network (145.6K parameters)."""
+    b = SpecBuilder("CIFAR-10 quick", input_shape=(3, 32, 32))
+    b.conv("conv1", out_channels=32, kernel=5, stride=1, pad=2)
+    b.max_pool("pool1", kernel=3, stride=2, pad=1)
+    b.relu("relu1")
+    b.conv("conv2", out_channels=32, kernel=5, stride=1, pad=2)
+    b.relu("relu2")
+    b.avg_pool("pool2", kernel=3, stride=2, pad=1)
+    b.conv("conv3", out_channels=64, kernel=5, stride=1, pad=2)
+    b.relu("relu3")
+    b.avg_pool("pool3", kernel=3, stride=2, pad=1)
+    b.flatten("flatten")
+    b.fc("ip1", 64)
+    b.fc("ip2", 10)
+    b.softmax("prob")
+    return b.build(
+        dataset="CIFAR-10",
+        default_batch_size=100,
+        reference_images_per_sec=4000.0,
+        notes="Toy CNN from Caffe; converges at ~73% accuracy on CIFAR-10.",
+    )
+
+
+def build_cifar_quick_network(seed: int = 0, num_classes: int = 10,
+                              image_size: int = 32) -> Network:
+    """Runnable numpy version of CIFAR-10 quick.
+
+    Args:
+        seed: RNG seed for weight initialisation; every worker replica must
+            use the same seed so model replicas start identical.
+        num_classes: size of the classifier output.
+        image_size: square input size; 32 reproduces the real network.
+    """
+    rng = np.random.default_rng(seed)
+    # Spatial size after three stride-2 pool stages with 3x3 windows.
+    size_after = image_size
+    for _ in range(3):
+        size_after = (size_after + 2 - 3) // 2 + 1
+    flattened = 64 * size_after * size_after
+    layers = [
+        Conv2D("conv1", in_channels=3, out_channels=32, kernel=5, stride=1, pad=2, rng=rng),
+        MaxPool2D("pool1", kernel=3, stride=2, pad=1),
+        ReLU("relu1"),
+        Conv2D("conv2", in_channels=32, out_channels=32, kernel=5, stride=1, pad=2, rng=rng),
+        ReLU("relu2"),
+        MaxPool2D("pool2", kernel=3, stride=2, pad=1),
+        Conv2D("conv3", in_channels=32, out_channels=64, kernel=5, stride=1, pad=2, rng=rng),
+        ReLU("relu3"),
+        MaxPool2D("pool3", kernel=3, stride=2, pad=1),
+        Flatten("flatten"),
+        Dense("ip1", in_features=flattened, out_features=64, rng=rng),
+        ReLU("relu_ip1"),
+        Dense("ip2", in_features=64, out_features=num_classes, rng=rng),
+    ]
+    return Network(layers, name="cifar10-quick")
+
+
+def build_cifar_quick_small_network(seed: int = 0, num_classes: int = 10,
+                                    image_size: int = 16,
+                                    rng: Optional[np.random.Generator] = None) -> Network:
+    """A downscaled CIFAR-quick (16x16 inputs, thinner convolutions).
+
+    Used by tests and quick benchmark runs where full 32x32 convolutions on
+    CPU would dominate the runtime without changing the conclusions.
+    """
+    rng = rng or np.random.default_rng(seed)
+    size_after = image_size
+    for _ in range(2):
+        size_after = (size_after + 2 - 3) // 2 + 1
+    flattened = 16 * size_after * size_after
+    layers = [
+        Conv2D("conv1", in_channels=3, out_channels=8, kernel=5, stride=1, pad=2, rng=rng),
+        MaxPool2D("pool1", kernel=3, stride=2, pad=1),
+        ReLU("relu1"),
+        Conv2D("conv2", in_channels=8, out_channels=16, kernel=5, stride=1, pad=2, rng=rng),
+        ReLU("relu2"),
+        MaxPool2D("pool2", kernel=3, stride=2, pad=1),
+        Flatten("flatten"),
+        Dense("ip1", in_features=flattened, out_features=32, rng=rng),
+        ReLU("relu_ip1"),
+        Dense("ip2", in_features=32, out_features=num_classes, rng=rng),
+    ]
+    return Network(layers, name="cifar10-quick-small")

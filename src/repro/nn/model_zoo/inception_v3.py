@@ -1,0 +1,147 @@
+"""Inception-V3.
+
+The TensorFlow-engine flagship of the paper's evaluation (Figure 6):
+Poseidon-TensorFlow reaches a 31.5x speedup on 32 nodes versus 20x for
+stock distributed TensorFlow.  The network has 27M parameters (Table 3;
+standard Inception-V3 weights plus the auxiliary classifier head).
+"""
+
+from __future__ import annotations
+
+from repro.nn.spec import ModelSpec, SpecBuilder
+
+
+def _inception_a(b: SpecBuilder, name: str, pool_features: int) -> None:
+    """35x35 module: 1x1 / 5x5 / double-3x3 / pool-proj branches."""
+    input_shape = b.current_shape
+    b.conv(f"{name}/1x1", out_channels=64, kernel=1)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/5x5_reduce", out_channels=48, kernel=1)
+    b.conv(f"{name}/5x5", out_channels=64, kernel=5, pad=2)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/3x3dbl_reduce", out_channels=64, kernel=1)
+    b.conv(f"{name}/3x3dbl_1", out_channels=96, kernel=3, pad=1)
+    b.conv(f"{name}/3x3dbl_2", out_channels=96, kernel=3, pad=1)
+    b.set_shape(input_shape)
+    b.avg_pool(f"{name}/pool", kernel=3, stride=1, pad=1)
+    b.conv(f"{name}/pool_proj", out_channels=pool_features, kernel=1)
+    b.concat_channels(f"{name}/output", (64, 64, 96, pool_features))
+
+
+def _reduction_a(b: SpecBuilder, name: str) -> None:
+    """35x35 -> 17x17 grid reduction."""
+    input_shape = b.current_shape
+    b.conv(f"{name}/3x3", out_channels=384, kernel=3, stride=2)
+    reduced_shape = b.current_shape
+    b.set_shape(input_shape)
+    b.conv(f"{name}/3x3dbl_reduce", out_channels=64, kernel=1)
+    b.conv(f"{name}/3x3dbl_1", out_channels=96, kernel=3, pad=1)
+    b.conv(f"{name}/3x3dbl_2", out_channels=96, kernel=3, stride=2)
+    b.set_shape(input_shape)
+    b.max_pool(f"{name}/pool", kernel=3, stride=2)
+    pool_channels = input_shape[0]
+    b.set_shape(reduced_shape)
+    b.concat_channels(f"{name}/output", (384, 96, pool_channels))
+
+
+def _inception_b(b: SpecBuilder, name: str, channels_7x7: int) -> None:
+    """17x17 module with factorised 7x7 convolutions."""
+    input_shape = b.current_shape
+    b.conv(f"{name}/1x1", out_channels=192, kernel=1)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/7x7_reduce", out_channels=channels_7x7, kernel=1)
+    b.conv_rect(f"{name}/1x7", out_channels=channels_7x7, kernel_h=1, kernel_w=7,
+                pad_w=3)
+    b.conv_rect(f"{name}/7x1", out_channels=192, kernel_h=7, kernel_w=1, pad_h=3)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/7x7dbl_reduce", out_channels=channels_7x7, kernel=1)
+    b.conv_rect(f"{name}/7x7dbl_1", out_channels=channels_7x7, kernel_h=7, kernel_w=1,
+                pad_h=3)
+    b.conv_rect(f"{name}/7x7dbl_2", out_channels=channels_7x7, kernel_h=1, kernel_w=7,
+                pad_w=3)
+    b.conv_rect(f"{name}/7x7dbl_3", out_channels=channels_7x7, kernel_h=7, kernel_w=1,
+                pad_h=3)
+    b.conv_rect(f"{name}/7x7dbl_4", out_channels=192, kernel_h=1, kernel_w=7, pad_w=3)
+    b.set_shape(input_shape)
+    b.avg_pool(f"{name}/pool", kernel=3, stride=1, pad=1)
+    b.conv(f"{name}/pool_proj", out_channels=192, kernel=1)
+    b.concat_channels(f"{name}/output", (192, 192, 192, 192))
+
+
+def _reduction_b(b: SpecBuilder, name: str) -> None:
+    """17x17 -> 8x8 grid reduction."""
+    input_shape = b.current_shape
+    b.conv(f"{name}/3x3_reduce", out_channels=192, kernel=1)
+    b.conv(f"{name}/3x3", out_channels=320, kernel=3, stride=2)
+    reduced_shape = b.current_shape
+    b.set_shape(input_shape)
+    b.conv(f"{name}/7x7x3_reduce", out_channels=192, kernel=1)
+    b.conv_rect(f"{name}/1x7", out_channels=192, kernel_h=1, kernel_w=7, pad_w=3)
+    b.conv_rect(f"{name}/7x1", out_channels=192, kernel_h=7, kernel_w=1, pad_h=3)
+    b.conv(f"{name}/3x3_2", out_channels=192, kernel=3, stride=2)
+    b.set_shape(input_shape)
+    b.max_pool(f"{name}/pool", kernel=3, stride=2)
+    pool_channels = input_shape[0]
+    b.set_shape(reduced_shape)
+    b.concat_channels(f"{name}/output", (320, 192, pool_channels))
+
+
+def _inception_c(b: SpecBuilder, name: str) -> None:
+    """8x8 module with expanded filter banks."""
+    input_shape = b.current_shape
+    b.conv(f"{name}/1x1", out_channels=320, kernel=1)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/3x3_reduce", out_channels=384, kernel=1)
+    b.conv_rect(f"{name}/1x3", out_channels=384, kernel_h=1, kernel_w=3, pad_w=1)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/3x3_reduce_b", out_channels=384, kernel=1)
+    b.conv_rect(f"{name}/3x1", out_channels=384, kernel_h=3, kernel_w=1, pad_h=1)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/3x3dbl_reduce", out_channels=448, kernel=1)
+    b.conv(f"{name}/3x3dbl_1", out_channels=384, kernel=3, pad=1)
+    b.conv_rect(f"{name}/3x3dbl_1x3", out_channels=384, kernel_h=1, kernel_w=3, pad_w=1)
+    b.set_shape(input_shape)
+    b.conv(f"{name}/3x3dbl_reduce_b", out_channels=448, kernel=1)
+    b.conv(f"{name}/3x3dbl_1_b", out_channels=384, kernel=3, pad=1)
+    b.conv_rect(f"{name}/3x3dbl_3x1", out_channels=384, kernel_h=3, kernel_w=1, pad_h=1)
+    b.set_shape(input_shape)
+    b.avg_pool(f"{name}/pool", kernel=3, stride=1, pad=1)
+    b.conv(f"{name}/pool_proj", out_channels=192, kernel=1)
+    b.concat_channels(f"{name}/output", (320, 384, 384, 384, 384, 192))
+
+
+def inception_v3_spec() -> ModelSpec:
+    """Layer spec of Inception-V3 (ILSVRC12, batch size 32)."""
+    b = SpecBuilder("Inception-V3", input_shape=(3, 299, 299))
+    b.conv("conv0/3x3_s2", out_channels=32, kernel=3, stride=2)
+    b.conv("conv1/3x3", out_channels=32, kernel=3)
+    b.conv("conv2/3x3", out_channels=64, kernel=3, pad=1)
+    b.max_pool("pool1", kernel=3, stride=2)
+    b.conv("conv3/1x1", out_channels=80, kernel=1)
+    b.conv("conv4/3x3", out_channels=192, kernel=3)
+    b.max_pool("pool2", kernel=3, stride=2)
+    _inception_a(b, "mixed_35x35x256a", pool_features=32)
+    _inception_a(b, "mixed_35x35x288a", pool_features=64)
+    _inception_a(b, "mixed_35x35x288b", pool_features=64)
+    _reduction_a(b, "mixed_17x17x768a")
+    _inception_b(b, "mixed_17x17x768b", channels_7x7=128)
+    _inception_b(b, "mixed_17x17x768c", channels_7x7=160)
+    _inception_b(b, "mixed_17x17x768d", channels_7x7=160)
+    _inception_b(b, "mixed_17x17x768e", channels_7x7=192)
+    _reduction_b(b, "mixed_8x8x1280a")
+    _inception_c(b, "mixed_8x8x2048a")
+    _inception_c(b, "mixed_8x8x2048b")
+    b.global_avg_pool("pool3")
+    b.dropout("drop")
+    b.flatten("flatten")
+    b.fc("logits", 1000)
+    b.softmax("prob")
+    return b.build(
+        dataset="ILSVRC12",
+        default_batch_size=32,
+        reference_images_per_sec=43.2,
+        notes=(
+            "Main tower without the auxiliary classifier; ~24M parameters "
+            "vs. 27M in the paper's Table 3 (which includes the aux head)."
+        ),
+    )

@@ -1,0 +1,44 @@
+"""A small multi-layer perceptron.
+
+Not part of the paper's evaluation; it exists as the cheapest runnable model
+with multiple FC layers, which makes it the workhorse of unit tests for the
+distributed runtime (every layer is sufficient-factor decomposable, so both
+PS and SFB paths get exercised).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Network
+from repro.nn.spec import ModelSpec, SpecBuilder
+
+
+def mlp_spec(input_dim: int = 64, hidden_dims: Sequence[int] = (128, 64),
+             num_classes: int = 10) -> ModelSpec:
+    """Spec of a plain MLP with the given layer widths."""
+    b = SpecBuilder("MLP", input_shape=(input_dim,))
+    for index, width in enumerate(hidden_dims, start=1):
+        b.fc(f"fc{index}", width)
+        b.relu(f"relu{index}")
+    b.fc("classifier", num_classes)
+    b.softmax("prob")
+    return b.build(dataset="synthetic", default_batch_size=32)
+
+
+def build_mlp_network(input_dim: int = 64, hidden_dims: Sequence[int] = (128, 64),
+                      num_classes: int = 10, seed: int = 0,
+                      rng: Optional[np.random.Generator] = None) -> Network:
+    """Runnable numpy MLP matching :func:`mlp_spec`."""
+    rng = rng or np.random.default_rng(seed)
+    layers = []
+    previous = input_dim
+    for index, width in enumerate(hidden_dims, start=1):
+        layers.append(Dense(f"fc{index}", in_features=previous, out_features=width, rng=rng))
+        layers.append(ReLU(f"relu{index}"))
+        previous = width
+    layers.append(Dense("classifier", in_features=previous, out_features=num_classes, rng=rng))
+    return Network(layers, name="mlp")

@@ -1,0 +1,114 @@
+"""ResNet-50 / ResNet-152.
+
+ResNet-152 (60.2M parameters) is the network used for the paper's
+statistical-performance experiment (Figure 9): Poseidon reaches the reported
+0.24 top-1 error within ~90 epochs on 16 and 32 nodes, scaling linearly in
+time-to-accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.nn.spec import ModelSpec, SpecBuilder
+
+#: Bottleneck block counts per stage for the two depths we model.
+_RESNET50_BLOCKS: Tuple[int, ...] = (3, 4, 6, 3)
+_RESNET152_BLOCKS: Tuple[int, ...] = (3, 8, 36, 3)
+
+#: (bottleneck width, output channels) for the four stages.
+_STAGE_CHANNELS: Tuple[Tuple[int, int], ...] = (
+    (64, 256),
+    (128, 512),
+    (256, 1024),
+    (512, 2048),
+)
+
+
+def _add_bottleneck(builder: SpecBuilder, name: str, width: int, out_channels: int,
+                    stride: int, project: bool) -> None:
+    """Append one bottleneck residual block (1x1 -> 3x3 -> 1x1 [+ shortcut])."""
+    input_shape = builder.current_shape
+    builder.conv(f"{name}/conv1", out_channels=width, kernel=1, stride=1, bias=False)
+    builder.batch_norm(f"{name}/bn1")
+    builder.relu(f"{name}/relu1")
+    builder.conv(f"{name}/conv2", out_channels=width, kernel=3, stride=stride, pad=1,
+                 bias=False)
+    builder.batch_norm(f"{name}/bn2")
+    builder.relu(f"{name}/relu2")
+    builder.conv(f"{name}/conv3", out_channels=out_channels, kernel=1, stride=1,
+                 bias=False)
+    builder.batch_norm(f"{name}/bn3")
+    main_shape = builder.current_shape
+    if project:
+        # Projection shortcut operates on the block input.
+        builder.set_shape(input_shape)
+        builder.conv(f"{name}/shortcut", out_channels=out_channels, kernel=1,
+                     stride=stride, bias=False)
+        builder.batch_norm(f"{name}/shortcut_bn")
+    builder.set_shape(main_shape)
+    builder.add_layer(
+        # Elementwise residual addition; parameter free.
+        _residual_add_spec(f"{name}/add", main_shape)
+    )
+    builder.relu(f"{name}/relu_out")
+
+
+def _residual_add_spec(name: str, shape: Sequence[int]):
+    from repro.nn.spec import LayerKind, LayerSpec
+
+    numel = 1
+    for dim in shape:
+        numel *= int(dim)
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.ADD,
+        flops_forward=float(numel),
+        flops_backward=float(numel),
+        output_shape=tuple(int(d) for d in shape),
+    )
+
+
+def _build_resnet(name: str, blocks_per_stage: Sequence[int], reference_ips: float,
+                  notes: str = "") -> ModelSpec:
+    b = SpecBuilder(name, input_shape=(3, 224, 224))
+    b.conv("conv1", out_channels=64, kernel=7, stride=2, pad=3, bias=False)
+    b.batch_norm("bn1")
+    b.relu("relu1")
+    b.max_pool("pool1", kernel=3, stride=2, pad=1)
+    for stage_index, (block_count, (width, out_channels)) in enumerate(
+            zip(blocks_per_stage, _STAGE_CHANNELS), start=2):
+        for block_index in range(1, block_count + 1):
+            first = block_index == 1
+            stride = 2 if (first and stage_index > 2) else 1
+            _add_bottleneck(
+                b,
+                name=f"res{stage_index}_{block_index}",
+                width=width,
+                out_channels=out_channels,
+                stride=stride,
+                project=first,
+            )
+    b.global_avg_pool("pool5")
+    b.flatten("flatten")
+    b.fc("fc1000", 1000)
+    b.softmax("prob")
+    return b.build(
+        dataset="ILSVRC12",
+        default_batch_size=32,
+        reference_images_per_sec=reference_ips,
+        notes=notes,
+    )
+
+
+def resnet50_spec() -> ModelSpec:
+    """ResNet-50 (25.6M parameters); used for ablations."""
+    return _build_resnet("ResNet-50", _RESNET50_BLOCKS, reference_ips=50.0)
+
+
+def resnet152_spec() -> ModelSpec:
+    """ResNet-152 (60.2M parameters, ILSVRC12, batch size 32)."""
+    return _build_resnet(
+        "ResNet-152", _RESNET152_BLOCKS, reference_ips=18.0,
+        notes="152-layer bottleneck ResNet used for the Figure 9 experiment.",
+    )

@@ -1,0 +1,72 @@
+"""VGG family.
+
+VGG19 (143M parameters) and VGG19-22K (229M parameters; the 1000-way
+classifier replaced by a 21841-way classifier for ImageNet22K) are the
+paper's communication-heaviest workloads: the three FC layers hold about 91%
+of the parameters while the 16 CONV layers hold about 90% of the
+computation, the exact asymmetry wait-free backpropagation exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.nn.spec import ModelSpec, SpecBuilder
+
+#: Convolution plan for VGG16/VGG19: (number of conv layers, output channels)
+#: per stage; every stage is followed by a 2x2 max-pool.
+_VGG16_STAGES: Tuple[Tuple[int, int], ...] = ((2, 64), (2, 128), (3, 256), (3, 512), (3, 512))
+_VGG19_STAGES: Tuple[Tuple[int, int], ...] = ((2, 64), (2, 128), (4, 256), (4, 512), (4, 512))
+
+
+def _build_vgg(name: str, stages: Sequence[Tuple[int, int]], num_classes: int,
+               dataset: str, batch_size: int, reference_ips: float,
+               notes: str = "") -> ModelSpec:
+    b = SpecBuilder(name, input_shape=(3, 224, 224))
+    conv_index = 0
+    for stage_index, (layer_count, channels) in enumerate(stages, start=1):
+        for within in range(1, layer_count + 1):
+            conv_index += 1
+            b.conv(f"conv{stage_index}_{within}", out_channels=channels, kernel=3,
+                   stride=1, pad=1)
+            b.relu(f"relu{stage_index}_{within}")
+        b.max_pool(f"pool{stage_index}", kernel=2, stride=2)
+    b.flatten("flatten")
+    b.fc("fc6", 4096)
+    b.relu("relu6")
+    b.dropout("drop6")
+    b.fc("fc7", 4096)
+    b.relu("relu7")
+    b.dropout("drop7")
+    b.fc("fc8", num_classes)
+    b.softmax("prob")
+    return b.build(
+        dataset=dataset,
+        default_batch_size=batch_size,
+        reference_images_per_sec=reference_ips,
+        notes=notes,
+    )
+
+
+def vgg16_spec() -> ModelSpec:
+    """VGG16 (138M parameters); not in Table 3 but useful for ablations."""
+    return _build_vgg("VGG16", _VGG16_STAGES, num_classes=1000,
+                      dataset="ILSVRC12", batch_size=32, reference_ips=40.0)
+
+
+def vgg19_spec() -> ModelSpec:
+    """VGG19 (143M parameters, ILSVRC12, batch size 32)."""
+    return _build_vgg(
+        "VGG19", _VGG19_STAGES, num_classes=1000, dataset="ILSVRC12",
+        batch_size=32, reference_ips=35.5,
+        notes="16 CONV + 3 FC layers; FC layers hold ~86% of parameters.",
+    )
+
+
+def vgg19_22k_spec() -> ModelSpec:
+    """VGG19-22K (229M parameters): VGG19 with a 21841-way classifier."""
+    return _build_vgg(
+        "VGG19-22K", _VGG19_STAGES, num_classes=21841, dataset="ImageNet22K",
+        batch_size=32, reference_ips=34.6,
+        notes="VGG19 with the 1000-way classifier replaced by a 21841-way one.",
+    )

@@ -1,0 +1,87 @@
+"""Scheme assignment for runnable networks.
+
+The coordinator's cost model (:mod:`repro.core.cost_model`) operates on
+:class:`~repro.nn.spec.LayerSpec` objects; the functional trainer operates on
+runnable :class:`~repro.nn.layers.base.Layer` objects.  This module bridges
+the two: it applies the same Algorithm-1 decision rule to the Dense layers
+of a runnable network and produces a per-layer scheme assignment the trainer
+can hand to its syncers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.cost_model import (
+    CommScheme,
+    ps_combined_cost,
+    sfb_worker_cost,
+)
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.dense import Dense
+from repro.nn.network import Network
+
+#: Synchronization modes accepted by the functional trainer.
+TRAINER_MODES = ("ps", "sfb", "hybrid", "onebit", "adam")
+
+
+@dataclass(frozen=True)
+class SchemeAssignment:
+    """Scheme chosen for every parameter layer of a runnable network."""
+
+    mode: str
+    schemes: Dict[str, CommScheme]
+
+    def scheme_for(self, layer_name: str) -> CommScheme:
+        """Scheme assigned to a layer (PS for unknown layers)."""
+        return self.schemes.get(layer_name, CommScheme.PS)
+
+    @property
+    def sfb_layers(self) -> List[str]:
+        """Layers synchronized by sufficient-factor broadcasting."""
+        return [name for name, scheme in self.schemes.items()
+                if scheme is CommScheme.SFB]
+
+
+def assign_schemes(network: Network, mode: str, num_workers: int,
+                   num_servers: int, batch_size: int) -> SchemeAssignment:
+    """Assign a communication scheme to every parameter layer.
+
+    Args:
+        network: the runnable model replica (its Dense layers expose shapes).
+        mode: one of ``"ps"``, ``"sfb"``, ``"hybrid"``, ``"onebit"``,
+            ``"adam"``.  ``"sfb"``/``"adam"`` fall back to PS for layers
+            whose gradients are not sufficient-factor decomposable.
+        num_workers: worker count (``P1``).
+        num_servers: PS shard count (``P2``).
+        batch_size: per-worker batch size (``K``).
+
+    Raises:
+        ConfigurationError: on an unknown mode.
+    """
+    if mode not in TRAINER_MODES:
+        raise ConfigurationError(
+            f"unknown trainer mode {mode!r}; expected one of {TRAINER_MODES}"
+        )
+    schemes: Dict[str, CommScheme] = {}
+    for _, layer in network.parameter_layers():
+        is_dense = isinstance(layer, Dense)
+        if mode == "ps":
+            scheme = CommScheme.PS
+        elif mode == "onebit":
+            scheme = CommScheme.ONEBIT
+        elif mode == "sfb":
+            scheme = CommScheme.SFB if is_dense else CommScheme.PS
+        elif mode == "adam":
+            scheme = CommScheme.ADAM if is_dense else CommScheme.PS
+        else:  # hybrid: Algorithm 1
+            scheme = CommScheme.PS
+            if is_dense and num_workers > 1:
+                m, n = layer.in_features, layer.out_features
+                sfb = sfb_worker_cost(m, n, batch_size, num_workers)
+                ps = ps_combined_cost(m, n, num_workers, num_servers)
+                if sfb <= ps:
+                    scheme = CommScheme.SFB
+        schemes[layer.name] = scheme
+    return SchemeAssignment(mode=mode, schemes=schemes)

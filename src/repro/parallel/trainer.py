@@ -1,0 +1,309 @@
+"""The functional distributed trainer.
+
+One thread per worker runs the loop of Algorithm 2: forward pass, backward
+pass with a per-layer hook that schedules the layer's syncer job on the
+worker's WFBP thread pool, then a wait for all syncers and a BSP barrier
+before the next iteration.  Gradients flow through the functional substrates
+of :mod:`repro.comm` exactly as they would over the network.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.adam import AdamSFServer
+from repro.comm.parameter_server import ShardedParameterServer
+from repro.comm.quantization import OneBitQuantizer
+from repro.comm.sfb import SufficientFactorBroadcaster
+from repro.config import TrainingConfig
+from repro.core.consistency import BSPController
+from repro.core.cost_model import CommScheme
+from repro.core.syncer import Syncer
+from repro.core.wfbp import ScheduleMode, WFBPScheduler
+from repro.data.samplers import BatchSampler
+from repro.exceptions import TrainingError
+from repro.nn.network import Network
+from repro.nn.optim import SGD
+from repro.parallel.schemes import SchemeAssignment, assign_schemes
+
+#: ``(iteration, worker_id) -> (images, labels)``
+BatchProvider = Callable[[int, int], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class TrainingHistory:
+    """Everything a distributed training run records."""
+
+    losses: List[float] = field(default_factory=list)
+    per_worker_losses: List[List[float]] = field(default_factory=list)
+    test_errors: List[Tuple[int, float]] = field(default_factory=list)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    iterations: int = 0
+    mode: str = ""
+    num_workers: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes across all workers and directions."""
+        return self.bytes_sent + self.bytes_received
+
+    @property
+    def final_loss(self) -> float:
+        """Mean worker loss of the last iteration."""
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_test_error(self) -> float:
+        """Most recent recorded test error (NaN if never evaluated)."""
+        return self.test_errors[-1][1] if self.test_errors else float("nan")
+
+
+class _WorkerRuntime:
+    """Per-worker state: the model replica, its syncers and its scheduler."""
+
+    def __init__(self, worker_id: int, network: Network, syncers: Dict[str, Syncer],
+                 scheduler: WFBPScheduler, sampler: Optional[BatchSampler]):
+        self.worker_id = worker_id
+        self.network = network
+        self.syncers = syncers
+        self.scheduler = scheduler
+        self.sampler = sampler
+        self.losses: List[float] = []
+
+
+class DistributedTrainer:
+    """Data-parallel BSP trainer over in-process workers.
+
+    Args:
+        network_factory: builds one model replica; must be deterministic so
+            all replicas (and the global parameter-server copy) start equal.
+        num_workers: number of worker replicas.
+        train_shards: per-worker ``(images, labels)`` partitions; may be
+            ``None`` when a ``batch_provider`` is given.
+        training: hyper-parameters.
+        mode: communication mode -- ``"ps"``, ``"sfb"``, ``"hybrid"``,
+            ``"onebit"`` or ``"adam"``.
+        schedule: WFBP (overlapped) or sequential synchronization.
+        num_servers: PS shard count used by the hybrid cost model.
+        test_data: optional held-out set for periodic evaluation.
+        eval_every: evaluate every N iterations (0 disables).
+        batch_provider: overrides shard-based sampling with an explicit
+            ``(iteration, worker) -> batch`` callable (used by equivalence
+            tests).
+        aggregation: ``"mean"`` or ``"sum"`` gradient aggregation.
+        sync_timeout: per-operation timeout guarding against deadlocks.
+    """
+
+    def __init__(self,
+                 network_factory: Callable[[], Network],
+                 num_workers: int,
+                 train_shards: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]],
+                 training: TrainingConfig,
+                 mode: str = "hybrid",
+                 schedule: ScheduleMode = ScheduleMode.WFBP,
+                 num_servers: Optional[int] = None,
+                 test_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                 eval_every: int = 0,
+                 batch_provider: Optional[BatchProvider] = None,
+                 aggregation: str = "mean",
+                 sync_timeout: float = 60.0):
+        if num_workers < 1:
+            raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
+        if train_shards is None and batch_provider is None:
+            raise TrainingError("either train_shards or batch_provider is required")
+        if train_shards is not None and len(train_shards) != num_workers:
+            raise TrainingError(
+                f"expected {num_workers} shards, got {len(train_shards)}"
+            )
+        self.num_workers = int(num_workers)
+        self.num_servers = int(num_servers) if num_servers else self.num_workers
+        self.training = training
+        self.mode = mode
+        self.schedule = ScheduleMode(schedule)
+        self.test_data = test_data
+        self.eval_every = int(eval_every)
+        self.aggregation = aggregation
+        self.sync_timeout = float(sync_timeout)
+        self._external_provider = batch_provider
+        self._train_shards = train_shards
+
+        # Build replicas (identical initial weights by construction).
+        self._replicas = [network_factory() for _ in range(self.num_workers)]
+        reference = self._replicas[0]
+        self.assignment: SchemeAssignment = assign_schemes(
+            reference, mode, self.num_workers, self.num_servers, training.batch_size)
+
+        # Global state holders, split by scheme.
+        initial_state = reference.get_state()
+        ps_layers = {
+            name: params for name, params in initial_state.items()
+            if self.assignment.scheme_for(name) in (CommScheme.PS, CommScheme.ONEBIT)
+        }
+        adam_layers = {
+            name: params for name, params in initial_state.items()
+            if self.assignment.scheme_for(name) is CommScheme.ADAM
+        }
+        self.parameter_server = ShardedParameterServer(
+            ps_layers, self.num_workers,
+            optimizer=self._make_optimizer(), aggregation=aggregation,
+        ) if ps_layers else None
+        self.adam_server = AdamSFServer(
+            adam_layers, self.num_workers,
+            optimizer=self._make_optimizer(), aggregation=aggregation,
+        ) if adam_layers else None
+        self.broadcaster = (
+            SufficientFactorBroadcaster(self.num_workers)
+            if self.assignment.sfb_layers else None
+        )
+
+        self._param_layer_names = [name for name in initial_state]
+        self.bsp = BSPController(self.num_workers, self._param_layer_names)
+        self._workers = [self._build_worker(w) for w in range(self.num_workers)]
+        self._errors: List[BaseException] = []
+        self._error_lock = threading.Lock()
+
+    # -- construction helpers ---------------------------------------------------
+    def _make_optimizer(self) -> SGD:
+        return SGD(
+            learning_rate=self.training.learning_rate,
+            momentum=self.training.momentum,
+            weight_decay=self.training.weight_decay,
+        )
+
+    def _build_worker(self, worker_id: int) -> _WorkerRuntime:
+        network = self._replicas[worker_id]
+        local_optimizer = self._make_optimizer()
+        quantizer = OneBitQuantizer()
+        syncers: Dict[str, Syncer] = {}
+        for _, layer in network.parameter_layers():
+            scheme = self.assignment.scheme_for(layer.name)
+            syncers[layer.name] = Syncer(
+                worker_id=worker_id,
+                layer=layer,
+                scheme=scheme,
+                ps=self.parameter_server,
+                sfb=self.broadcaster,
+                adam=self.adam_server,
+                local_optimizer=local_optimizer,
+                quantizer=quantizer,
+                aggregation=self.aggregation,
+            )
+        scheduler = WFBPScheduler(mode=self.schedule, num_threads=2)
+        sampler = None
+        if self._train_shards is not None:
+            shard_x, _ = self._train_shards[worker_id]
+            sampler = BatchSampler(
+                num_samples=shard_x.shape[0],
+                batch_size=self.training.batch_size,
+                seed=self.training.seed + worker_id,
+            )
+        return _WorkerRuntime(worker_id, network, syncers, scheduler, sampler)
+
+    # -- batch access ----------------------------------------------------------------
+    def _batch(self, iteration: int, worker_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._external_provider is not None:
+            return self._external_provider(iteration, worker_id)
+        assert self._train_shards is not None
+        runtime = self._workers[worker_id]
+        assert runtime.sampler is not None
+        indices = runtime.sampler.next_batch()
+        shard_x, shard_y = self._train_shards[worker_id]
+        return shard_x[indices], shard_y[indices]
+
+    # -- training ---------------------------------------------------------------------
+    def train(self, iterations: Optional[int] = None) -> TrainingHistory:
+        """Run the distributed training loop and return its history."""
+        iterations = iterations if iterations is not None else self.training.iterations
+        history = TrainingHistory(
+            mode=self.mode, num_workers=self.num_workers, iterations=iterations)
+        if iterations == 0:
+            return history
+        per_worker_losses: List[List[float]] = [[] for _ in range(self.num_workers)]
+        eval_records: List[Tuple[int, float]] = []
+
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(worker_id, iterations, per_worker_losses, eval_records),
+                name=f"worker-{worker_id}",
+                daemon=True,
+            )
+            for worker_id in range(self.num_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._errors:
+            raise TrainingError(f"distributed training failed: {self._errors[0]}") \
+                from self._errors[0]
+
+        history.per_worker_losses = per_worker_losses
+        history.losses = [
+            float(np.mean([per_worker_losses[w][t] for w in range(self.num_workers)]))
+            for t in range(iterations)
+        ]
+        history.test_errors = sorted(eval_records)
+        for runtime in self._workers:
+            for syncer in runtime.syncers.values():
+                history.bytes_sent += syncer.stats.bytes_sent
+                history.bytes_received += syncer.stats.bytes_received
+        return history
+
+    def _worker_loop(self, worker_id: int, iterations: int,
+                     per_worker_losses: List[List[float]],
+                     eval_records: List[Tuple[int, float]]) -> None:
+        runtime = self._workers[worker_id]
+        try:
+            for step in range(iterations):
+                self.bsp.reset_worker(worker_id)
+                images, labels = self._batch(step, worker_id)
+
+                def hook(_index: int, layer) -> None:
+                    if not layer.has_parameters:
+                        return
+                    syncer = runtime.syncers[layer.name]
+
+                    def job(syncer=syncer, layer_name=layer.name) -> None:
+                        syncer.sync(step)
+                        self.bsp.mark_done(worker_id, layer_name)
+
+                    runtime.scheduler.schedule(job)
+
+                loss = runtime.network.train_step(images, labels, hook=hook)
+                runtime.scheduler.wait_all(timeout=self.sync_timeout)
+                self.bsp.wait_worker(worker_id, timeout=self.sync_timeout)
+                per_worker_losses[worker_id].append(loss)
+
+                if (self.eval_every and self.test_data is not None and worker_id == 0
+                        and (step + 1) % self.eval_every == 0):
+                    _, error = runtime.network.evaluate(*self.test_data)
+                    eval_records.append((step + 1, error))
+
+                self.bsp.barrier(worker_id, timeout=self.sync_timeout)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            with self._error_lock:
+                self._errors.append(exc)
+        finally:
+            runtime.scheduler.shutdown()
+
+    # -- post-training access -------------------------------------------------------
+    def replica(self, worker_id: int) -> Network:
+        """The model replica of one worker (e.g. for evaluation)."""
+        return self._replicas[worker_id]
+
+    def replica_states_close(self, atol: float = 1e-4) -> bool:
+        """Whether all replicas hold (numerically) identical parameters."""
+        reference = self._replicas[0].get_state()
+        for replica in self._replicas[1:]:
+            state = replica.get_state()
+            for layer_name, params in reference.items():
+                for key, value in params.items():
+                    if not np.allclose(state[layer_name][key], value, atol=atol):
+                        return False
+        return True

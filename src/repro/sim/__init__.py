@@ -1,0 +1,38 @@
+"""A small process-based discrete-event simulation (DES) engine.
+
+This is the substrate the cluster/network simulator is built on.  The design
+follows the classic process-interaction style (as popularised by SimPy):
+simulation *processes* are Python generators that ``yield`` events --
+timeouts, resource requests, other processes -- and are resumed when those
+events fire.  Only the features the cluster model needs are implemented:
+
+* :class:`Environment` -- the event loop and simulated clock.
+* :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`,
+  :class:`AnyOf` -- the events processes wait on.
+* :class:`Resource` -- a FIFO server with fixed capacity (GPUs, NIC links).
+* :class:`Store` -- an unbounded FIFO queue of items (message mailboxes).
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Request, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "Request",
+    "Store",
+]

@@ -1,0 +1,292 @@
+"""Core of the discrete-event engine: environment, events and processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* when :meth:`succeed` (or :meth:`fail`) is called;
+    its callbacks run when the environment pops it from the queue, at which
+    point it is *processed*.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.value: Any = None
+        self.ok: Optional[bool] = None
+        self.triggered = False
+        self.processed = False
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiting processes will see the exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() expects an exception, got {exception!r}")
+        self.triggered = True
+        self.ok = False
+        self.value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        env.schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event that succeeds with the generator's return
+    value, so processes can wait for each other by yielding the process
+    object.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process expects a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Kick the process off at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.triggered = True
+        bootstrap.ok = True
+        env.schedule(bootstrap)
+        bootstrap.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.env)
+        wakeup.triggered = True
+        wakeup.ok = True
+        self.env.schedule(wakeup)
+        wakeup.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        # Detach from the event we were waiting on (relevant for interrupts).
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        try:
+            if self._interrupts:
+                next_event = self._generator.throw(self._interrupts.pop(0))
+            elif event.ok is False:
+                next_event = self._generator.throw(event.value)
+            else:
+                next_event = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            self.fail(interrupt)
+            return
+        except BaseException as exc:  # surface process crashes to the caller
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded a non-event: {next_event!r}"))
+            return
+        self._target = next_event
+        if next_event.processed:
+            # The event already fired; resume immediately (at the same time).
+            immediate = Event(self.env)
+            immediate.triggered = True
+            immediate.ok = next_event.ok
+            immediate.value = next_event.value
+            self.env.schedule(immediate)
+            immediate.callbacks.append(self._resume)
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every one of the given events has fired successfully."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._pending = 0
+        self._events = list(events)
+        for event in self._events:
+            if event.processed:
+                continue
+            self._pending += 1
+            event.callbacks.append(self._on_event)
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok is False:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires as soon as any one of the given events fires."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        fired = [e for e in self._events if e.processed]
+        if fired:
+            self.succeed(fired[0].value)
+            return
+        for event in self._events:
+            event.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok is False:
+            self.fail(event.value)
+        else:
+            self.succeed(event.value)
+
+
+class Environment:
+    """The simulated clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction -----------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Insert a triggered event into the queue ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def step(self) -> None:
+        """Process the next event in the queue.
+
+        Raises:
+            SimulationError: if the queue is empty.
+        """
+        if not self._queue:
+            raise SimulationError("no scheduled events left to process")
+        time, _, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError(
+                f"event scheduled in the past: {time} < {self._now}"
+            )
+        self._now = time
+        event.processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until`` seconds.
+
+        Any process that raised an exception fails silently unless something
+        was waiting on it; :meth:`run_process` is the safer entry point for
+        a single root process.
+        """
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Run a root process to completion and return (or raise) its result."""
+        process = self.process(generator)
+        self.run(until=until)
+        if not process.triggered:
+            raise SimulationError(
+                "root process did not finish before the simulation ended"
+            )
+        if process.ok is False:
+            raise process.value
+        return process.value

@@ -1,0 +1,132 @@
+"""Shared resources for the discrete-event engine: FIFO servers and stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    The request event fires when the resource grants the slot.  The holder
+    must eventually call :meth:`Resource.release` with this request.
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO resource with fixed integer capacity.
+
+    Used to model exclusive devices: a GPU executes one kernel sequence at a
+    time, a NIC direction carries one transfer at a time (FIFO serialisation
+    of a link is equivalent, in total completion time, to fair sharing when
+    the link is the bottleneck, and keeps the simulation deterministic).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.name = name
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+        # Utilisation accounting.
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    # -- bookkeeping -----------------------------------------------------------
+    def _update_busy(self) -> None:
+        if self.users and self._busy_since is None:
+            self._busy_since = self.env.now
+        elif not self.users and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the resource was busy up to ``horizon`` (or now)."""
+        horizon = self.env.now if horizon is None else horizon
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += max(0.0, min(self.env.now, horizon) - self._busy_since)
+        return busy / horizon if horizon > 0 else 0.0
+
+    # -- protocol ----------------------------------------------------------------
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires once the slot is granted."""
+        request = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            self._update_busy()
+            request.succeed()
+        else:
+            self.queue.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot.
+
+        Raises:
+            SimulationError: if the request does not hold a slot.
+        """
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+            return
+        else:
+            raise SimulationError("release() of a request that holds no slot")
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+        self._update_busy()
+
+    def occupy(self, duration: float):
+        """Process helper: request, hold for ``duration`` seconds, release."""
+        request = self.request()
+        yield request
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(request)
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Deposit an item; returns an already-fired event for uniformity."""
+        event = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+        event.succeed()
+        return event
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if one is queued)."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)

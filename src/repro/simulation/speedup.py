@@ -1,0 +1,112 @@
+"""Scaling sweeps: speedup vs. node count and vs. bandwidth.
+
+These helpers drive :func:`repro.simulation.throughput.simulate_system`
+across the node counts and bandwidths of Figures 5, 6, 8 and 9(a) and
+package the results as :class:`ScalingCurve` objects the experiment modules
+and benchmarks render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ClusterConfig
+from repro.engines.base import SystemConfig
+from repro.nn.spec import ModelSpec
+from repro.simulation.throughput import SimulationResult, simulate_system
+from repro.simulation.workload import IterationWorkload, build_workload
+
+#: Node counts used by the paper's scaling figures.
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class ScalingCurve:
+    """Speedup of one system on one model across cluster sizes."""
+
+    model_name: str
+    system_name: str
+    bandwidth_gbps: float
+    node_counts: List[int] = field(default_factory=list)
+    speedups: List[float] = field(default_factory=list)
+    results: List[SimulationResult] = field(default_factory=list)
+
+    def speedup_at(self, nodes: int) -> float:
+        """Speedup at a specific cluster size.
+
+        Raises:
+            KeyError: if that size was not simulated.
+        """
+        try:
+            return self.speedups[self.node_counts.index(nodes)]
+        except ValueError as exc:
+            raise KeyError(f"no result for {nodes} nodes") from exc
+
+    @property
+    def final_speedup(self) -> float:
+        """Speedup at the largest simulated cluster size."""
+        return self.speedups[-1] if self.speedups else 0.0
+
+    def scaling_efficiency(self, nodes: Optional[int] = None) -> float:
+        """Speedup divided by node count (1.0 = perfectly linear)."""
+        nodes = nodes if nodes is not None else (
+            self.node_counts[-1] if self.node_counts else 1)
+        return self.speedup_at(nodes) / nodes
+
+
+def single_node_reference_seconds(model: ModelSpec,
+                                  batch_size: Optional[int] = None) -> float:
+    """Calibrated single-node iteration time of the unmodified engine."""
+    workload = build_workload(model, batch_size=batch_size)
+    return workload.single_node_seconds
+
+
+def scaling_curve(model: ModelSpec, system: SystemConfig,
+                  node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                  bandwidth_gbps: float = 40.0,
+                  batch_size: Optional[int] = None,
+                  base_cluster: Optional[ClusterConfig] = None) -> ScalingCurve:
+    """Simulate ``system`` training ``model`` across ``node_counts``."""
+    workload = build_workload(model, batch_size=batch_size)
+    curve = ScalingCurve(
+        model_name=model.name,
+        system_name=system.name,
+        bandwidth_gbps=bandwidth_gbps,
+    )
+    for nodes in node_counts:
+        if base_cluster is not None:
+            cluster = base_cluster.with_workers(nodes).with_bandwidth(bandwidth_gbps)
+        else:
+            cluster = ClusterConfig(num_workers=nodes, bandwidth_gbps=bandwidth_gbps)
+        result = simulate_system(model, system, cluster, workload=workload)
+        curve.node_counts.append(nodes)
+        curve.speedups.append(result.speedup)
+        curve.results.append(result)
+    return curve
+
+
+def bandwidth_sweep(model: ModelSpec, system: SystemConfig,
+                    bandwidths_gbps: Sequence[float],
+                    node_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                    batch_size: Optional[int] = None) -> Dict[float, ScalingCurve]:
+    """Scaling curves of one system at several Ethernet bandwidths (Figure 8)."""
+    return {
+        bandwidth: scaling_curve(
+            model, system, node_counts=node_counts,
+            bandwidth_gbps=bandwidth, batch_size=batch_size)
+        for bandwidth in bandwidths_gbps
+    }
+
+
+def compare_systems(model: ModelSpec, systems: Sequence[SystemConfig],
+                    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                    bandwidth_gbps: float = 40.0,
+                    batch_size: Optional[int] = None) -> Dict[str, ScalingCurve]:
+    """Scaling curves for several systems on the same model (Figures 5/6)."""
+    return {
+        system.name: scaling_curve(
+            model, system, node_counts=node_counts,
+            bandwidth_gbps=bandwidth_gbps, batch_size=batch_size)
+        for system in systems
+    }

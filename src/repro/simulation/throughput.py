@@ -1,0 +1,371 @@
+"""Flow-level simulation of one distributed training iteration.
+
+The simulator places one worker per node (plus, optionally, colocated PS
+shards), runs every worker's GPU through forward and per-unit backward
+computation, and launches each unit's synchronization according to the
+system descriptor: immediately after the unit's backward pass (WFBP) or only
+after the full backward pass (sequential); through a fine-grained balanced
+KV store, a coarse per-tensor placement, sufficient-factor broadcasting,
+Adam's SF-push/matrix-pull, or 1-bit quantized PS.  The iteration ends when
+every worker holds every unit's fresh parameters (BSP).
+
+Network contention is modelled at each node's full-duplex NIC: uplink and
+downlink are FIFO channels of the configured bandwidth.  Scatter/gather
+traffic of the fine-grained KV store, which is spread uniformly over all
+shards, is modelled as aggregate flows against the switching fabric (see
+:mod:`repro.cluster.machine`), while per-destination traffic (coarse
+placement, Adam, SFB) uses point-to-point flows so that hotspots emerge
+naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import units
+from repro.cluster.machine import FABRIC, ClusterModel
+from repro.config import ClusterConfig
+from repro.core.cost_model import CommScheme, ps_combined_cost, sfb_worker_cost
+from repro.core.wfbp import ScheduleMode
+from repro.engines.base import CommMode, Partitioning, SystemConfig
+from repro.exceptions import SimulationError
+from repro.nn.spec import ModelSpec
+from repro.sim import Environment, Event
+from repro.simulation.workload import IterationWorkload, SyncUnit, build_workload
+
+#: Factor by which 1-bit quantization shrinks gradient payloads.
+ONEBIT_COMPRESSION = 32.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one system on one cluster configuration."""
+
+    model_name: str
+    system_name: str
+    num_workers: int
+    bandwidth_gbps: float
+    batch_size: int
+    iteration_seconds: float
+    single_node_seconds: float
+    compute_seconds: float
+    throughput_images_per_sec: float = 0.0
+    speedup: float = 0.0
+    gpu_busy_fraction: float = 0.0
+    per_node_traffic_bytes: List[float] = field(default_factory=list)
+    scheme_by_unit: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.iteration_seconds <= 0:
+            raise SimulationError("iteration time must be positive")
+        cluster_images = self.num_workers * self.batch_size
+        self.throughput_images_per_sec = cluster_images / self.iteration_seconds
+        single_node_throughput = self.batch_size / self.single_node_seconds
+        self.speedup = self.throughput_images_per_sec / single_node_throughput
+        if self.gpu_busy_fraction == 0.0:
+            self.gpu_busy_fraction = min(
+                1.0, self.compute_seconds / self.iteration_seconds)
+
+    @property
+    def gpu_stall_fraction(self) -> float:
+        """Fraction of the iteration the GPU spends waiting (Figure 7)."""
+        return max(0.0, 1.0 - self.gpu_busy_fraction)
+
+    @property
+    def mean_traffic_gbits(self) -> float:
+        """Mean per-node traffic per iteration in gigabits (Figure 10)."""
+        if not self.per_node_traffic_bytes:
+            return 0.0
+        mean_bytes = sum(self.per_node_traffic_bytes) / len(self.per_node_traffic_bytes)
+        return units.bytes_to_bits(mean_bytes) / units.GBIT
+
+    @property
+    def max_traffic_gbits(self) -> float:
+        """Largest per-node traffic per iteration in gigabits."""
+        if not self.per_node_traffic_bytes:
+            return 0.0
+        return units.bytes_to_bits(max(self.per_node_traffic_bytes)) / units.GBIT
+
+
+class _UnitSyncState:
+    """Shared per-unit synchronization bookkeeping for one iteration."""
+
+    def __init__(self, env: Environment, num_workers: int):
+        self.send_started: Event = env.event()
+        self._send_started_fired = False
+        self.send_done: Dict[int, Event] = {w: env.event() for w in range(num_workers)}
+        self.aggregated: Event = env.event()
+        self.broadcast_done: List[Event] = []
+
+    def mark_send_started(self) -> None:
+        if not self._send_started_fired:
+            self.send_started.succeed()
+            self._send_started_fired = True
+
+
+class IterationSimulator:
+    """Simulates one BSP iteration of one system on one cluster."""
+
+    def __init__(self, workload: IterationWorkload, cluster: ClusterConfig,
+                 system: SystemConfig):
+        self.workload = workload
+        self.cluster_config = cluster
+        self.system = system
+        self.env = Environment()
+        self.cluster = ClusterModel(self.env, cluster)
+        self.num_workers = cluster.num_workers
+        self.num_servers = cluster.num_servers
+        self.server_nodes = self.cluster.server_ids
+        self.schemes: Dict[str, CommScheme] = {
+            unit.name: self._decide_scheme(unit) for unit in workload.units
+        }
+        self.coarse_owner: Dict[str, int] = self._assign_coarse_owners()
+        self._unit_state: Dict[str, _UnitSyncState] = {}
+        self._backward_done: Dict[int, Event] = {}
+        self._iteration_seconds: Optional[float] = None
+
+    # -- scheme / placement decisions ---------------------------------------------
+    def _decide_scheme(self, unit: SyncUnit) -> CommScheme:
+        comm = self.system.comm
+        if comm is CommMode.PS:
+            return CommScheme.PS
+        if comm is CommMode.ONEBIT:
+            return CommScheme.ONEBIT
+        if comm is CommMode.ADAM:
+            return CommScheme.ADAM if unit.sf_eligible else CommScheme.PS
+        if comm is CommMode.SFB_ONLY:
+            return CommScheme.SFB if unit.sf_eligible else CommScheme.PS
+        # HybComm: Algorithm 1.
+        if unit.sf_eligible and unit.fc_dims is not None and self.num_workers > 1:
+            m, n = unit.fc_dims
+            sfb = sfb_worker_cost(m, n, self.workload.batch_size, self.num_workers)
+            ps = ps_combined_cost(m, n, self.num_workers, self.num_servers)
+            if sfb <= ps:
+                return CommScheme.SFB
+        return CommScheme.PS
+
+    def _assign_coarse_owners(self) -> Dict[int, int]:
+        owners: Dict[str, int] = {}
+        for index, unit in enumerate(self.workload.units):
+            owners[unit.name] = self.server_nodes[index % len(self.server_nodes)]
+        return owners
+
+    # -- byte budgets ---------------------------------------------------------------
+    def _compression(self, scheme: CommScheme) -> float:
+        return ONEBIT_COMPRESSION if scheme is CommScheme.ONEBIT else 1.0
+
+    def _fine_push_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
+        """Bytes a worker sends towards the sharded KV store (remote shards only)."""
+        remote_shards = self.num_servers - (1 if self.cluster_config.colocate_servers else 0)
+        fraction = remote_shards / self.num_servers
+        return unit.param_bytes * fraction / self._compression(scheme)
+
+    def _fine_server_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
+        """Bytes one server shard receives (and later re-sends) for this unit."""
+        remote_workers = self.num_workers - (1 if self.cluster_config.colocate_servers else 0)
+        return (unit.param_bytes * remote_workers / self.num_servers
+                / self._compression(scheme))
+
+    # -- simulation ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Simulate one iteration and return its statistics."""
+        if self._iteration_seconds is not None:
+            raise SimulationError("IterationSimulator instances are single-use")
+        for unit in self.workload.units:
+            self._unit_state[unit.name] = _UnitSyncState(self.env, self.num_workers)
+        for worker in range(self.num_workers):
+            self._backward_done[worker] = self.env.event()
+
+        worker_processes = [
+            self.env.process(self._worker_process(worker))
+            for worker in range(self.num_workers)
+        ]
+        # Server-side helpers for PS-style schemes.
+        for unit in self.workload.units:
+            scheme = self.schemes[unit.name]
+            if scheme in (CommScheme.PS, CommScheme.ONEBIT):
+                if self.system.partitioning is Partitioning.FINE:
+                    self.env.process(self._fine_server_process(unit, scheme))
+                # Coarse aggregation is driven from the per-worker send
+                # processes; see _coarse_unit_sync.
+
+        self.env.run()
+        for process in worker_processes:
+            if process.ok is False:
+                raise process.value
+        iteration_seconds = max(process.value for process in worker_processes)
+        self._iteration_seconds = iteration_seconds
+
+        busy = [machine.gpu.busy_seconds for machine in
+                (self.cluster.machine(w) for w in range(self.num_workers))]
+        gpu_busy_fraction = (sum(busy) / len(busy)) / iteration_seconds if busy else 0.0
+        traffic = [
+            self.cluster.machine(node).nic.traffic.total_bytes
+            for node in sorted(self.cluster.machines)
+        ]
+        return SimulationResult(
+            model_name=self.workload.model_name,
+            system_name=self.system.name,
+            num_workers=self.num_workers,
+            bandwidth_gbps=self.cluster_config.bandwidth_gbps,
+            batch_size=self.workload.batch_size,
+            iteration_seconds=iteration_seconds,
+            single_node_seconds=self.workload.single_node_seconds,
+            compute_seconds=self.workload.compute_seconds,
+            gpu_busy_fraction=min(1.0, gpu_busy_fraction),
+            per_node_traffic_bytes=traffic,
+            scheme_by_unit={name: scheme.value for name, scheme in self.schemes.items()},
+        )
+
+    # -- worker side --------------------------------------------------------------------
+    def _worker_process(self, worker: int):
+        machine = self.cluster.machine(worker)
+        gpu = machine.gpu
+        start = self.env.now
+        sync_processes = []
+
+        if not self.system.overlap_host_copy:
+            staging_seconds = units.transfer_seconds(
+                2 * self.workload.total_param_bytes,
+                self.system.host_copy_bandwidth_bps,
+            )
+            yield self.env.process(gpu.compute(staging_seconds))
+
+        yield self.env.process(gpu.compute(self.workload.forward_seconds))
+
+        pending_sequential = []
+        for unit in reversed(self.workload.units):
+            yield self.env.process(gpu.compute(unit.backward_seconds))
+            if self.system.schedule is ScheduleMode.WFBP:
+                sync_processes.append(
+                    self.env.process(self._unit_sync(worker, unit)))
+            else:
+                pending_sequential.append(unit)
+        if self.workload.tail_backward_seconds > 0:
+            yield self.env.process(gpu.compute(self.workload.tail_backward_seconds))
+        self._backward_done[worker].succeed()
+
+        for unit in pending_sequential:
+            sync_processes.append(self.env.process(self._unit_sync(worker, unit)))
+
+        if self.num_workers > 1 and sync_processes:
+            yield self.env.all_of(sync_processes)
+        return self.env.now - start
+
+    def _unit_sync(self, worker: int, unit: SyncUnit):
+        """Synchronize one unit at one worker under its assigned scheme."""
+        if self.num_workers == 1:
+            return
+        if self.cluster_config.gpus_per_node > 1:
+            # Local multi-GPU reduction onto the leader GPU over PCIe before
+            # anything touches the network (Section 5.1, multi-GPU setting).
+            local_bytes = unit.param_bytes * (self.cluster_config.gpus_per_node - 1)
+            yield self.env.timeout(units.transfer_seconds(
+                local_bytes, self.cluster_config.gpu.pcie_bandwidth_bps))
+        scheme = self.schemes[unit.name]
+        if scheme is CommScheme.SFB:
+            yield from self._sfb_unit_sync(worker, unit)
+        elif scheme is CommScheme.ADAM:
+            yield from self._adam_unit_sync(worker, unit)
+        elif self.system.partitioning is Partitioning.FINE:
+            yield from self._fine_unit_sync(worker, unit, scheme)
+        else:
+            yield from self._coarse_unit_sync(worker, unit, scheme)
+
+    # -- fine-grained PS (Poseidon KV store / TF+WFBP) -------------------------------------
+    def _fine_unit_sync(self, worker: int, unit: SyncUnit, scheme: CommScheme):
+        state = self._unit_state[unit.name]
+        push_bytes = self._fine_push_bytes(unit, scheme)
+        state.mark_send_started()
+        yield self.env.process(self.cluster.transfer(
+            worker, FABRIC, push_bytes, tag=f"push:{unit.name}"))
+        state.send_done[worker].succeed()
+
+        if self.system.overlap_pull:
+            yield state.aggregated
+        else:
+            yield self.env.all_of([state.aggregated, self._backward_done[worker]])
+        pull_bytes = self._fine_push_bytes(unit, scheme)
+        yield self.env.process(self.cluster.transfer(
+            FABRIC, worker, pull_bytes, tag=f"pull:{unit.name}"))
+        if state.broadcast_done:
+            yield self.env.all_of(state.broadcast_done)
+
+    def _fine_server_process(self, unit: SyncUnit, scheme: CommScheme):
+        """Server-shard side of a fine-grained PS unit: gather, apply, scatter."""
+        state = self._unit_state[unit.name]
+        yield state.send_started
+        server_bytes = self._fine_server_bytes(unit, scheme)
+        receive_processes = [
+            self.env.process(self.cluster.transfer(
+                FABRIC, node, server_bytes, tag=f"gather:{unit.name}"))
+            for node in set(self.server_nodes)
+        ]
+        yield self.env.all_of(receive_processes)
+        yield self.env.all_of(list(state.send_done.values()))
+        state.aggregated.succeed()
+        broadcast_processes = [
+            self.env.process(self.cluster.transfer(
+                node, FABRIC, server_bytes, tag=f"scatter:{unit.name}"))
+            for node in set(self.server_nodes)
+        ]
+        state.broadcast_done.extend(broadcast_processes)
+
+    # -- coarse per-tensor PS (stock TensorFlow) ---------------------------------------------
+    def _coarse_unit_sync(self, worker: int, unit: SyncUnit, scheme: CommScheme):
+        state = self._unit_state[unit.name]
+        owner = self.coarse_owner[unit.name]
+        dense_bytes = unit.param_bytes / self._compression(scheme)
+        state.mark_send_started()
+        yield self.env.process(self.cluster.transfer(
+            worker, owner, dense_bytes, tag=f"push:{unit.name}"))
+        state.send_done[worker].succeed()
+
+        gates = [self.env.all_of(list(state.send_done.values()))]
+        if not self.system.overlap_pull:
+            gates.append(self._backward_done[worker])
+        yield self.env.all_of(gates)
+        yield self.env.process(self.cluster.transfer(
+            owner, worker, dense_bytes, tag=f"pull:{unit.name}"))
+
+    # -- sufficient-factor broadcasting --------------------------------------------------------
+    def _sfb_unit_sync(self, worker: int, unit: SyncUnit):
+        sf_bytes = unit.sufficient_factor_bytes(self.workload.batch_size)
+        peers = [p for p in range(self.num_workers) if p != worker]
+        outgoing = [
+            self.env.process(self.cluster.transfer(
+                worker, peer, sf_bytes, tag=f"sfb:{unit.name}"))
+            for peer in peers
+        ]
+        state = self._unit_state[unit.name]
+        state.mark_send_started()
+        yield self.env.all_of(outgoing)
+        state.send_done[worker].succeed()
+        # The unit is synchronized at this worker once every peer's factors
+        # have arrived, i.e. once every peer has finished its own broadcast.
+        yield self.env.all_of([state.send_done[p] for p in peers])
+
+    # -- Adam: SF push to the owning shard, full matrix pull ------------------------------------
+    def _adam_unit_sync(self, worker: int, unit: SyncUnit):
+        state = self._unit_state[unit.name]
+        owner = self.coarse_owner[unit.name]
+        sf_bytes = unit.sufficient_factor_bytes(self.workload.batch_size)
+        state.mark_send_started()
+        yield self.env.process(self.cluster.transfer(
+            worker, owner, sf_bytes, tag=f"adam-push:{unit.name}"))
+        state.send_done[worker].succeed()
+
+        yield self.env.all_of(list(state.send_done.values()))
+        yield self.env.process(self.cluster.transfer(
+            owner, worker, unit.param_bytes, tag=f"adam-pull:{unit.name}"))
+
+
+def simulate_system(model: ModelSpec, system: SystemConfig, cluster: ClusterConfig,
+                    batch_size: Optional[int] = None,
+                    workload: Optional[IterationWorkload] = None) -> SimulationResult:
+    """Simulate one iteration of ``system`` training ``model`` on ``cluster``."""
+    workload = workload or build_workload(model, batch_size=batch_size,
+                                          gpu=cluster.gpu)
+    simulator = IterationSimulator(workload, cluster, system)
+    return simulator.run()

@@ -1,0 +1,216 @@
+"""Tests for the cluster model: NICs, GPUs, transfers and traffic accounting."""
+
+import pytest
+
+from repro.cluster.machine import FABRIC, ClusterModel
+from repro.config import ClusterConfig
+from repro.exceptions import SimulationError
+from repro.sim import Environment
+
+
+def make_cluster(num_workers=4, bandwidth_gbps=10.0, **kwargs):
+    env = Environment()
+    config = ClusterConfig(num_workers=num_workers, bandwidth_gbps=bandwidth_gbps,
+                           latency_seconds=0.0, network_efficiency=1.0, **kwargs)
+    return env, ClusterModel(env, config)
+
+
+class TestTopology:
+    def test_colocated_servers_reuse_worker_nodes(self):
+        _, cluster = make_cluster(num_workers=4)
+        assert cluster.server_ids == [0, 1, 2, 3]
+        assert len(cluster.machines) == 4
+
+    def test_dedicated_servers_get_extra_nodes(self):
+        env = Environment()
+        config = ClusterConfig(num_workers=4, num_servers=2, colocate_servers=False,
+                               network_efficiency=1.0)
+        cluster = ClusterModel(env, config)
+        assert cluster.server_ids == [4, 5]
+        assert len(cluster.machines) == 6
+
+    def test_unknown_machine_rejected(self):
+        _, cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            cluster.machine(99)
+
+    def test_fabric_has_no_machine(self):
+        _, cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            cluster.machine(FABRIC)
+
+
+class TestTransfers:
+    def test_transfer_time_matches_bandwidth(self):
+        env, cluster = make_cluster(bandwidth_gbps=10.0)
+
+        def proc():
+            # 1.25 GB at 10 Gb/s = 1 second.
+            yield env.process(cluster.transfer(0, 1, 1.25e9))
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(1.0, rel=1e-6)
+
+    def test_self_transfer_is_free(self):
+        env, cluster = make_cluster()
+
+        def proc():
+            yield env.process(cluster.transfer(2, 2, 1e9))
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(0.0)
+
+    def test_fabric_transfer_occupies_only_one_end(self):
+        env, cluster = make_cluster(bandwidth_gbps=10.0)
+
+        def proc():
+            yield env.process(cluster.transfer(0, FABRIC, 1.25e9))
+            return env.now
+
+        env.run_process(proc())
+        assert cluster.machine(0).nic.traffic.bytes_sent == pytest.approx(1.25e9)
+        # No receiver was charged.
+        for node in (1, 2, 3):
+            assert cluster.machine(node).nic.traffic.bytes_received == 0
+
+    def test_transfer_needs_one_real_endpoint(self):
+        env, cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            env.run_process(cluster.transfer(FABRIC, FABRIC, 100))
+
+    def test_negative_bytes_rejected(self):
+        env, cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            env.run_process(cluster.transfer(0, 1, -5))
+
+    def test_shared_uplink_serialises_flows(self):
+        env, cluster = make_cluster(bandwidth_gbps=10.0)
+        completions = []
+
+        def sender(dst):
+            yield env.process(cluster.transfer(0, dst, 1.25e9))
+            completions.append(env.now)
+
+        env.process(sender(1))
+        env.process(sender(2))
+        env.run()
+        assert sorted(completions) == pytest.approx([1.0, 2.0], rel=1e-6)
+
+    def test_different_uplinks_run_in_parallel(self):
+        env, cluster = make_cluster(bandwidth_gbps=10.0)
+        completions = []
+
+        def sender(src, dst):
+            yield env.process(cluster.transfer(src, dst, 1.25e9))
+            completions.append(env.now)
+
+        env.process(sender(0, 2))
+        env.process(sender(1, 3))
+        env.run()
+        assert completions == pytest.approx([1.0, 1.0], rel=1e-6)
+
+    def test_downlink_hotspot_serialises_incast(self):
+        """Many senders to one receiver are limited by the receiver NIC."""
+        env, cluster = make_cluster(bandwidth_gbps=10.0)
+        completions = []
+
+        def sender(src):
+            yield env.process(cluster.transfer(src, 3, 1.25e9))
+            completions.append(env.now)
+
+        for src in (0, 1, 2):
+            env.process(sender(src))
+        env.run()
+        assert max(completions) == pytest.approx(3.0, rel=1e-6)
+
+    def test_broadcast_reaches_all_destinations(self):
+        env, cluster = make_cluster(bandwidth_gbps=10.0)
+
+        def proc():
+            yield env.process(cluster.broadcast(0, [1, 2, 3], 1.25e9))
+            return env.now
+
+        finish = env.run_process(proc())
+        assert finish == pytest.approx(3.0, rel=1e-6)
+        for node in (1, 2, 3):
+            assert cluster.machine(node).nic.traffic.bytes_received == pytest.approx(1.25e9)
+
+
+class TestTrafficAccounting:
+    def test_tagged_traffic(self):
+        env, cluster = make_cluster()
+
+        def proc():
+            yield env.process(cluster.transfer(0, 1, 1000, tag="push:fc6"))
+            yield env.process(cluster.transfer(1, 0, 500, tag="pull:fc6"))
+
+        env.run_process(proc())
+        sent_tags = cluster.machine(0).nic.traffic.by_tag_sent
+        assert sent_tags["push:fc6"] == 1000
+        assert cluster.machine(0).nic.traffic.bytes_received == 500
+
+    def test_total_gigabits(self):
+        env, cluster = make_cluster()
+
+        def proc():
+            yield env.process(cluster.transfer(0, 1, 125e6))
+
+        env.run_process(proc())
+        assert cluster.machine(0).nic.traffic.total_gigabits == pytest.approx(1.0)
+
+    def test_reset_traffic(self):
+        env, cluster = make_cluster()
+
+        def proc():
+            yield env.process(cluster.transfer(0, 1, 1000))
+
+        env.run_process(proc())
+        cluster.reset_traffic()
+        assert cluster.machine(0).nic.traffic.total_bytes == 0
+
+    def test_latency_added_to_transfer(self):
+        env = Environment()
+        config = ClusterConfig(num_workers=2, bandwidth_gbps=10.0,
+                               latency_seconds=0.5, network_efficiency=1.0)
+        cluster = ClusterModel(env, config)
+
+        def proc():
+            yield env.process(cluster.transfer(0, 1, 1.25e9))
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(1.5, rel=1e-6)
+
+
+class TestGpuDevice:
+    def test_compute_busy_accounting(self):
+        env, cluster = make_cluster()
+        gpu = cluster.machine(0).gpu
+
+        def proc():
+            yield env.process(gpu.compute(0.25))
+            yield env.process(gpu.compute(0.75))
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(1.0)
+        assert gpu.busy_seconds == pytest.approx(1.0)
+
+    def test_compute_flops_uses_throughput(self):
+        env, cluster = make_cluster()
+        gpu = cluster.machine(0).gpu
+
+        def proc():
+            yield env.process(gpu.compute_flops(gpu.effective_flops))
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(1.0)
+
+    def test_negative_compute_rejected(self):
+        env, cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            env.run_process(cluster.machine(0).gpu.compute(-1.0))
+
+    def test_multi_gpu_machines(self):
+        env = Environment()
+        config = ClusterConfig(num_workers=1, gpus_per_node=4, network_efficiency=1.0)
+        cluster = ClusterModel(env, config)
+        assert len(cluster.machine(0).gpus) == 4

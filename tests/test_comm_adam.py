@@ -1,0 +1,76 @@
+"""Tests for the Project-Adam-style SF-push / matrix-pull server."""
+
+import numpy as np
+import pytest
+
+from repro.comm.adam import AdamSFServer
+from repro.exceptions import CommunicationError
+from repro.nn.optim import SGD
+from repro.nn.sufficient_factors import SufficientFactors
+
+
+@pytest.fixture
+def initial_params():
+    return {"fc6": {"weight": np.ones((6, 4), dtype=np.float32),
+                    "bias": np.zeros((4,), dtype=np.float32)}}
+
+
+def make_factors(rng, batch=3, m=6, n=4):
+    return SufficientFactors(u=rng.standard_normal((batch, m)).astype(np.float32),
+                             v=rng.standard_normal((batch, n)).astype(np.float32))
+
+
+class TestAdamServer:
+    def test_push_pull_roundtrip(self, initial_params, rng):
+        server = AdamSFServer(initial_params, num_workers=2,
+                              optimizer=SGD(learning_rate=0.1))
+        f0, f1 = make_factors(rng), make_factors(rng)
+        server.push_factors(0, "fc6", f0, extras={"bias": np.ones(4)})
+        server.push_factors(1, "fc6", f1, extras={"bias": np.ones(4)})
+        params = server.pull_matrix(0, "fc6", min_version=1)
+        expected_grad = (f0.reconstruct() + f1.reconstruct()) / 2.0
+        np.testing.assert_allclose(
+            params["weight"], 1.0 - 0.1 * expected_grad, rtol=1e-5)
+        np.testing.assert_allclose(params["bias"], -0.1 * np.ones(4), rtol=1e-5)
+
+    def test_push_bytes_are_factor_sized(self, initial_params, rng):
+        server = AdamSFServer(initial_params, num_workers=1)
+        factors = make_factors(rng)
+        nbytes = server.push_factors(0, "fc6", factors)
+        assert nbytes == factors.nbytes
+
+    def test_pull_bytes_are_matrix_sized(self, initial_params, rng):
+        server = AdamSFServer(initial_params, num_workers=1)
+        server.push_factors(0, "fc6", make_factors(rng))
+        server.pull_matrix(0, "fc6", min_version=1)
+        dense_bytes = 6 * 4 * 4 + 4 * 4
+        assert server.meter.sent == dense_bytes
+
+    def test_pull_imbalance_vs_push(self, initial_params, rng):
+        """Adam's pull direction moves far more bytes than its push direction."""
+        server = AdamSFServer(initial_params, num_workers=1)
+        pushed = server.push_factors(0, "fc6", make_factors(rng, batch=2))
+        server.pull_matrix(0, "fc6", min_version=1)
+        assert server.meter.sent > pushed
+
+    def test_unknown_layer_rejected(self, initial_params, rng):
+        server = AdamSFServer(initial_params, num_workers=1)
+        with pytest.raises(CommunicationError):
+            server.push_factors(0, "nope", make_factors(rng))
+
+    def test_pull_timeout(self, initial_params):
+        server = AdamSFServer(initial_params, num_workers=2)
+        with pytest.raises(CommunicationError):
+            server.pull_matrix(0, "fc6", min_version=1, timeout=0.05)
+
+    def test_too_many_pushes_rejected(self, initial_params, rng):
+        server = AdamSFServer(initial_params, num_workers=1)
+        server.push_factors(0, "fc6", make_factors(rng))
+        server.push_factors(0, "fc6", make_factors(rng))
+        assert server.version("fc6") == 2
+
+    def test_invalid_configuration(self, initial_params):
+        with pytest.raises(CommunicationError):
+            AdamSFServer(initial_params, num_workers=0)
+        with pytest.raises(CommunicationError):
+            AdamSFServer(initial_params, num_workers=1, aggregation="mode")

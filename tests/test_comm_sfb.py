@@ -1,0 +1,112 @@
+"""Tests for the sufficient-factor broadcaster."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.sfb import SufficientFactorBroadcaster
+from repro.exceptions import CommunicationError
+from repro.nn.sufficient_factors import SufficientFactors
+
+
+def make_factors(rng, batch=4, m=6, n=3):
+    return SufficientFactors(u=rng.standard_normal((batch, m)).astype(np.float32),
+                             v=rng.standard_normal((batch, n)).astype(np.float32))
+
+
+class TestPublishCollect:
+    def test_collect_returns_all_contributions(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=3)
+        for worker in range(3):
+            board.publish(worker, "fc6", 0, make_factors(rng))
+        contributions = board.collect(0, "fc6", 0)
+        assert [wid for wid, _, _ in contributions] == [0, 1, 2]
+
+    def test_collect_blocks_until_all_published(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        board.publish(0, "fc6", 0, make_factors(rng))
+        results = {}
+
+        def collector():
+            results["got"] = board.collect(0, "fc6", 0, timeout=5.0)
+
+        thread = threading.Thread(target=collector)
+        thread.start()
+        board.publish(1, "fc6", 0, make_factors(rng))
+        thread.join(timeout=5.0)
+        assert len(results["got"]) == 2
+
+    def test_collect_timeout(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        board.publish(0, "fc6", 0, make_factors(rng))
+        with pytest.raises(CommunicationError):
+            board.collect(0, "fc6", 0, timeout=0.05)
+
+    def test_double_publish_rejected(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        board.publish(0, "fc6", 0, make_factors(rng))
+        with pytest.raises(CommunicationError):
+            board.publish(0, "fc6", 0, make_factors(rng))
+
+    def test_worker_id_out_of_range(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        with pytest.raises(CommunicationError):
+            board.publish(5, "fc6", 0, make_factors(rng))
+
+    def test_publish_bytes_count_peers(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=4)
+        factors = make_factors(rng)
+        nbytes = board.publish(0, "fc6", 0, factors)
+        assert nbytes == factors.nbytes * 3
+
+    def test_iterations_are_independent(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=1)
+        board.publish(0, "fc6", 0, make_factors(rng))
+        board.publish(0, "fc6", 1, make_factors(rng))
+        assert len(board.collect(0, "fc6", 0)) == 1
+        assert len(board.collect(0, "fc6", 1)) == 1
+
+    def test_garbage_collect_drops_old_iterations(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=1)
+        board.publish(0, "fc6", 0, make_factors(rng))
+        board.publish(0, "fc6", 5, make_factors(rng))
+        dropped = board.garbage_collect(before_iteration=3)
+        assert dropped == 1
+
+
+class TestAggregation:
+    def test_aggregate_sum_matches_dense_sum(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        factors = [make_factors(rng), make_factors(rng)]
+        contributions = [(i, f, {}) for i, f in enumerate(factors)]
+        total, extras = board.aggregate(contributions, aggregation="sum")
+        expected = factors[0].reconstruct() + factors[1].reconstruct()
+        np.testing.assert_allclose(total, expected, rtol=1e-5)
+        assert extras == {}
+
+    def test_aggregate_mean_scales(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        factors = [make_factors(rng), make_factors(rng)]
+        contributions = [(i, f, {}) for i, f in enumerate(factors)]
+        total_sum, _ = board.aggregate(contributions, aggregation="sum")
+        total_mean, _ = board.aggregate(contributions, aggregation="mean")
+        np.testing.assert_allclose(total_mean, total_sum / 2.0, rtol=1e-6)
+
+    def test_aggregate_extras(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        contributions = [
+            (0, make_factors(rng), {"bias": np.array([1.0, 2.0])}),
+            (1, make_factors(rng), {"bias": np.array([3.0, 4.0])}),
+        ]
+        _, extras = board.aggregate(contributions, aggregation="mean")
+        np.testing.assert_allclose(extras["bias"], [2.0, 3.0])
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(CommunicationError):
+            SufficientFactorBroadcaster.aggregate([])
+
+    def test_aggregate_invalid_mode_rejected(self, rng):
+        with pytest.raises(CommunicationError):
+            SufficientFactorBroadcaster.aggregate(
+                [(0, make_factors(rng), {})], aggregation="median")

@@ -1,0 +1,98 @@
+"""Tests for cluster and training configuration objects."""
+
+import pytest
+
+from repro.config import (
+    BandwidthPreset,
+    ClusterConfig,
+    GpuModel,
+    TESLA_K80,
+    TITAN_X,
+    TrainingConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBandwidthPreset:
+    def test_values_in_gbps(self):
+        assert BandwidthPreset.GBE_40.value == 40.0
+
+    def test_bits_per_second(self):
+        assert BandwidthPreset.GBE_10.bits_per_second == 10e9
+
+
+class TestGpuModel:
+    def test_compute_seconds(self):
+        gpu = GpuModel(effective_flops=1e12)
+        assert gpu.compute_seconds(2e12) == pytest.approx(2.0)
+
+    def test_compute_seconds_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            TITAN_X.compute_seconds(-1)
+
+    def test_k80_slower_than_titan(self):
+        assert TESLA_K80.effective_flops < TITAN_X.effective_flops
+
+
+class TestClusterConfig:
+    def test_servers_default_to_workers(self):
+        cluster = ClusterConfig(num_workers=6)
+        assert cluster.num_servers == 6
+
+    def test_explicit_server_count_preserved(self):
+        cluster = ClusterConfig(num_workers=6, num_servers=2)
+        assert cluster.num_servers == 2
+
+    def test_effective_bandwidth_below_line_rate(self):
+        cluster = ClusterConfig(num_workers=2, bandwidth_gbps=10)
+        assert cluster.effective_bandwidth_bps < cluster.bandwidth_bps
+        assert cluster.effective_bandwidth_bps == pytest.approx(
+            10e9 * cluster.network_efficiency)
+
+    def test_with_workers_updates_colocated_servers(self):
+        cluster = ClusterConfig(num_workers=4)
+        grown = cluster.with_workers(16)
+        assert grown.num_workers == 16
+        assert grown.num_servers == 16
+
+    def test_with_workers_keeps_dedicated_servers(self):
+        cluster = ClusterConfig(num_workers=4, num_servers=2, colocate_servers=False)
+        grown = cluster.with_workers(8)
+        assert grown.num_servers == 2
+
+    def test_with_bandwidth(self):
+        cluster = ClusterConfig(num_workers=4).with_bandwidth(10)
+        assert cluster.bandwidth_gbps == 10
+
+    def test_total_gpus(self):
+        assert ClusterConfig(num_workers=4, gpus_per_node=8).total_gpus == 32
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_workers": 0},
+        {"num_workers": 2, "num_servers": 0},
+        {"num_workers": 2, "bandwidth_gbps": 0},
+        {"num_workers": 2, "gpus_per_node": 0},
+        {"num_workers": 2, "kv_pair_bytes": 0},
+        {"num_workers": 2, "network_efficiency": 0.0},
+        {"num_workers": 2, "network_efficiency": 1.5},
+    ])
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(**kwargs)
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        cfg = TrainingConfig()
+        assert cfg.batch_size == 32
+
+    @pytest.mark.parametrize("kwargs", [
+        {"batch_size": 0},
+        {"learning_rate": 0.0},
+        {"momentum": 1.0},
+        {"momentum": -0.1},
+        {"iterations": -1},
+    ])
+    def test_invalid_hyperparameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(**kwargs)

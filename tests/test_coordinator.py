@@ -1,0 +1,147 @@
+"""Tests for the coordinator, the hybrid planner and the Poseidon context."""
+
+import pytest
+
+from repro.config import ClusterConfig, TrainingConfig
+from repro.core.coordinator import Coordinator
+from repro.core.cost_model import CommScheme
+from repro.core.hybrid import HybridCommPlanner
+from repro.core.poseidon import PoseidonContext
+from repro.exceptions import ConfigurationError
+from repro.nn.model_zoo import get_model_spec
+
+
+@pytest.fixture
+def vgg_coordinator(vgg19_spec):
+    return Coordinator(vgg19_spec, ClusterConfig(num_workers=8),
+                       TrainingConfig(batch_size=32))
+
+
+class TestCoordinator:
+    def test_query_cluster_facts(self, vgg_coordinator):
+        assert vgg_coordinator.query("n_worker") == 8
+        assert vgg_coordinator.query("n_server") == 8
+        assert vgg_coordinator.query("batchsize") == 32
+
+    def test_query_multiple_properties(self, vgg_coordinator):
+        workers, servers, batch = vgg_coordinator.query(
+            "n_worker", "n_server", "batchsize")
+        assert (workers, servers, batch) == (8, 8, 32)
+
+    def test_query_layer_properties(self, vgg_coordinator):
+        assert vgg_coordinator.query("layer:fc6:type") == "fc"
+        assert vgg_coordinator.query("layer:fc6:width") == 25088
+        assert vgg_coordinator.query("layer:fc6:height") == 4096
+
+    def test_query_unknown_property_raises(self, vgg_coordinator):
+        with pytest.raises(KeyError):
+            vgg_coordinator.query("nonexistent")
+
+    def test_query_requires_a_property(self, vgg_coordinator):
+        with pytest.raises(ConfigurationError):
+            vgg_coordinator.query()
+
+    def test_update_information(self, vgg_coordinator):
+        vgg_coordinator.update_information("straggler_count", 2)
+        assert vgg_coordinator.query("straggler_count") == 2
+
+    def test_best_scheme_by_name_and_spec(self, vgg_coordinator, vgg19_spec):
+        assert vgg_coordinator.best_scheme("fc6") is CommScheme.SFB
+        assert vgg_coordinator.best_scheme(vgg19_spec.layer("conv1_1")) is CommScheme.PS
+
+    def test_scheme_assignments_cover_all_parameter_layers(self, vgg_coordinator,
+                                                           vgg19_spec):
+        assignments = vgg_coordinator.scheme_assignments()
+        assert set(assignments) == {l.name for l in vgg19_spec.parameter_layers()}
+
+    def test_sfb_layers_are_fc_only(self, vgg_coordinator, vgg19_spec):
+        sfb = vgg_coordinator.sfb_layers()
+        assert {layer.name for layer in sfb} == {"fc6", "fc7", "fc8"}
+
+    def test_fine_grained_partition_by_default(self, vgg_coordinator):
+        assert vgg_coordinator.partition.imbalance() < 1.05
+
+    def test_coarse_partition_option(self, vgg19_spec):
+        coordinator = Coordinator(vgg19_spec, ClusterConfig(num_workers=8),
+                                  TrainingConfig(batch_size=32), fine_grained=False)
+        assert coordinator.partition.imbalance() > 1.5
+
+
+class TestHybridPlanner:
+    def test_plan_covers_all_parameter_layers(self, vgg_coordinator, vgg19_spec):
+        planner = HybridCommPlanner(vgg_coordinator)
+        plan = planner.plan()
+        assert len(plan) == len(vgg19_spec.parameter_layers())
+
+    def test_hybrid_saves_bytes_on_vgg(self, vgg_coordinator):
+        planner = HybridCommPlanner(vgg_coordinator)
+        totals = planner.bytes_per_iteration()
+        assert totals["hybrid_bytes"] < totals["ps_bytes"]
+        assert totals["savings_fraction"] > 0.5
+
+    def test_force_ps_removes_savings(self, vgg_coordinator):
+        planner = HybridCommPlanner(vgg_coordinator)
+        decisions = planner.plan(force_scheme=CommScheme.PS)
+        totals = planner.bytes_per_iteration(decisions)
+        assert totals["savings_fraction"] == pytest.approx(0.0)
+
+    def test_force_sfb_falls_back_to_ps_for_conv(self, vgg_coordinator):
+        planner = HybridCommPlanner(vgg_coordinator)
+        decisions = planner.plan(force_scheme=CommScheme.SFB)
+        conv_decisions = [d for d in decisions if d.layer.startswith("conv")]
+        assert all(d.scheme is CommScheme.PS for d in conv_decisions)
+
+    def test_summary_contains_totals(self, vgg_coordinator):
+        planner = HybridCommPlanner(vgg_coordinator)
+        assert "total per node" in planner.summary()
+
+    def test_decision_savings_non_negative(self, vgg_coordinator):
+        planner = HybridCommPlanner(vgg_coordinator)
+        assert all(decision.savings_bytes >= 0 for decision in planner.plan())
+
+
+class TestPoseidonContext:
+    def test_plan_assignments_match_algorithm1(self, vgg19_spec):
+        context = PoseidonContext(vgg19_spec, ClusterConfig(num_workers=16),
+                                  TrainingConfig(batch_size=32))
+        plan = context.plan
+        assert plan.scheme_for("fc6") is CommScheme.SFB
+        assert plan.scheme_for("conv1_1") is CommScheme.PS
+
+    def test_googlenet_reduces_to_ps(self, googlenet_spec):
+        context = PoseidonContext(googlenet_spec, ClusterConfig(num_workers=16),
+                                  TrainingConfig(batch_size=128))
+        assert context.plan.sfb_layer_names == []
+
+    def test_hybrid_disabled_forces_ps(self, vgg19_spec):
+        context = PoseidonContext(vgg19_spec, ClusterConfig(num_workers=16),
+                                  TrainingConfig(batch_size=32), hybrid_enabled=False)
+        assert context.plan.sfb_layer_names == []
+
+    def test_bytes_per_iteration_scheme_comparison(self, vgg19_spec):
+        context = PoseidonContext(vgg19_spec, ClusterConfig(num_workers=16),
+                                  TrainingConfig(batch_size=32))
+        hybrid = context.bytes_per_iteration()
+        ps_only = context.bytes_per_iteration(CommScheme.PS)
+        assert hybrid < ps_only
+
+    def test_savings_fraction_grows_with_vocabulary(self):
+        """VGG19-22K (91% FC) saves a larger traffic fraction than VGG19."""
+        cluster = ClusterConfig(num_workers=16)
+        vgg = PoseidonContext(get_model_spec("vgg19"), cluster,
+                              TrainingConfig(batch_size=32))
+        vgg22k = PoseidonContext(get_model_spec("vgg19-22k"), cluster,
+                                 TrainingConfig(batch_size=32))
+        assert vgg22k.plan.savings_fraction > vgg.plan.savings_fraction
+
+    def test_default_training_config_uses_model_batch(self, googlenet_spec):
+        context = PoseidonContext(googlenet_spec, ClusterConfig(num_workers=8))
+        assert context.training.batch_size == 128
+
+    def test_describe_mentions_model(self, vgg19_spec):
+        context = PoseidonContext(vgg19_spec, ClusterConfig(num_workers=8))
+        assert "VGG19" in context.describe()
+
+    def test_plan_is_cached(self, vgg19_spec):
+        context = PoseidonContext(vgg19_spec, ClusterConfig(num_workers=8))
+        assert context.plan is context.plan

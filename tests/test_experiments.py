@@ -1,0 +1,291 @@
+"""Tests for the experiment harness: every table/figure runs and has the
+paper's qualitative shape (who wins, roughly by how much, where crossovers
+fall)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    multigpu,
+    table1,
+    table3,
+)
+from repro.experiments import fig6
+from repro.experiments.runner import EXPERIMENTS, run_experiments
+
+
+class TestTable1:
+    def test_worked_example_matches_paper(self):
+        result = table1.run_table1()
+        ps = result.row("PS")
+        sfb = result.row("SFB")
+        assert ps.worker == pytest.approx(33.6, rel=0.02)
+        assert ps.server_and_worker == pytest.approx(58.7, rel=0.01)
+        assert sfb.worker == pytest.approx(3.7, rel=0.02)
+
+    def test_best_scheme_is_sfb_for_worked_example(self):
+        assert table1.run_table1().best_scheme.value == "sfb"
+
+    def test_crossover_batch_size_finite(self):
+        crossover = table1.crossover_batch_size(4096, 4096, 8, 8)
+        assert 1 < crossover < 4096
+        # Below the crossover SFB wins, above it PS wins.
+        below = table1.run_table1(batch_size=crossover - 1)
+        above = table1.run_table1(batch_size=crossover + 1)
+        assert below.best_scheme.value == "sfb"
+        assert above.best_scheme.value == "ps"
+
+    def test_cluster_size_sweep_monotone_sfb_cost(self):
+        sweep = table1.sweep_cluster_sizes(cluster_sizes=(2, 8, 32))
+        sfb_costs = [sweep[p].row("SFB").worker for p in (2, 8, 32)]
+        assert sfb_costs == sorted(sfb_costs)
+
+    def test_render_mentions_paper_example(self):
+        assert "Paper worked example" in table1.render(table1.run_table1())
+
+
+class TestTable3:
+    def test_all_models_present(self):
+        result = table3.run_table3()
+        assert {row.model for row in result.rows} == set(table3.TABLE3_MODEL_KEYS)
+
+    def test_parameter_counts_within_tolerance(self):
+        result = table3.run_table3()
+        for row in result.rows:
+            if row.model in ("GoogLeNet", "Inception-V3"):
+                continue  # documented deviations (aux heads / trunk counting)
+            assert abs(row.relative_error) < 0.05
+
+    def test_render_contains_all_models(self):
+        rendering = table3.render(table3.run_table3())
+        assert "VGG19-22K" in rendering and "ResNet-152" in rendering
+
+
+class TestScalingFigures:
+    """Figures 5 and 6 at reduced node counts (shape checks only)."""
+
+    @pytest.fixture(scope="class")
+    def fig5_result(self):
+        return fig5.run_fig5(node_counts=(1, 8, 16))
+
+    @pytest.fixture(scope="class")
+    def fig6_result(self):
+        return fig6.run_fig6(node_counts=(1, 8, 16))
+
+    def test_fig5_poseidon_beats_ps_baseline(self, fig5_result):
+        for model in ("GoogLeNet", "VGG19", "VGG19-22K"):
+            poseidon = fig5_result.speedup(model, "Poseidon (Caffe)", 16)
+            vanilla = fig5_result.speedup(model, "Caffe+PS", 16)
+            assert poseidon > vanilla
+
+    def test_fig5_poseidon_near_linear_at_40gbe(self, fig5_result):
+        for model in ("GoogLeNet", "VGG19", "VGG19-22K"):
+            assert fig5_result.speedup(model, "Poseidon (Caffe)", 16) > 14.0
+
+    def test_fig5_wfbp_between_ps_and_poseidon(self, fig5_result):
+        for model in ("VGG19", "VGG19-22K"):
+            ps = fig5_result.speedup(model, "Caffe+PS", 16)
+            wfbp = fig5_result.speedup(model, "Caffe+WFBP", 16)
+            poseidon = fig5_result.speedup(model, "Poseidon (Caffe)", 16)
+            assert ps <= wfbp <= poseidon + 1e-6
+
+    def test_fig6_tf_vgg_fails_to_scale(self, fig6_result):
+        """Paper: distributed TF sometimes scales negatively on VGG19-22K."""
+        assert fig6_result.speedup("VGG19-22K", "TF", 16) < 6.0
+
+    def test_fig6_poseidon_improves_over_tf(self, fig6_result):
+        for model in ("Inception-V3", "VGG19", "VGG19-22K"):
+            tf = fig6_result.speedup(model, "TF", 16)
+            poseidon = fig6_result.speedup(model, "Poseidon (TF)", 16)
+            assert poseidon > tf
+
+    def test_fig6_inception_tf_scales_but_below_poseidon(self, fig6_result):
+        tf = fig6_result.speedup("Inception-V3", "TF", 16)
+        poseidon = fig6_result.speedup("Inception-V3", "Poseidon (TF)", 16)
+        assert 8.0 < tf < poseidon
+
+    def test_renderers_emit_series(self, fig5_result, fig6_result):
+        assert "Figure 5" in fig5.render(fig5_result)
+        assert "Figure 6" in fig6.render(fig6_result)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run_fig7(num_nodes=8)
+
+    def test_poseidon_keeps_gpu_busy(self, result):
+        for model in result.results:
+            assert result.busy_fraction(model, "Poseidon (TF)") > 0.9
+
+    def test_tf_wastes_time_on_big_models(self, result):
+        assert result.stall_fraction("VGG19", "TF") > 0.3
+        assert result.stall_fraction("VGG19-22K", "TF") > 0.3
+
+    def test_stall_ordering(self, result):
+        for model in result.results:
+            assert (result.stall_fraction(model, "TF")
+                    >= result.stall_fraction(model, "TF+WFBP") - 1e-9)
+            assert (result.stall_fraction(model, "TF+WFBP")
+                    >= result.stall_fraction(model, "Poseidon (TF)") - 1e-9)
+
+    def test_render(self, result):
+        assert "Stall" in fig7.render(result)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run_fig8(node_counts=(1, 8, 16))
+
+    def test_vgg19_10gbe_matches_paper_shape(self, result):
+        """Paper: PS-based ~8x on 16 nodes at 10 GbE; Poseidon near linear."""
+        wfbp = result.speedup("VGG19", "Caffe+WFBP", 10.0, 16)
+        poseidon = result.speedup("VGG19", "Poseidon (Caffe)", 10.0, 16)
+        assert 5.0 <= wfbp <= 11.0
+        assert poseidon > 14.0
+
+    def test_higher_bandwidth_closes_the_gap(self, result):
+        gap_10 = (result.speedup("VGG19", "Poseidon (Caffe)", 10.0, 16)
+                  - result.speedup("VGG19", "Caffe+WFBP", 10.0, 16))
+        gap_30 = (result.speedup("VGG19", "Poseidon (Caffe)", 30.0, 16)
+                  - result.speedup("VGG19", "Caffe+WFBP", 30.0, 16))
+        assert gap_30 < gap_10
+
+    def test_googlenet_poseidon_equals_wfbp(self, result):
+        """Poseidon reduces to PS for GoogLeNet, so the two systems coincide."""
+        for bandwidth in (2.0, 5.0, 10.0):
+            wfbp = result.speedup("GoogLeNet", "Caffe+WFBP", bandwidth, 16)
+            poseidon = result.speedup("GoogLeNet", "Poseidon (Caffe)", bandwidth, 16)
+            assert poseidon == pytest.approx(wfbp, rel=0.05)
+
+    def test_render(self, result):
+        assert "Figure 8" in fig8.render(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run_fig9(node_counts=(1, 8, 16, 32))
+
+    def test_poseidon_speedup_near_paper_value(self, result):
+        assert result.speedup("Poseidon (TF)", 32) > 28.0
+
+    def test_poseidon_beats_tf(self, result):
+        assert result.speedup("Poseidon (TF)", 32) > result.speedup("TF", 32)
+
+    def test_convergence_reaches_target_within_budget(self, result):
+        for nodes in (16, 32):
+            epochs = result.epochs_to_target(nodes)
+            assert epochs is not None and epochs <= 90
+
+    def test_time_to_accuracy_improves_with_nodes(self, result):
+        assert result.time_to_error_hours[32] < result.time_to_error_hours[8]
+
+    def test_render(self, result):
+        assert "Figure 9" in fig9.render(result)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run_fig10()
+
+    def test_adam_is_imbalanced(self, result):
+        assert result.imbalance("Adam") > 2.0
+
+    def test_tf_wfbp_and_poseidon_balanced(self, result):
+        assert result.imbalance("TF+WFBP") < 1.1
+        assert result.imbalance("Poseidon (TF)") < 1.1
+
+    def test_poseidon_traffic_much_lower_than_dense_ps(self, result):
+        assert result.mean_gbits("Poseidon (TF)") < 0.4 * result.mean_gbits("TF+WFBP")
+
+    def test_adam_peak_exceeds_poseidon_peak(self, result):
+        assert result.max_gbits("Adam") > result.max_gbits("Poseidon (TF)")
+
+    def test_render(self, result):
+        assert "Figure 10" in fig10.render(result)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # The documented deterministic configuration (seed 0), shortened to
+        # 100 iterations; the quantization gap is already fully visible.
+        return fig11.run_fig11(iterations=100, eval_every=25)
+
+    def test_exact_run_converges(self, result):
+        losses = result.loss_curve("Poseidon")
+        assert losses[-1] < 0.3 * losses[0]
+        assert result.final_error("Poseidon") < 0.2
+
+    def test_exact_sync_converges_better_than_quantized(self, result):
+        """Figure 11: 1-bit quantization hurts convergence on image data."""
+        exact = sum(result.loss_curve("Poseidon")[-10:]) / 10
+        quantized = sum(result.loss_curve("Poseidon-1bit")[-10:]) / 10
+        assert exact < quantized
+        assert result.final_error("Poseidon") < result.final_error("Poseidon-1bit")
+
+    def test_error_trace_recorded(self, result):
+        assert result.error_curve("Poseidon")
+        assert result.final_error("Poseidon") <= 1.0
+
+    def test_cntk_scaling_below_poseidon(self):
+        scaling = fig11.cntk_scaling(node_counts=(8, 16))
+        for nodes in (8, 16):
+            assert scaling["CNTK-1bit"][nodes] < scaling["Poseidon"][nodes]
+
+    def test_render(self, result):
+        assert "Figure 11" in fig11.render(result)
+
+
+class TestMultiGpuAndAblation:
+    def test_multigpu_linear_on_local_gpus(self):
+        result = multigpu.run_multigpu(models=("googlenet",))
+        assert result.speedup("GoogLeNet", 1, 4) > 3.5
+
+    def test_multigpu_cluster_speedup(self):
+        result = multigpu.run_multigpu(models=("googlenet",))
+        assert result.speedup("GoogLeNet", 4, 8) > 24.0
+
+    def test_ablation_full_system_wins(self):
+        result = ablation.run_system_ablation(num_nodes=8, bandwidth_gbps=10.0)
+        full = result.speedup("full poseidon")
+        assert full >= result.speedup("no WFBP")
+        assert full >= result.speedup("no HybComm (PS only)")
+        assert full >= result.speedup("no WFBP, no HybComm")
+
+    def test_ablation_batch_crossover(self):
+        decisions = ablation.run_batch_size_crossover()
+        assert decisions[8].value == "sfb"
+        # Analytic crossover for a 4096^2 layer on 8+8 nodes sits at K=512.
+        assert decisions[1024].value == "ps"
+        assert decisions[2048].value == "ps"
+
+    def test_server_count_ablation_more_shards_helps(self):
+        speedups = ablation.run_server_count_ablation(
+            num_nodes=8, bandwidth_gbps=10.0, server_counts=(1, 8))
+        assert speedups[8] > speedups[1]
+
+
+class TestRunner:
+    def test_registry_covers_all_artifacts(self):
+        assert set(EXPERIMENTS) >= {
+            "table1", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "multigpu", "ablation",
+        }
+
+    def test_quick_run_of_cheap_experiments(self):
+        report = run_experiments(["table1", "table3"], quick=True)
+        assert "table1" in report and "Table 3" in report
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"])

@@ -1,0 +1,107 @@
+"""End-to-end integration tests tying the planning, simulation and functional
+layers together the way the examples and the experiment harness use them."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, PoseidonContext, TrainingConfig
+from repro.core.cost_model import CommScheme
+from repro.data import make_cifar10_like, shard_dataset
+from repro.engines import CAFFE_WFBP, POSEIDON_CAFFE
+from repro.nn.model_zoo import build_cifar_quick_small_network, get_model_spec
+from repro.parallel import DistributedTrainer
+from repro.simulation import simulate_system
+
+
+class TestPlanningToSimulationConsistency:
+    """The planner's byte accounting and the simulator's traffic must agree."""
+
+    def test_plan_savings_show_up_as_simulated_traffic_savings(self, vgg19_spec):
+        cluster = ClusterConfig(num_workers=8)
+        context = PoseidonContext(vgg19_spec, cluster, TrainingConfig(batch_size=32))
+        plan_saving = context.plan.savings_fraction
+
+        dense = simulate_system(vgg19_spec, CAFFE_WFBP, cluster)
+        hybrid = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster)
+        traffic_saving = 1.0 - (hybrid.mean_traffic_gbits / dense.mean_traffic_gbits)
+        # Same order of magnitude of savings (the simulator adds scatter/gather
+        # round-trips, so the numbers are not expected to match exactly).
+        assert plan_saving > 0.5
+        assert traffic_saving > 0.5
+        assert abs(plan_saving - traffic_saving) < 0.25
+
+    def test_scheme_decisions_match_between_planner_and_simulator(self, vgg19_spec):
+        cluster = ClusterConfig(num_workers=16)
+        context = PoseidonContext(vgg19_spec, cluster, TrainingConfig(batch_size=32))
+        simulated = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster)
+        for layer_name in ("fc6", "fc7", "fc8"):
+            assert context.plan.scheme_for(layer_name) is CommScheme.SFB
+            assert simulated.scheme_by_unit[layer_name] == "sfb"
+
+    def test_batch_size_flips_both_layers_consistently(self, googlenet_spec):
+        """GoogLeNet at batch 128: planner and simulator both choose pure PS."""
+        cluster = ClusterConfig(num_workers=16)
+        context = PoseidonContext(googlenet_spec, cluster,
+                                  TrainingConfig(batch_size=128))
+        simulated = simulate_system(googlenet_spec, POSEIDON_CAFFE, cluster)
+        assert context.plan.sfb_layer_names == []
+        assert "sfb" not in simulated.scheme_by_unit.values()
+
+
+class TestFunctionalPipeline:
+    """Dataset -> shards -> distributed training -> evaluation, end to end."""
+
+    def test_small_cnn_distributed_training_reaches_low_error(self):
+        dataset = make_cifar10_like(num_train=600, num_test=150, image_size=12,
+                                    noise_scale=1.0, seed=3)
+        shards = shard_dataset(dataset.train_images, dataset.train_labels, 2, seed=3)
+        trainer = DistributedTrainer(
+            network_factory=lambda: build_cifar_quick_small_network(seed=3,
+                                                                    image_size=12),
+            num_workers=2,
+            train_shards=shards,
+            training=TrainingConfig(batch_size=16, learning_rate=0.05,
+                                    iterations=80, seed=3),
+            mode="hybrid",
+            test_data=(dataset.test_images, dataset.test_labels),
+            eval_every=40,
+        )
+        history = trainer.train(80)
+        assert history.losses[-1] < history.losses[0] / 2
+        assert history.final_test_error < 0.5
+        assert trainer.replica_states_close()
+
+    def test_functional_byte_accounting_orders_like_cost_model(self):
+        """For a wide-FC model, hybrid mode moves fewer bytes than pure PS."""
+        rng = np.random.default_rng(0)
+        train_x = rng.standard_normal((96, 512)).astype(np.float32)
+        train_y = rng.integers(0, 10, size=96).astype(np.int64)
+        shards = shard_dataset(train_x, train_y, 2, seed=0)
+        from repro.nn.model_zoo import build_mlp_network
+
+        def factory():
+            return build_mlp_network(input_dim=512, hidden_dims=(512,),
+                                     num_classes=10, seed=4)
+
+        histories = {}
+        for mode in ("ps", "hybrid"):
+            trainer = DistributedTrainer(
+                network_factory=factory, num_workers=2, train_shards=shards,
+                training=TrainingConfig(batch_size=4, learning_rate=0.05,
+                                        iterations=3, seed=0),
+                mode=mode)
+            histories[mode] = trainer.train(3)
+        assert histories["hybrid"].total_bytes < histories["ps"].total_bytes
+        np.testing.assert_allclose(histories["hybrid"].losses,
+                                   histories["ps"].losses, atol=1e-4)
+
+
+class TestCrossModelSanity:
+    @pytest.mark.parametrize("model_key", ["alexnet", "resnet-50", "vgg16",
+                                           "inception-v3"])
+    def test_every_zoo_model_simulates(self, model_key):
+        spec = get_model_spec(model_key)
+        result = simulate_system(spec, POSEIDON_CAFFE,
+                                 ClusterConfig(num_workers=4))
+        assert 1.0 <= result.speedup <= 4.0 + 1e-6
+        assert result.iteration_seconds > 0

@@ -1,0 +1,114 @@
+"""Tests for KV-store partitioning (fine-grained vs. coarse)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.core.kvstore import (
+    chunk_layer,
+    partition_coarse_grained,
+    partition_fine_grained,
+)
+from repro.exceptions import PartitionError
+from repro.nn.model_zoo import get_model_spec
+from repro.nn.spec import LayerKind, LayerSpec, ModelSpec, SpecBuilder
+
+
+def small_model(fc_sizes=(1000, 2000, 500)):
+    builder = SpecBuilder("small", input_shape=(64,))
+    for index, width in enumerate(fc_sizes):
+        builder.fc(f"fc{index}", width)
+    return builder.build()
+
+
+class TestFineGrainedPartition:
+    def test_total_bytes_preserved(self, vgg19_spec):
+        partition = partition_fine_grained(vgg19_spec, num_shards=8)
+        assert partition.total_bytes == vgg19_spec.total_param_bytes
+
+    def test_no_pair_exceeds_kv_size(self, vgg19_spec):
+        partition = partition_fine_grained(vgg19_spec, num_shards=8,
+                                           kv_pair_bytes=2 * units.MB)
+        assert all(pair.nbytes <= 2 * units.MB for pair in partition.pairs)
+
+    def test_every_layer_covered(self, vgg19_spec):
+        partition = partition_fine_grained(vgg19_spec, num_shards=8)
+        covered = {pair.layer for pair in partition.pairs}
+        expected = {layer.name for layer in vgg19_spec.parameter_layers()}
+        assert covered == expected
+
+    def test_balanced_across_shards(self, vgg19_spec):
+        partition = partition_fine_grained(vgg19_spec, num_shards=8)
+        assert partition.imbalance() < 1.05
+
+    def test_big_fc_layer_spread_over_many_shards(self, vgg19_spec):
+        partition = partition_fine_grained(vgg19_spec, num_shards=8)
+        fc6_shards = partition.layer_bytes_per_shard("fc6")
+        assert len(fc6_shards) == 8
+
+    def test_layer_bytes_sum_matches_layer(self, vgg19_spec):
+        partition = partition_fine_grained(vgg19_spec, num_shards=8)
+        fc6 = vgg19_spec.layer("fc6")
+        assert sum(partition.layer_bytes_per_shard("fc6").values()) == fc6.param_bytes
+
+    def test_summary_mentions_imbalance(self, vgg19_spec):
+        partition = partition_fine_grained(vgg19_spec, num_shards=4)
+        assert "imbalance" in partition.summary()
+
+    def test_invalid_parameters(self, vgg19_spec):
+        with pytest.raises(PartitionError):
+            partition_fine_grained(vgg19_spec, num_shards=0)
+        with pytest.raises(PartitionError):
+            partition_fine_grained(vgg19_spec, num_shards=2, kv_pair_bytes=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(num_shards=st.integers(1, 32),
+           kv_bytes=st.sampled_from([256 * 1024, units.MB, 2 * units.MB, 8 * units.MB]))
+    def test_partition_properties_hold_for_any_shard_count(self, num_shards, kv_bytes):
+        model = small_model()
+        partition = partition_fine_grained(model, num_shards=num_shards,
+                                           kv_pair_bytes=kv_bytes)
+        assert partition.total_bytes == model.total_param_bytes
+        assert all(pair.nbytes <= kv_bytes for pair in partition.pairs)
+        assert all(0 <= pair.shard < num_shards for pair in partition.pairs)
+
+
+class TestCoarsePartition:
+    def test_one_pair_per_layer(self, vgg19_spec):
+        partition = partition_coarse_grained(vgg19_spec, num_shards=8)
+        assert len(partition.pairs) == len(vgg19_spec.parameter_layers())
+
+    def test_imbalance_much_worse_than_fine(self, vgg19_spec):
+        fine = partition_fine_grained(vgg19_spec, num_shards=8)
+        coarse = partition_coarse_grained(vgg19_spec, num_shards=8)
+        # VGG19's fc6 (~400 MB) lands on a single shard under coarse placement.
+        assert coarse.imbalance() > 2.0 * fine.imbalance()
+
+    def test_total_bytes_preserved(self, vgg19_spec):
+        partition = partition_coarse_grained(vgg19_spec, num_shards=8)
+        assert partition.total_bytes == vgg19_spec.total_param_bytes
+
+
+class TestChunkLayer:
+    def test_chunks_cover_layer(self):
+        layer = LayerSpec(name="fc", kind=LayerKind.FC, param_count=1_000_000,
+                          param_shape=(1000, 1000), sf_decomposable=True,
+                          output_shape=(1000,))
+        chunks = chunk_layer(layer, kv_pair_bytes=units.MB)
+        assert sum(size for _, size in chunks) == layer.param_bytes
+        assert len(chunks) == 4  # 4 MB of parameters in 1 MB pairs.
+
+    def test_chunk_keys_unique(self):
+        layer = LayerSpec(name="fc", kind=LayerKind.FC, param_count=1_000_000,
+                          param_shape=(1000, 1000), sf_decomposable=True,
+                          output_shape=(1000,))
+        chunks = chunk_layer(layer, kv_pair_bytes=units.MB)
+        keys = [key for key, _ in chunks]
+        assert len(set(keys)) == len(keys)
+
+    def test_invalid_pair_size(self):
+        layer = LayerSpec(name="fc", kind=LayerKind.FC, param_count=100,
+                          param_shape=(10, 10), sf_decomposable=True,
+                          output_shape=(10,))
+        with pytest.raises(PartitionError):
+            chunk_layer(layer, kv_pair_bytes=0)

@@ -1,0 +1,172 @@
+"""Tests for the runnable numpy layers, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+from repro.nn.layers.activation import Tanh
+from repro.nn.layers.conv import col2im, im2col
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense("fc", 8, 4, rng=rng)
+        out = layer.forward(rng.standard_normal((5, 8)).astype(np.float32))
+        assert out.shape == (5, 4)
+
+    def test_forward_rejects_wrong_features(self, rng):
+        layer = Dense("fc", 8, 4, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((5, 9), dtype=np.float32))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense("fc", 8, 4, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((5, 4)))
+
+    def test_gradient_check(self, rng):
+        layer = Dense("fc", 6, 5, rng=rng)
+        inputs = rng.standard_normal((4, 6)).astype(np.float64)
+        check_layer_gradients(layer, inputs)
+
+    def test_weight_gradient_equals_sf_reconstruction(self, rng):
+        layer = Dense("fc", 6, 5, rng=rng)
+        inputs = rng.standard_normal((4, 6)).astype(np.float64)
+        layer.forward(inputs)
+        grad_out = rng.standard_normal((4, 5))
+        layer.backward(grad_out)
+        u, v = layer.sufficient_factors()
+        np.testing.assert_allclose(u.T @ v, layer.grads["weight"], rtol=1e-6)
+
+    def test_set_params_shape_mismatch(self, rng):
+        layer = Dense("fc", 6, 5, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.set_params({"weight": np.zeros((2, 2), dtype=np.float32)})
+
+    def test_set_params_unknown_key(self, rng):
+        layer = Dense("fc", 6, 5, rng=rng)
+        with pytest.raises(KeyError):
+            layer.set_params({"gamma": np.zeros((5,), dtype=np.float32)})
+
+
+class TestConv2D:
+    def test_forward_shape_with_padding(self, rng):
+        layer = Conv2D("conv", in_channels=3, out_channels=4, kernel=3, pad=1, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_forward_shape_with_stride(self, rng):
+        layer = Conv2D("conv", in_channels=3, out_channels=4, kernel=3, stride=2, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 3, 9, 9)).astype(np.float32))
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_channel_mismatch_rejected(self, rng):
+        layer = Conv2D("conv", in_channels=3, out_channels=4, kernel=3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_gradient_check(self, rng):
+        layer = Conv2D("conv", in_channels=2, out_channels=3, kernel=3, pad=1, rng=rng)
+        inputs = rng.standard_normal((2, 2, 6, 6)).astype(np.float64)
+        check_layer_gradients(layer, inputs, max_elements=24)
+
+    def test_backward_input_gradient_shape(self, rng):
+        layer = Conv2D("conv", in_channels=2, out_channels=3, kernel=3, pad=1, rng=rng)
+        x = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        out = layer.forward(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_im2col_col2im_adjoint(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols, _, _ = im2col(x, kernel=3, stride=1, pad=1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, kernel=3, stride=1, pad=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestPooling:
+    def test_max_pool_selects_maximum(self):
+        layer = MaxPool2D("pool", kernel=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        layer = MaxPool2D("pool", kernel=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        # Only the max positions receive gradient.
+        assert grad.sum() == pytest.approx(4.0)
+        assert grad[0, 0, 1, 1] == 1.0
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_avg_pool_value(self):
+        layer = AvgPool2D("pool", kernel=2, stride=2)
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_avg_pool_backward_spreads_gradient(self):
+        layer = AvgPool2D("pool", kernel=2, stride=2)
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(grad, 0.25)
+
+
+class TestActivationsAndFriends:
+    def test_relu_masks_negative(self):
+        layer = ReLU("relu")
+        x = np.array([[-1.0, 2.0, -3.0, 4.0]])
+        np.testing.assert_array_equal(layer.forward(x), [[0, 2, 0, 4]])
+
+    def test_relu_backward_uses_mask(self):
+        layer = ReLU("relu")
+        x = np.array([[-1.0, 2.0]])
+        layer.forward(x)
+        np.testing.assert_array_equal(layer.backward(np.array([[5.0, 5.0]])), [[0, 5]])
+
+    def test_tanh_gradient(self):
+        layer = Tanh("tanh")
+        x = np.array([[0.5, -0.5]])
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(grad, 1 - np.tanh(x) ** 2, rtol=1e-6)
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten("flat")
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == x.shape
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout("drop", rate=0.5)
+        x = np.ones((4, 10), dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_preserves_expectation(self):
+        layer = Dropout("drop", rate=0.5, rng=np.random.default_rng(0))
+        x = np.ones((2000, 10), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_rate(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            Dropout("drop", rate=1.0)
+
+    def test_param_count_zero_for_stateless_layers(self):
+        assert ReLU("r").param_count == 0
+        assert Flatten("f").param_count == 0

@@ -1,0 +1,159 @@
+"""Tests for supporting infrastructure: messages, reports, logging, runner CLI,
+exceptions and the package surface."""
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro
+from repro import exceptions
+from repro.comm.message import ByteMeter, Message, MessageKind, payload_nbytes
+from repro.experiments import paper_reference
+from repro.experiments.report import format_series, format_table, ratio_string
+from repro.experiments.runner import main as runner_main
+from repro.logging_util import enable_console_logging, get_logger
+from repro.nn.sufficient_factors import SufficientFactors
+
+
+class TestMessage:
+    def test_payload_nbytes_array(self):
+        assert payload_nbytes(np.zeros((4, 4), dtype=np.float32)) == 64
+
+    def test_payload_nbytes_nested_dict(self):
+        payload = {"a": np.zeros(10, dtype=np.float32),
+                   "b": [np.zeros(5, dtype=np.float32)]}
+        assert payload_nbytes(payload) == 60
+
+    def test_payload_nbytes_sufficient_factors(self, rng):
+        factors = SufficientFactors(u=rng.standard_normal((2, 3)).astype(np.float32),
+                                    v=rng.standard_normal((2, 4)).astype(np.float32))
+        assert payload_nbytes(factors) == factors.nbytes
+
+    def test_payload_nbytes_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_message_computes_size_from_payload(self):
+        message = Message(kind=MessageKind.DENSE_GRADIENT, layer="fc", iteration=0,
+                          src="worker-0", dst="server",
+                          payload=np.zeros(100, dtype=np.float32))
+        assert message.nbytes == 400
+
+    def test_message_explicit_size_preserved(self):
+        message = Message(kind=MessageKind.QUANTIZED_GRADIENT, layer="fc",
+                          iteration=0, src="w", dst="s", payload=None, nbytes=13)
+        assert message.nbytes == 13
+
+    def test_message_ids_unique(self):
+        a = Message(MessageKind.CONTROL, "fc", 0, "w", "s")
+        b = Message(MessageKind.CONTROL, "fc", 0, "w", "s")
+        assert a.message_id != b.message_id
+
+
+class TestByteMeter:
+    def test_directional_accounting(self):
+        meter = ByteMeter()
+        meter.record(100, "sent", tag="push")
+        meter.record(40, "received", tag="pull")
+        assert meter.sent == 100
+        assert meter.received == 40
+        assert meter.total == 140
+        assert meter.by_tag == {"push": 100, "pull": 40}
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            ByteMeter().record(10, "sideways")
+
+    def test_snapshot_contains_tags(self):
+        meter = ByteMeter()
+        meter.record(2 ** 20, "sent", tag="sfb")
+        snapshot = meter.snapshot()
+        assert snapshot["sent"] == 2 ** 20
+        assert snapshot["tag:sfb"] == 2 ** 20
+        assert meter.total_megabytes == pytest.approx(1.0)
+
+
+class TestReportHelpers:
+    def test_format_table_alignment_and_title(self):
+        table = format_table(["name", "value"], [("a", 1.5), ("bb", 22.25)],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.50" in table and "22.25" in table
+
+    def test_format_series(self):
+        series = format_series("label", [1, 2], [1.0, 2.5])
+        assert series == "label: 1=1.0 2=2.5"
+
+    def test_ratio_string_with_and_without_reference(self):
+        assert "paper: 2.00" in ratio_string(1.5, 2.0)
+        assert "n/a" in ratio_string(1.5, None)
+
+
+class TestPaperReference:
+    def test_reported_speedup_lookup(self):
+        assert paper_reference.reported_speedup("fig5", "VGG19-22K", "Caffe+WFBP") == 21.5
+        assert paper_reference.reported_speedup("fig6", "Inception-V3", "TF") == 20.0
+        assert paper_reference.reported_speedup("fig5", "nope", "x") is None
+
+    def test_table3_reference_contains_all_models(self):
+        assert set(paper_reference.TABLE3_MODELS) == {
+            "CIFAR-10 quick", "GoogLeNet", "Inception-V3", "VGG19", "VGG19-22K",
+            "ResNet-152"}
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("something").name == "repro.something"
+        assert get_logger("repro.simulation").name == "repro.simulation"
+
+    def test_enable_console_logging_idempotent(self):
+        enable_console_logging()
+        enable_console_logging()
+        root = logging.getLogger("repro")
+        handlers = [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
+        assert len(handlers) == 1
+
+
+class TestExceptions:
+    @pytest.mark.parametrize("exc", [
+        exceptions.ConfigurationError,
+        exceptions.ModelSpecError,
+        exceptions.CommunicationError,
+        exceptions.PartitionError,
+        exceptions.SimulationError,
+        exceptions.TrainingError,
+        exceptions.ShapeError,
+    ])
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, exceptions.ReproError)
+        with pytest.raises(exceptions.ReproError):
+            raise exc("boom")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        for name in ("PoseidonContext", "ClusterConfig", "TrainingConfig",
+                     "CommScheme", "BandwidthPreset"):
+            assert hasattr(repro, name)
+
+    def test_core_exports_extensions(self):
+        from repro.core import SSPClock, StalenessBoundedQueue  # noqa: F401
+
+
+class TestRunnerCli:
+    def test_cli_runs_selected_experiment(self, capsys, tmp_path):
+        output = tmp_path / "report.txt"
+        exit_code = runner_main(["table1", "--quick", "--output", str(output)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "Table 1" in captured
+        assert output.read_text().startswith("=== table1")
+
+    def test_cli_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            runner_main(["does-not-exist"])

@@ -1,0 +1,197 @@
+"""Tests for the functional distributed trainer and the serial references."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.wfbp import ScheduleMode
+from repro.data import make_linearly_separable, shard_dataset
+from repro.exceptions import TrainingError
+from repro.nn.model_zoo import build_mlp_network
+from repro.parallel import (
+    DistributedTrainer,
+    SerialTrainer,
+    assign_schemes,
+    simulate_synchronous_sgd,
+)
+from repro.core.cost_model import CommScheme
+
+
+NUM_WORKERS = 3
+BATCH = 8
+
+
+def deterministic_provider(shards, batch=BATCH):
+    """A batch provider shared by distributed and serial-emulation runs."""
+    def provider(iteration, worker):
+        rng = np.random.default_rng(10_000 + iteration * 31 + worker)
+        images, labels = shards[worker]
+        indices = rng.choice(images.shape[0], size=batch, replace=False)
+        return images[indices], labels[indices]
+    return provider
+
+
+@pytest.fixture
+def setup():
+    train_x, train_y, test_x, test_y = make_linearly_separable(
+        num_train=180, num_test=60, input_dim=16, num_classes=4, seed=1)
+    shards = shard_dataset(train_x, train_y, NUM_WORKERS, seed=2)
+    config = TrainingConfig(batch_size=BATCH, learning_rate=0.05, iterations=6, seed=5)
+
+    def factory():
+        return build_mlp_network(input_dim=16, hidden_dims=(32, 16), num_classes=4,
+                                 seed=21)
+
+    return factory, shards, config, (test_x, test_y)
+
+
+def make_trainer(setup, mode, schedule=ScheduleMode.WFBP, provider=None, **kwargs):
+    factory, shards, config, test_data = setup
+    return DistributedTrainer(
+        network_factory=factory,
+        num_workers=NUM_WORKERS,
+        train_shards=shards,
+        training=config,
+        mode=mode,
+        schedule=schedule,
+        test_data=test_data,
+        batch_provider=provider,
+        **kwargs,
+    )
+
+
+class TestSchemeAssignment:
+    def test_ps_mode_assigns_ps_everywhere(self, setup):
+        factory = setup[0]
+        assignment = assign_schemes(factory(), "ps", 4, 4, 32)
+        assert all(s is CommScheme.PS for s in assignment.schemes.values())
+
+    def test_sfb_mode_assigns_sfb_to_dense(self, setup):
+        factory = setup[0]
+        assignment = assign_schemes(factory(), "sfb", 4, 4, 32)
+        assert assignment.sfb_layers  # every Dense layer
+        assert set(assignment.sfb_layers) == set(assignment.schemes)
+
+    def test_hybrid_prefers_ps_for_small_layers(self, setup):
+        factory = setup[0]
+        assignment = assign_schemes(factory(), "hybrid", 4, 4, 32)
+        # These layers are tiny (32x16 etc.); PS should win everywhere.
+        assert assignment.sfb_layers == []
+
+    def test_hybrid_prefers_sfb_for_wide_layer_and_small_batch(self):
+        network = build_mlp_network(input_dim=2048, hidden_dims=(2048,),
+                                    num_classes=1000, seed=0)
+        assignment = assign_schemes(network, "hybrid", num_workers=8, num_servers=8,
+                                    batch_size=4)
+        assert "fc1" in assignment.sfb_layers
+
+    def test_unknown_mode_rejected(self, setup):
+        factory = setup[0]
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            assign_schemes(factory(), "carrier-pigeon", 2, 2, 8)
+
+
+class TestDistributedTraining:
+    @pytest.mark.parametrize("mode", ["ps", "sfb", "hybrid", "adam", "onebit"])
+    def test_all_modes_train_and_stay_consistent(self, setup, mode):
+        trainer = make_trainer(setup, mode)
+        history = trainer.train(4)
+        assert len(history.losses) == 4
+        assert np.isfinite(history.losses).all()
+        assert trainer.replica_states_close()
+
+    def test_exact_modes_agree_with_each_other(self, setup):
+        """PS, SFB, hybrid and Adam all perform exact synchronization."""
+        provider = deterministic_provider(setup[1])
+        final_losses = {}
+        for mode in ("ps", "sfb", "adam"):
+            trainer = make_trainer(setup, mode, provider=provider)
+            history = trainer.train(5)
+            final_losses[mode] = history.losses
+        np.testing.assert_allclose(final_losses["ps"], final_losses["sfb"], atol=1e-4)
+        np.testing.assert_allclose(final_losses["ps"], final_losses["adam"], atol=1e-4)
+
+    def test_distributed_ps_matches_serial_emulation(self, setup):
+        factory, shards, config, _ = setup
+        provider = deterministic_provider(shards)
+        trainer = make_trainer(setup, "ps", provider=provider)
+        history = trainer.train(5)
+
+        reference = factory()
+        serial_losses = simulate_synchronous_sgd(
+            reference, provider, NUM_WORKERS, 5, config)
+        np.testing.assert_allclose(history.losses, serial_losses, atol=1e-4)
+        replica_state = trainer.replica(0).get_state()
+        reference_state = reference.get_state()
+        for layer in reference_state:
+            for key in reference_state[layer]:
+                np.testing.assert_allclose(replica_state[layer][key],
+                                           reference_state[layer][key], atol=1e-4)
+
+    def test_sequential_schedule_produces_same_result_as_wfbp(self, setup):
+        provider = deterministic_provider(setup[1])
+        wfbp = make_trainer(setup, "ps", schedule=ScheduleMode.WFBP,
+                            provider=provider).train(4)
+        seq = make_trainer(setup, "ps", schedule=ScheduleMode.SEQUENTIAL,
+                           provider=provider).train(4)
+        np.testing.assert_allclose(wfbp.losses, seq.losses, atol=1e-5)
+
+    def test_loss_decreases_over_training(self, setup):
+        trainer = make_trainer(setup, "hybrid")
+        history = trainer.train(30)
+        early = np.mean(history.losses[:5])
+        late = np.mean(history.losses[-5:])
+        assert late < early
+
+    def test_eval_records_test_error(self, setup):
+        trainer = make_trainer(setup, "ps", eval_every=2)
+        history = trainer.train(4)
+        assert len(history.test_errors) == 2
+        assert all(0.0 <= err <= 1.0 for _, err in history.test_errors)
+
+    def test_onebit_uses_fewer_bytes_than_ps(self, setup):
+        provider = deterministic_provider(setup[1])
+        ps_history = make_trainer(setup, "ps", provider=provider).train(3)
+        onebit_history = make_trainer(setup, "onebit", provider=provider).train(3)
+        assert onebit_history.bytes_sent < ps_history.bytes_sent
+
+    def test_zero_iterations_is_a_noop(self, setup):
+        history = make_trainer(setup, "ps").train(0)
+        assert history.losses == []
+
+    def test_history_metadata(self, setup):
+        history = make_trainer(setup, "hybrid").train(2)
+        assert history.mode == "hybrid"
+        assert history.num_workers == NUM_WORKERS
+        assert history.iterations == 2
+        assert history.total_bytes == history.bytes_sent + history.bytes_received
+
+    def test_invalid_configurations_rejected(self, setup):
+        factory, shards, config, _ = setup
+        with pytest.raises(TrainingError):
+            DistributedTrainer(factory, 0, shards, config)
+        with pytest.raises(TrainingError):
+            DistributedTrainer(factory, 2, shards, config)  # 3 shards for 2 workers
+        with pytest.raises(TrainingError):
+            DistributedTrainer(factory, 3, None, config)
+
+
+class TestSerialTrainer:
+    def test_loss_decreases(self, setup):
+        factory, _, config, test_data = setup
+        train_x, train_y, _, _ = make_linearly_separable(
+            num_train=180, num_test=10, input_dim=16, num_classes=4, seed=1)
+        trainer = SerialTrainer(factory(), (train_x, train_y), config,
+                                test_data=test_data, eval_every=10)
+        history = trainer.train(40)
+        assert history.losses[-1] < history.losses[0]
+        assert history.test_errors
+
+    def test_final_loss_property(self, setup):
+        factory, _, config, _ = setup
+        train_x, train_y, _, _ = make_linearly_separable(
+            num_train=64, num_test=10, input_dim=16, num_classes=4, seed=1)
+        trainer = SerialTrainer(factory(), (train_x, train_y), config)
+        history = trainer.train(3)
+        assert history.final_loss == history.losses[-1]

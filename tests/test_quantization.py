@@ -1,0 +1,119 @@
+"""Tests for 1-bit quantization with error feedback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.quantization import (
+    OneBitQuantizer,
+    dequantize_dict,
+    quantized_nbytes,
+)
+from repro.exceptions import CommunicationError
+
+
+class TestOneBitQuantizer:
+    def test_dequantized_shape_matches(self, rng):
+        quantizer = OneBitQuantizer()
+        grad = rng.standard_normal((8, 5)).astype(np.float32)
+        quantized = quantizer.quantize("w", grad)
+        assert quantized.dequantize().shape == grad.shape
+
+    def test_wire_size_much_smaller_than_dense(self, rng):
+        quantizer = OneBitQuantizer()
+        grad = rng.standard_normal((256, 256)).astype(np.float32)
+        quantized = quantizer.quantize("w", grad)
+        assert quantized.nbytes < grad.nbytes / 8
+
+    def test_signs_preserved(self, rng):
+        quantizer = OneBitQuantizer()
+        grad = rng.standard_normal((16, 4)).astype(np.float32)
+        quantized = quantizer.quantize("w", grad)
+        recon = quantized.dequantize()
+        # Column means of positive/negative entries keep the sign structure.
+        assert np.all((recon >= 0) == (grad >= 0))
+
+    def test_residual_is_quantization_error(self, rng):
+        quantizer = OneBitQuantizer()
+        grad = rng.standard_normal((8, 3)).astype(np.float32)
+        quantized = quantizer.quantize("w", grad)
+        residual = quantizer.residual("w")
+        np.testing.assert_allclose(residual, grad - quantized.dequantize(), atol=1e-6)
+
+    def test_error_feedback_compensates_over_time(self):
+        """The running sum of dequantized gradients tracks the true sum."""
+        quantizer = OneBitQuantizer()
+        rng = np.random.default_rng(0)
+        true_total = np.zeros((8, 4))
+        sent_total = np.zeros((8, 4))
+        for _ in range(50):
+            grad = rng.standard_normal((8, 4))
+            true_total += grad
+            sent_total += quantizer.quantize("w", grad).dequantize()
+        residual = quantizer.residual("w")
+        np.testing.assert_allclose(sent_total + residual, true_total, atol=1e-6)
+
+    def test_column_means_reconstructed_exactly(self):
+        quantizer = OneBitQuantizer()
+        grad = np.array([[1.0, -2.0], [3.0, -4.0]], dtype=np.float32)
+        recon = quantizer.quantize("w", grad).dequantize()
+        np.testing.assert_allclose(recon[:, 0], 2.0)
+        np.testing.assert_allclose(recon[:, 1], -3.0)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(CommunicationError):
+            OneBitQuantizer().quantize("w", np.float32(3.0))
+
+    def test_reset_clears_residuals(self, rng):
+        quantizer = OneBitQuantizer()
+        quantizer.quantize("w", rng.standard_normal((4, 4)))
+        quantizer.reset()
+        assert quantizer.residual("w") is None
+
+    def test_quantize_dict_splits_small_tensors(self, rng):
+        quantizer = OneBitQuantizer()
+        grads = {"weight": rng.standard_normal((32, 16)).astype(np.float32),
+                 "bias": rng.standard_normal(16).astype(np.float32)}
+        quantized, dense = quantizer.quantize_dict("fc", grads)
+        assert "weight" in quantized
+        assert "bias" in dense
+
+    def test_dequantize_dict_merges(self, rng):
+        quantizer = OneBitQuantizer()
+        grads = {"weight": rng.standard_normal((32, 16)).astype(np.float32),
+                 "bias": rng.standard_normal(16).astype(np.float32)}
+        quantized, dense = quantizer.quantize_dict("fc", grads)
+        merged = dequantize_dict(quantized, dense)
+        assert set(merged) == {"weight", "bias"}
+        assert merged["weight"].shape == (32, 16)
+
+    def test_quantized_nbytes_accounts_both_parts(self, rng):
+        quantizer = OneBitQuantizer()
+        grads = {"weight": rng.standard_normal((32, 16)).astype(np.float32),
+                 "bias": rng.standard_normal(16).astype(np.float32)}
+        quantized, dense = quantizer.quantize_dict("fc", grads)
+        total = quantized_nbytes(quantized, dense)
+        assert total == quantized["weight"].nbytes + dense["bias"].nbytes
+
+
+class TestQuantizationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.integers(2, 32), cols=st.integers(1, 16), seed=st.integers(0, 999))
+    def test_residual_bounded_by_gradient_scale(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        grad = rng.standard_normal((rows, cols))
+        quantizer = OneBitQuantizer()
+        quantizer.quantize("w", grad)
+        residual = quantizer.residual("w")
+        # The quantization error of a single step cannot exceed the spread of
+        # the corrected gradient column-wise.
+        assert np.abs(residual).max() <= np.abs(grad).max() * 2 + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.integers(2, 16), cols=st.integers(1, 8), seed=st.integers(0, 999))
+    def test_compression_ratio_at_least_8(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        grad = rng.standard_normal((rows, cols)).astype(np.float32)
+        quantized = OneBitQuantizer().quantize("w", grad)
+        # 1 bit per element + two float32 scales per column.
+        assert quantized.nbytes <= grad.nbytes // 8 + 8 * cols + 8

@@ -1,0 +1,279 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Resource, Store
+
+
+class TestEnvironmentBasics:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(2.5)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(2.5)
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_events_processed_counter(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            yield env.timeout(1)
+
+        env.run_process(proc())
+        assert env.events_processed >= 2
+
+    def test_run_until_stops_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(100)
+
+        env.process(proc())
+        env.run(until=10)
+        assert env.now == pytest.approx(10)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        assert env.run_process(proc()) == "done"
+
+    def test_nested_process_waiting(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3)
+            return 42
+
+        def parent():
+            value = yield env.process(child())
+            return value + 1
+
+        assert env.run_process(parent()) == 43
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+        trace = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            trace.append((env.now, delay))
+
+        env.process(proc(2))
+        env.process(proc(1))
+        env.run()
+        assert trace == [(1, 1), (2, 2)]
+
+    def test_exception_in_process_propagates_from_run_process(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            env.run_process(proc())
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        process = env.process(proc())
+        env.run()
+        assert process.ok is False
+        assert isinstance(process.value, SimulationError)
+
+    def test_interrupt_raises_inside_process(self):
+        env = Environment()
+        observed = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                observed.append(interrupt.cause)
+                return "interrupted"
+
+        def attacker(process):
+            yield env.timeout(5)
+            process.interrupt(cause="stop")
+
+        victim_process = env.process(victim())
+        env.process(attacker(victim_process))
+        env.run()
+        assert observed == ["stop"]
+        assert victim_process.value == "interrupted"
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+
+        def proc():
+            timeout = env.timeout(1)
+            yield env.timeout(5)
+            # `timeout` fired long ago; waiting on it should not deadlock.
+            yield timeout
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(5)
+
+
+class TestCompositeEvents:
+    def test_all_of_waits_for_slowest(self):
+        env = Environment()
+
+        def proc():
+            yield AllOf(env, [env.timeout(1), env.timeout(4), env.timeout(2)])
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(4)
+
+    def test_any_of_fires_on_fastest(self):
+        env = Environment()
+
+        def proc():
+            yield AnyOf(env, [env.timeout(5), env.timeout(1)])
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(1)
+
+    def test_all_of_empty_list_fires_immediately(self):
+        env = Environment()
+
+        def proc():
+            yield env.all_of([])
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(0)
+
+    def test_event_double_succeed_rejected(self):
+        env = Environment()
+        event = Event(env)
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+
+class TestResource:
+    def test_capacity_one_serialises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        completions = []
+
+        def worker(name):
+            yield env.process(resource.occupy(2))
+            completions.append((name, env.now))
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert [t for _, t in completions] == [2, 4]
+
+    def test_capacity_two_runs_in_parallel(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        completions = []
+
+        def worker():
+            yield env.process(resource.occupy(3))
+            completions.append(env.now)
+
+        for _ in range(2):
+            env.process(worker())
+        env.run()
+        assert completions == [3, 3]
+
+    def test_release_unowned_request_raises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        resource.release(request)
+        with pytest.raises(SimulationError):
+            resource.release(request)
+
+    def test_utilization_tracking(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def worker():
+            yield env.process(resource.occupy(4))
+            yield env.timeout(4)
+
+        env.run_process(worker())
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc():
+            store.put("item")
+            value = yield store.get()
+            return value
+
+        assert env.run_process(proc()) == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            value = yield store.get()
+            received.append((value, env.now))
+
+        def producer():
+            yield env.timeout(7)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == [("late", 7)]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc():
+            store.put(1)
+            store.put(2)
+            first = yield store.get()
+            second = yield store.get()
+            return (first, second)
+
+        assert env.run_process(proc()) == (1, 2)
+
+    def test_len_reflects_queued_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        assert len(store) == 1

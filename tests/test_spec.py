@@ -1,0 +1,178 @@
+"""Tests for layer/model specifications and the spec builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.exceptions import ModelSpecError
+from repro.nn.spec import LayerKind, LayerSpec, ModelSpec, SpecBuilder
+
+
+def build_toy_spec():
+    builder = SpecBuilder("toy", input_shape=(3, 16, 16))
+    builder.conv("conv1", out_channels=8, kernel=3, pad=1)
+    builder.relu("relu1")
+    builder.max_pool("pool1", kernel=2, stride=2)
+    builder.flatten("flatten")
+    builder.fc("fc1", 32)
+    builder.fc("fc2", 10)
+    builder.softmax("prob")
+    return builder.build(dataset="toy", default_batch_size=8)
+
+
+class TestLayerSpec:
+    def test_param_bytes_is_four_per_param(self):
+        layer = LayerSpec(name="fc", kind=LayerKind.FC, param_count=100,
+                          param_shape=(10, 10), sf_decomposable=True,
+                          output_shape=(10,))
+        assert layer.param_bytes == 400
+
+    def test_fc_dims(self):
+        layer = LayerSpec(name="fc", kind=LayerKind.FC, param_count=110,
+                          param_shape=(10, 11), sf_decomposable=True,
+                          output_shape=(11,))
+        assert layer.fc_dims == (10, 11)
+
+    def test_fc_dims_rejected_for_conv(self):
+        layer = LayerSpec(name="conv", kind=LayerKind.CONV, param_count=9,
+                          param_shape=(1, 1, 3, 3), output_shape=(1, 4, 4))
+        with pytest.raises(ModelSpecError):
+            layer.fc_dims
+
+    def test_sufficient_factor_bytes(self):
+        layer = LayerSpec(name="fc", kind=LayerKind.FC, param_count=200,
+                          param_shape=(10, 20), sf_decomposable=True,
+                          output_shape=(20,))
+        assert layer.sufficient_factor_bytes(batch_size=4) == 4 * 30 * units.FLOAT32_BYTES
+
+    def test_sf_bytes_rejected_for_non_decomposable(self):
+        layer = LayerSpec(name="conv", kind=LayerKind.CONV, param_count=9,
+                          param_shape=(1, 1, 3, 3), output_shape=(1, 4, 4))
+        with pytest.raises(ModelSpecError):
+            layer.sufficient_factor_bytes(4)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ModelSpecError):
+            LayerSpec(name="x", kind=LayerKind.FC, param_count=-1)
+
+    def test_params_on_pool_rejected(self):
+        with pytest.raises(ModelSpecError):
+            LayerSpec(name="pool", kind=LayerKind.POOL, param_count=10)
+
+    def test_sf_flag_only_on_fc(self):
+        with pytest.raises(ModelSpecError):
+            LayerSpec(name="conv", kind=LayerKind.CONV, param_count=9,
+                      sf_decomposable=True)
+
+
+class TestSpecBuilder:
+    def test_conv_output_shape_tracking(self):
+        builder = SpecBuilder("t", input_shape=(3, 32, 32))
+        conv = builder.conv("c1", out_channels=16, kernel=3, stride=2, pad=1)
+        assert conv.output_shape == (16, 16, 16)
+
+    def test_conv_param_count(self):
+        builder = SpecBuilder("t", input_shape=(3, 32, 32))
+        conv = builder.conv("c1", out_channels=8, kernel=3)
+        assert conv.param_count == 8 * 3 * 3 * 3 + 8
+
+    def test_fc_requires_flat_input(self):
+        builder = SpecBuilder("t", input_shape=(3, 8, 8))
+        with pytest.raises(ModelSpecError):
+            builder.fc("fc", 10)
+
+    def test_conv_requires_spatial_input(self):
+        builder = SpecBuilder("t", input_shape=(64,))
+        with pytest.raises(ModelSpecError):
+            builder.conv("c1", out_channels=8, kernel=3)
+
+    def test_conv_rect_rectangular_kernel(self):
+        builder = SpecBuilder("t", input_shape=(4, 17, 17))
+        layer = builder.conv_rect("c", out_channels=8, kernel_h=1, kernel_w=7, pad_w=3)
+        assert layer.output_shape == (8, 17, 17)
+        assert layer.param_count == 8 * 4 * 1 * 7 + 8
+
+    def test_collapsing_convolution_rejected(self):
+        builder = SpecBuilder("t", input_shape=(3, 4, 4))
+        with pytest.raises(ModelSpecError):
+            builder.conv("too-big", out_channels=4, kernel=7)
+
+    def test_flatten_and_fc_dims(self):
+        spec = build_toy_spec()
+        fc1 = spec.layer("fc1")
+        assert fc1.fc_dims == (8 * 8 * 8, 32)
+
+    def test_global_avg_pool_collapses_spatial(self):
+        builder = SpecBuilder("t", input_shape=(12, 7, 7))
+        layer = builder.global_avg_pool("gap")
+        assert layer.output_shape == (12, 1, 1)
+
+    def test_batch_norm_params(self):
+        builder = SpecBuilder("t", input_shape=(16, 8, 8))
+        layer = builder.batch_norm("bn")
+        assert layer.param_count == 32
+
+    def test_concat_channels(self):
+        builder = SpecBuilder("t", input_shape=(8, 14, 14))
+        layer = builder.concat_channels("cat", (8, 16, 4))
+        assert layer.output_shape == (28, 14, 14)
+
+
+class TestModelSpec:
+    def test_duplicate_layer_names_rejected(self):
+        layer = LayerSpec(name="dup", kind=LayerKind.ACTIVATION, output_shape=(4,))
+        with pytest.raises(ModelSpecError):
+            ModelSpec(name="bad", layers=(layer, layer))
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelSpecError):
+            ModelSpec(name="empty", layers=())
+
+    def test_total_params_sum(self):
+        spec = build_toy_spec()
+        assert spec.total_params == sum(l.param_count for l in spec.layers)
+
+    def test_fc_plus_conv_params_cover_all(self):
+        spec = build_toy_spec()
+        assert spec.fc_params + spec.conv_params == spec.total_params
+
+    def test_parameter_layers_only_parameterised(self):
+        spec = build_toy_spec()
+        assert all(layer.has_parameters for layer in spec.parameter_layers())
+
+    def test_layer_lookup_unknown_raises(self):
+        spec = build_toy_spec()
+        with pytest.raises(KeyError):
+            spec.layer("nonexistent")
+
+    def test_summary_mentions_model_name(self):
+        assert "toy" in build_toy_spec().summary()
+
+    def test_flops_positive(self):
+        spec = build_toy_spec()
+        assert spec.flops_forward > 0
+        assert spec.flops_backward > spec.flops_forward
+
+
+class TestSpecProperties:
+    @given(m=st.integers(min_value=1, max_value=2048),
+           n=st.integers(min_value=1, max_value=2048),
+           batch=st.integers(min_value=1, max_value=512))
+    def test_sf_bytes_smaller_than_dense_for_large_layers(self, m, n, batch):
+        layer = LayerSpec(name="fc", kind=LayerKind.FC, param_count=m * n,
+                          param_shape=(m, n), sf_decomposable=True,
+                          output_shape=(n,))
+        sf = layer.sufficient_factor_bytes(batch)
+        dense = layer.param_bytes
+        # SFs win exactly when K(M+N) < MN.
+        assert (sf < dense) == (batch * (m + n) < m * n)
+
+    @given(channels=st.integers(min_value=1, max_value=32),
+           kernel=st.integers(min_value=1, max_value=5),
+           size=st.integers(min_value=8, max_value=32))
+    def test_conv_flops_scale_with_output(self, channels, kernel, size):
+        builder = SpecBuilder("t", input_shape=(3, size, size))
+        layer = builder.conv("c", out_channels=channels, kernel=kernel)
+        out_c, out_h, out_w = layer.output_shape
+        expected = 2.0 * channels * 3 * kernel * kernel * out_h * out_w
+        assert layer.flops_forward == pytest.approx(expected)

@@ -1,0 +1,149 @@
+"""Tests for scaling sweeps, convergence models and engine descriptors."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.wfbp import ScheduleMode
+from repro.engines import (
+    CAFFE_PS,
+    CAFFE_WFBP,
+    POSEIDON_CAFFE,
+    POSEIDON_TF,
+    TF,
+    caffe_systems,
+    tensorflow_systems,
+)
+from repro.engines.base import CommMode, Partitioning
+from repro.exceptions import ConfigurationError
+from repro.simulation.convergence import (
+    RESNET152_FINAL_ERROR,
+    compare_convergence,
+    epochs_to_error,
+    resnet152_error_curve,
+    time_to_error_hours,
+)
+from repro.simulation.speedup import (
+    bandwidth_sweep,
+    compare_systems,
+    scaling_curve,
+    single_node_reference_seconds,
+)
+
+
+class TestScalingCurve:
+    def test_curve_records_every_node_count(self, googlenet_spec):
+        curve = scaling_curve(googlenet_spec, POSEIDON_CAFFE, node_counts=(1, 2, 4))
+        assert curve.node_counts == [1, 2, 4]
+        assert len(curve.speedups) == 3
+        assert len(curve.results) == 3
+
+    def test_speedup_at_unknown_node_count_raises(self, googlenet_spec):
+        curve = scaling_curve(googlenet_spec, POSEIDON_CAFFE, node_counts=(1, 2))
+        with pytest.raises(KeyError):
+            curve.speedup_at(64)
+
+    def test_scaling_efficiency_of_linear_curve(self, googlenet_spec):
+        curve = scaling_curve(googlenet_spec, POSEIDON_CAFFE, node_counts=(1, 4, 8))
+        assert 0.8 <= curve.scaling_efficiency(8) <= 1.0
+
+    def test_single_node_reference_seconds(self, vgg19_spec):
+        assert single_node_reference_seconds(vgg19_spec) == pytest.approx(
+            32 / 35.5, rel=1e-6)
+
+    def test_compare_systems_keys(self, googlenet_spec):
+        curves = compare_systems(googlenet_spec, (CAFFE_PS, POSEIDON_CAFFE),
+                                 node_counts=(1, 4))
+        assert set(curves) == {"Caffe+PS", "Poseidon (Caffe)"}
+
+    def test_bandwidth_sweep_structure(self, vgg19_spec):
+        sweep = bandwidth_sweep(vgg19_spec, CAFFE_WFBP, bandwidths_gbps=(10.0, 40.0),
+                                node_counts=(1, 8))
+        assert set(sweep) == {10.0, 40.0}
+        assert sweep[40.0].speedup_at(8) >= sweep[10.0].speedup_at(8)
+
+    def test_base_cluster_override(self, vgg19_spec):
+        base = ClusterConfig(num_workers=1, network_efficiency=1.0)
+        curve = scaling_curve(vgg19_spec, CAFFE_WFBP, node_counts=(1, 8),
+                              bandwidth_gbps=10.0, base_cluster=base)
+        default = scaling_curve(vgg19_spec, CAFFE_WFBP, node_counts=(1, 8),
+                                bandwidth_gbps=10.0)
+        assert curve.speedup_at(8) >= default.speedup_at(8)
+
+
+class TestConvergenceModel:
+    def test_error_decreases_with_epochs(self):
+        curve = resnet152_error_curve(num_nodes=16, epochs=100)
+        assert curve.errors[0] > curve.errors[-1]
+        assert all(curve.errors[i] >= curve.errors[i + 1] - 1e-9
+                   for i in range(len(curve.errors) - 1))
+
+    def test_reaches_paper_error_within_budget(self):
+        """16 and 32 nodes reach ~0.24 error in under 90 epochs (Figure 9b)."""
+        for nodes in (16, 32):
+            epochs = epochs_to_error(nodes, target_error=0.25)
+            assert epochs is not None
+            assert epochs < 90
+
+    def test_final_error_close_to_paper(self):
+        curve = resnet152_error_curve(num_nodes=16, epochs=120)
+        assert curve.final_error == pytest.approx(RESNET152_FINAL_ERROR, abs=0.02)
+
+    def test_larger_clusters_slightly_slower_per_epoch(self):
+        """Very large effective batches converge a bit slower per epoch."""
+        small = resnet152_error_curve(num_nodes=8, epochs=60)
+        huge = resnet152_error_curve(num_nodes=128, epochs=60)
+        assert huge.final_error >= small.final_error
+
+    def test_error_at_and_epochs_to_reach(self):
+        curve = resnet152_error_curve(num_nodes=8, epochs=100)
+        assert curve.error_at(0) > 0.9
+        assert curve.epochs_to_reach(2.0) == 0
+
+    def test_time_to_error_decreases_with_more_nodes(self):
+        hours_8 = time_to_error_hours(8, iteration_seconds=1.8)
+        hours_32 = time_to_error_hours(32, iteration_seconds=1.8)
+        assert hours_32 < hours_8
+
+    def test_compare_convergence_returns_requested_nodes(self):
+        curves = compare_convergence((8, 16))
+        assert [nodes for nodes, _ in curves] == [8, 16]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resnet152_error_curve(num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            resnet152_error_curve(num_nodes=4, epochs=0)
+
+
+class TestSystemDescriptors:
+    def test_caffe_systems_registry(self):
+        systems = caffe_systems()
+        assert set(systems) == {"Caffe+PS", "Caffe+WFBP", "Poseidon (Caffe)"}
+
+    def test_tensorflow_systems_registry(self):
+        systems = tensorflow_systems()
+        assert set(systems) == {"TF", "TF+WFBP", "Poseidon (TF)"}
+
+    def test_poseidon_uses_hybrid_and_wfbp(self):
+        assert POSEIDON_CAFFE.comm is CommMode.HYBRID
+        assert POSEIDON_CAFFE.schedule is ScheduleMode.WFBP
+        assert POSEIDON_CAFFE.partitioning is Partitioning.FINE
+
+    def test_tf_baseline_is_coarse_without_pull_overlap(self):
+        assert TF.partitioning is Partitioning.COARSE
+        assert TF.overlap_pull is False
+
+    def test_caffe_ps_does_not_overlap_host_copies(self):
+        assert CAFFE_PS.overlap_host_copy is False
+        assert CAFFE_PS.schedule is ScheduleMode.SEQUENTIAL
+
+    def test_with_helpers_return_modified_copies(self):
+        modified = POSEIDON_CAFFE.with_comm(CommMode.PS)
+        assert modified.comm is CommMode.PS
+        assert POSEIDON_CAFFE.comm is CommMode.HYBRID
+        renamed = POSEIDON_CAFFE.renamed("x")
+        assert renamed.name == "x"
+        rescheduled = POSEIDON_CAFFE.with_schedule(ScheduleMode.SEQUENTIAL)
+        assert rescheduled.schedule is ScheduleMode.SEQUENTIAL
+        repartitioned = POSEIDON_CAFFE.with_partitioning(Partitioning.COARSE)
+        assert repartitioned.partitioning is Partitioning.COARSE

@@ -1,0 +1,180 @@
+"""Tests for the flow-level iteration simulator."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.cost_model import CommScheme
+from repro.core.wfbp import ScheduleMode
+from repro.engines import (
+    ADAM_TF,
+    CAFFE_PS,
+    CAFFE_WFBP,
+    CNTK_1BIT,
+    POSEIDON_CAFFE,
+    POSEIDON_TF,
+    TF,
+    TF_WFBP,
+)
+from repro.engines.base import CommMode, Partitioning
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation import build_workload, simulate_system
+from repro.simulation.speedup import scaling_curve
+
+
+def cluster(nodes, bandwidth=40.0, **kwargs):
+    return ClusterConfig(num_workers=nodes, bandwidth_gbps=bandwidth, **kwargs)
+
+
+class TestSingleNode:
+    def test_single_node_iteration_equals_compute(self, vgg19_spec):
+        result = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(1))
+        assert result.iteration_seconds == pytest.approx(
+            result.compute_seconds, rel=1e-6)
+        assert result.speedup == pytest.approx(1.0, rel=1e-6)
+
+    def test_caffe_ps_single_node_overhead(self, vgg19_spec):
+        """The vanilla PS baseline is slower than plain Caffe even on 1 node."""
+        result = simulate_system(vgg19_spec, CAFFE_PS, cluster(1))
+        assert result.speedup < 0.75
+
+    def test_gpu_fully_busy_on_single_node(self, vgg19_spec):
+        result = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(1))
+        assert result.gpu_busy_fraction == pytest.approx(1.0, abs=1e-6)
+
+    def test_throughput_definition(self, vgg19_spec):
+        result = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(4))
+        assert result.throughput_images_per_sec == pytest.approx(
+            4 * result.batch_size / result.iteration_seconds)
+
+
+class TestScalingShapes:
+    def test_speedup_monotonic_in_nodes(self, vgg19_spec):
+        curve = scaling_curve(vgg19_spec, POSEIDON_CAFFE,
+                              node_counts=(1, 2, 4, 8), bandwidth_gbps=40.0)
+        assert curve.speedups == sorted(curve.speedups)
+
+    def test_speedup_bounded_by_node_count(self, vgg19_spec):
+        curve = scaling_curve(vgg19_spec, POSEIDON_CAFFE,
+                              node_counts=(2, 8, 16), bandwidth_gbps=40.0)
+        for nodes, speedup in zip(curve.node_counts, curve.speedups):
+            assert speedup <= nodes + 1e-6
+
+    def test_wfbp_beats_sequential_ps(self, vgg19_spec):
+        wfbp = simulate_system(vgg19_spec, CAFFE_WFBP, cluster(16))
+        sequential = simulate_system(vgg19_spec, CAFFE_PS, cluster(16))
+        assert wfbp.speedup > sequential.speedup
+
+    def test_poseidon_at_least_as_fast_as_ps_only(self, vgg19_spec):
+        """Poseidon never underperforms the PS scheme (Section 5.2)."""
+        for bandwidth in (10.0, 40.0):
+            poseidon = simulate_system(vgg19_spec, POSEIDON_CAFFE,
+                                       cluster(16, bandwidth))
+            ps_only = simulate_system(vgg19_spec, CAFFE_WFBP, cluster(16, bandwidth))
+            assert poseidon.speedup >= ps_only.speedup - 1e-6
+
+    def test_hybcomm_shines_at_low_bandwidth(self, vgg19_spec):
+        """At 10 GbE the PS-only system loses half its throughput; Poseidon doesn't."""
+        poseidon = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(16, 10.0))
+        ps_only = simulate_system(vgg19_spec, CAFFE_WFBP, cluster(16, 10.0))
+        assert poseidon.speedup > 1.5 * ps_only.speedup
+        assert poseidon.speedup > 14.0
+
+    def test_more_bandwidth_never_hurts(self, vgg19_spec):
+        slow = simulate_system(vgg19_spec, CAFFE_WFBP, cluster(16, 10.0))
+        fast = simulate_system(vgg19_spec, CAFFE_WFBP, cluster(16, 40.0))
+        assert fast.speedup >= slow.speedup
+
+    def test_googlenet_poseidon_reduces_to_ps(self, googlenet_spec):
+        """GoogLeNet (thin FC, batch 128): the hybrid plan contains no SFB unit."""
+        result = simulate_system(googlenet_spec, POSEIDON_CAFFE, cluster(16))
+        assert CommScheme.SFB.value not in result.scheme_by_unit.values()
+
+    def test_vgg_poseidon_uses_sfb_for_fc(self, vgg19_spec):
+        result = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(16))
+        assert result.scheme_by_unit["fc6"] == CommScheme.SFB.value
+        assert result.scheme_by_unit["conv1_1"] == CommScheme.PS.value
+
+
+class TestTensorFlowBaseline:
+    def test_tf_scales_poorly_on_vgg(self, vgg19_spec):
+        """Coarse partitioning + no pull overlap caps TF's VGG19 scaling."""
+        tf = simulate_system(vgg19_spec, TF, cluster(16))
+        poseidon = simulate_system(vgg19_spec, POSEIDON_TF, cluster(16))
+        assert tf.speedup < 0.5 * poseidon.speedup
+
+    def test_tf_wfbp_between_tf_and_poseidon(self, vgg19_spec):
+        tf = simulate_system(vgg19_spec, TF, cluster(16))
+        tf_wfbp = simulate_system(vgg19_spec, TF_WFBP, cluster(16))
+        poseidon = simulate_system(vgg19_spec, POSEIDON_TF, cluster(16))
+        assert tf.speedup <= tf_wfbp.speedup <= poseidon.speedup + 1e-6
+
+    def test_tf_hotspot_traffic_imbalanced(self, vgg19_spec):
+        result = simulate_system(vgg19_spec, TF, cluster(8))
+        traffic = result.per_node_traffic_bytes
+        assert max(traffic) > 1.5 * (sum(traffic) / len(traffic))
+
+    def test_fine_partitioning_traffic_balanced(self, vgg19_spec):
+        result = simulate_system(vgg19_spec, TF_WFBP, cluster(8))
+        traffic = result.per_node_traffic_bytes
+        assert max(traffic) == pytest.approx(min(traffic), rel=0.05)
+
+    def test_stall_ordering_matches_figure7(self, vgg19_spec):
+        tf = simulate_system(vgg19_spec, TF, cluster(8))
+        tf_wfbp = simulate_system(vgg19_spec, TF_WFBP, cluster(8))
+        poseidon = simulate_system(vgg19_spec, POSEIDON_TF, cluster(8))
+        assert tf.gpu_stall_fraction > tf_wfbp.gpu_stall_fraction >= \
+            poseidon.gpu_stall_fraction - 1e-9
+
+
+class TestAdamAndQuantization:
+    def test_adam_creates_hotspot(self, vgg19_spec):
+        result = simulate_system(vgg19_spec, ADAM_TF, cluster(8))
+        traffic = result.per_node_traffic_bytes
+        assert max(traffic) > 2.0 * (sum(traffic) / len(traffic))
+
+    def test_adam_slower_than_poseidon(self, vgg19_spec):
+        adam = simulate_system(vgg19_spec, ADAM_TF, cluster(8))
+        poseidon = simulate_system(vgg19_spec, POSEIDON_TF, cluster(8))
+        assert adam.speedup < poseidon.speedup
+
+    def test_poseidon_traffic_below_dense_ps(self, vgg19_spec):
+        dense = simulate_system(vgg19_spec, TF_WFBP, cluster(8))
+        poseidon = simulate_system(vgg19_spec, POSEIDON_TF, cluster(8))
+        assert poseidon.mean_traffic_gbits < 0.5 * dense.mean_traffic_gbits
+
+    def test_cntk_quantization_lowers_traffic_but_not_ideal_speedup(self, vgg19_spec):
+        cntk = simulate_system(vgg19_spec, CNTK_1BIT, cluster(16))
+        poseidon = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(16))
+        assert cntk.mean_traffic_gbits < poseidon.mean_traffic_gbits
+        assert cntk.speedup < poseidon.speedup
+
+
+class TestSimulatorInternals:
+    def test_workload_reuse_gives_same_result(self, vgg19_spec):
+        workload = build_workload(vgg19_spec)
+        a = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(8), workload=workload)
+        b = simulate_system(vgg19_spec, POSEIDON_CAFFE, cluster(8), workload=workload)
+        assert a.iteration_seconds == pytest.approx(b.iteration_seconds, rel=1e-9)
+
+    def test_simulator_is_deterministic(self, googlenet_spec):
+        a = simulate_system(googlenet_spec, TF, cluster(8))
+        b = simulate_system(googlenet_spec, TF, cluster(8))
+        assert a.iteration_seconds == b.iteration_seconds
+        assert a.per_node_traffic_bytes == b.per_node_traffic_bytes
+
+    def test_traffic_symmetry_under_fine_ps(self, vgg19_spec):
+        """With colocated shards, every node sends as much as it receives."""
+        result = simulate_system(vgg19_spec, CAFFE_WFBP, cluster(8))
+        assert result.per_node_traffic_bytes  # populated
+        # Total cluster traffic is conserved: sent == received overall, and
+        # per-node loads are symmetric by construction in the balanced case.
+        assert max(result.per_node_traffic_bytes) == pytest.approx(
+            min(result.per_node_traffic_bytes), rel=0.05)
+
+    def test_multi_gpu_adds_local_reduction_but_scales(self, googlenet_spec):
+        single = simulate_system(googlenet_spec, POSEIDON_CAFFE,
+                                 cluster(1, gpus_per_node=1))
+        multi = simulate_system(googlenet_spec, POSEIDON_CAFFE,
+                                cluster(1, gpus_per_node=4))
+        # Per-GPU iteration time barely changes; total throughput is ~4x.
+        assert multi.iteration_seconds < 1.2 * single.iteration_seconds

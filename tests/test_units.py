@@ -1,0 +1,56 @@
+"""Tests for unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_gbe_to_bits_per_second(self):
+        assert units.gbe(40) == 40e9
+
+    def test_bits_bytes_roundtrip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(123.0)) == pytest.approx(123.0)
+
+    def test_params_to_bytes_float32(self):
+        assert units.params_to_bytes(1000) == 4000
+
+    def test_transfer_seconds_basic(self):
+        # 1 GB over 8 Gb/s takes one second.
+        assert units.transfer_seconds(1e9, 8e9) == pytest.approx(1.0)
+
+    def test_transfer_seconds_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(100, 0)
+
+    @given(st.floats(min_value=0, max_value=1e15),
+           st.floats(min_value=1e3, max_value=1e12))
+    def test_transfer_seconds_non_negative(self, nbytes, bandwidth):
+        assert units.transfer_seconds(nbytes, bandwidth) >= 0.0
+
+    @given(st.floats(min_value=1, max_value=1e15))
+    def test_transfer_seconds_monotonic_in_bytes(self, nbytes):
+        slow = units.transfer_seconds(nbytes, 1e9)
+        fast = units.transfer_seconds(nbytes, 10e9)
+        assert slow >= fast
+
+
+class TestHumanFormatting:
+    def test_human_bytes_mib(self):
+        assert units.human_bytes(2 * units.MB) == "2.0 MiB"
+
+    def test_human_bytes_small(self):
+        assert units.human_bytes(12) == "12.0 B"
+
+    def test_human_seconds_milliseconds(self):
+        assert "ms" in units.human_seconds(0.005)
+
+    def test_human_seconds_microseconds(self):
+        assert "us" in units.human_seconds(2e-6)
+
+    def test_human_seconds_minutes(self):
+        assert "min" in units.human_seconds(600)
+
+    def test_human_seconds_plain(self):
+        assert units.human_seconds(2.5) == "2.50 s"
