@@ -1,0 +1,26 @@
+# Convenience entry points; see PERFORMANCE.md for the benchmark workflow.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test bench bench-update bench-full
+
+## tier-1 test suite
+test:
+	$(PYTEST) -x -q
+
+## tier-1 tests + micro-benchmarks gated against benchmarks/baseline.json
+bench:
+	$(PYTEST) -x -q
+	$(PYTEST) benchmarks/bench_micro.py --benchmark-only -q \
+		--benchmark-json=bench_results.json
+	python benchmarks/compare.py bench_results.json
+
+## refresh benchmarks/baseline.json from a fresh run (after intentional changes)
+bench-update:
+	$(PYTEST) benchmarks/bench_micro.py --benchmark-only -q \
+		--benchmark-json=bench_results.json
+	python benchmarks/compare.py bench_results.json --update
+
+## every benchmark suite (figure/table regeneration included; slow)
+bench-full:
+	$(PYTEST) benchmarks/ --benchmark-only -q

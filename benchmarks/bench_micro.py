@@ -10,9 +10,11 @@ import pytest
 
 from repro.comm.parameter_server import ShardedParameterServer
 from repro.comm.quantization import OneBitQuantizer
+from repro.comm.sfb import SufficientFactorBroadcaster
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.model_zoo import get_model_spec
 from repro.nn.optim import SGD
+from repro.nn.sufficient_factors import SufficientFactors
 from repro.sim import Environment
 from repro.simulation.workload import build_workload
 
@@ -75,6 +77,26 @@ def test_parameter_server_push_pull(benchmark):
         return server.pull(0, "fc", min_version=1)["weight"].shape
 
     assert benchmark(cycle) == (2048, 2048)
+
+
+def test_sfb_aggregation(benchmark):
+    """Aggregate 8 workers' sufficient factors for a 1024x1024 FC layer."""
+    rng = np.random.default_rng(0)
+    contributions = [
+        (worker,
+         SufficientFactors(
+             u=rng.standard_normal((32, 1024)).astype(np.float32),
+             v=rng.standard_normal((32, 1024)).astype(np.float32)),
+         {"bias": rng.standard_normal(1024).astype(np.float32)})
+        for worker in range(8)
+    ]
+
+    def aggregate():
+        total, extras = SufficientFactorBroadcaster.aggregate(
+            contributions, aggregation="mean")
+        return total.shape
+
+    assert benchmark(aggregate) == (1024, 1024)
 
 
 def test_onebit_quantization_rate(benchmark):

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Gate micro-benchmark results against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro.py \
+        --benchmark-only --benchmark-json=bench_results.json
+    python benchmarks/compare.py bench_results.json
+
+Exits non-zero if any benchmark regressed by more than the threshold
+(default 25% slower than the baseline mean).  Refresh the baseline after an
+intentional performance change with::
+
+    python benchmarks/compare.py bench_results.json --update
+
+which rewrites the ``mean_s``/``min_s`` fields of benchmarks/baseline.json
+in place (the ``seed_*`` fields, recording the original pre-optimisation
+implementation, are preserved).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+def load_results(path: str) -> dict:
+    """Read a pytest-benchmark JSON file into {benchmark name: stats}."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench["stats"] for bench in data.get("benchmarks", [])}
+
+
+def compare(results: dict, baseline: dict, threshold: float) -> int:
+    """Print a comparison table; return the number of regressions."""
+    known = baseline["benchmarks"]
+    regressions = 0
+    width = max((len(name) for name in known), default=20) + 2
+    print(f"{'benchmark':{width}s} {'baseline':>12s} {'current':>12s} "
+          f"{'ratio':>7s}  status")
+    for name, entry in sorted(known.items()):
+        stats = results.get(name)
+        if stats is None:
+            # A baselined benchmark that did not run is a gate failure:
+            # silently-skipped benchmarks must not read as "no regression".
+            print(f"{name:{width}s} {entry['mean_s']*1e3:10.3f} ms {'-':>12s} "
+                  f"{'-':>7s}  MISSING (not run; renamed? refresh with --update)")
+            regressions += 1
+            continue
+        ratio = stats["mean"] / entry["mean_s"]
+        slow = ratio > 1.0 + threshold
+        status = "REGRESSION" if slow else "ok"
+        if slow:
+            regressions += 1
+        print(f"{name:{width}s} {entry['mean_s']*1e3:10.3f} ms "
+              f"{stats['mean']*1e3:10.3f} ms {ratio:6.2f}x  {status}")
+    new = sorted(set(results) - set(known))
+    for name in new:
+        print(f"{name:{width}s} {'-':>12s} {results[name]['mean']*1e3:10.3f} ms "
+              f"{'-':>7s}  NEW (no baseline; run with --update)")
+    return regressions
+
+
+def update(results: dict, baseline: dict, baseline_path: str) -> None:
+    """Refresh baseline mean/min fields (preserving seed_* history)."""
+    for name, stats in results.items():
+        entry = baseline["benchmarks"].setdefault(name, {})
+        entry["mean_s"] = round(stats["mean"], 6)
+        entry["min_s"] = round(stats["min"], 6)
+        entry["stddev_s"] = round(stats["stddev"], 6)
+        entry["rounds"] = stats["rounds"]
+    with open(baseline_path, "w") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"updated {baseline_path} with {len(results)} benchmark(s)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="pytest-benchmark JSON output file")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file (default: benchmarks/baseline.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed slowdown fraction before failing "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from these results instead "
+                             "of gating against it")
+    args = parser.parse_args(argv)
+
+    try:
+        results = load_results(args.results)
+    except OSError as exc:
+        print(f"error: cannot read results file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read baseline file: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        update(results, baseline, args.baseline)
+        return 0
+
+    regressions = compare(results, baseline, args.threshold)
+    if regressions:
+        print(f"\n{regressions} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} (or went missing) vs {args.baseline}")
+        return 1
+    print("\nall benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

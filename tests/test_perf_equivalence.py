@@ -1,0 +1,503 @@
+"""Equivalence tests for the hot-path rewrites.
+
+Each optimised substrate (GEMM-batched SFB aggregation, strided im2col /
+col2im, packed-column Conv2D, in-place parameter-server accumulation, the
+allocation-free DES core) is checked against a straightforward reference
+implementation copied from the seed revision, and the DES is checked against
+a trace recorded from the seed engine so same-time event ordering is
+bit-for-bit unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.parameter_server import ShardedParameterServer
+from repro.comm.sfb import SufficientFactorBroadcaster
+from repro.nn.layers import Conv2D
+from repro.nn.layers.conv import col2im, im2col
+from repro.nn.optim import SGD
+from repro.nn.sufficient_factors import SufficientFactors, batch_reconstruct
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+ATOL = 1e-6
+#: np.allclose default relative tolerance (the issue's acceptance criterion is
+#: np.allclose with atol=1e-6, which keeps rtol at its 1e-5 default).
+RTOL = 1e-5
+
+
+# -- seed reference implementations ---------------------------------------------
+
+def naive_im2col(inputs, kernel, stride, pad):
+    batch, channels, height, width = inputs.shape
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    padded = np.pad(inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                    mode="constant")
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w),
+                    dtype=inputs.dtype)
+    for y in range(kernel):
+        y_max = y + stride * out_h
+        for x in range(kernel):
+            x_max = x + stride * out_w
+            cols[:, :, y, x, :, :] = padded[:, :, y:y_max:stride, x:x_max:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1)
+    return cols, out_h, out_w
+
+
+def naive_col2im(cols, input_shape, kernel, stride, pad):
+    batch, channels, height, width = input_shape
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    cols = cols.transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad),
+                      dtype=cols.dtype)
+    for y in range(kernel):
+        y_max = y + stride * out_h
+        for x in range(kernel):
+            x_max = x + stride * out_w
+            padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, y, x, :, :]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
+def naive_aggregate(contributions, aggregation="mean"):
+    weight_grad = None
+    extra_totals = {}
+    for _, factors, extras in contributions:
+        dense = factors.reconstruct()
+        weight_grad = dense if weight_grad is None else weight_grad + dense
+        for key, value in extras.items():
+            if key in extra_totals:
+                extra_totals[key] = extra_totals[key] + value
+            else:
+                extra_totals[key] = value.copy()
+    if aggregation == "mean":
+        count = float(len(contributions))
+        weight_grad = weight_grad / count
+        extra_totals = {k: v / count for k, v in extra_totals.items()}
+    return weight_grad, extra_totals
+
+
+def make_factors(rng, batch=4, m=16, n=12):
+    return SufficientFactors(
+        u=rng.standard_normal((batch, m)).astype(np.float32),
+        v=rng.standard_normal((batch, n)).astype(np.float32))
+
+
+# -- SFB aggregation ------------------------------------------------------------
+
+class TestSFBAggregationEquivalence:
+    @pytest.mark.parametrize("aggregation", ["sum", "mean"])
+    def test_matches_naive(self, rng, aggregation):
+        contributions = [
+            (w, make_factors(rng), {"bias": rng.standard_normal(12).astype(np.float32)})
+            for w in range(5)
+        ]
+        got_w, got_e = SufficientFactorBroadcaster.aggregate(
+            contributions, aggregation=aggregation)
+        exp_w, exp_e = naive_aggregate(contributions, aggregation=aggregation)
+        np.testing.assert_allclose(got_w, exp_w, atol=ATOL, rtol=RTOL)
+        assert set(got_e) == set(exp_e)
+        for key in exp_e:
+            np.testing.assert_allclose(got_e[key], exp_e[key], atol=ATOL, rtol=RTOL)
+
+    def test_heterogeneous_batch_sizes(self, rng):
+        contributions = [(w, make_factors(rng, batch=b), {})
+                         for w, b in enumerate([1, 3, 7])]
+        got_w, _ = SufficientFactorBroadcaster.aggregate(contributions, "sum")
+        exp_w, _ = naive_aggregate(contributions, "sum")
+        np.testing.assert_allclose(got_w, exp_w, atol=ATOL, rtol=RTOL)
+
+    def test_aggregate_does_not_mutate_inputs(self, rng):
+        contributions = [
+            (w, make_factors(rng), {"bias": rng.standard_normal(12).astype(np.float32)})
+            for w in range(3)
+        ]
+        before = [(c[1].u.copy(), c[1].v.copy(), c[2]["bias"].copy())
+                  for c in contributions]
+        SufficientFactorBroadcaster.aggregate(contributions, "mean")
+        for (u, v, b), (_, factors, extras) in zip(before, contributions):
+            np.testing.assert_array_equal(u, factors.u)
+            np.testing.assert_array_equal(v, factors.v)
+            np.testing.assert_array_equal(b, extras["bias"])
+
+    def test_batch_reconstruct_matches_sum(self, rng):
+        factors = [make_factors(rng, batch=b) for b in (2, 5)]
+        expected = factors[0].reconstruct() + factors[1].reconstruct()
+        np.testing.assert_allclose(batch_reconstruct(factors), expected, atol=ATOL, rtol=RTOL)
+        out = np.empty_like(expected)
+        result = batch_reconstruct(factors, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, expected, atol=ATOL, rtol=RTOL)
+
+
+# -- im2col / col2im -------------------------------------------------------------
+
+CONV_CASES = [
+    # (B, C, H, W, kernel, stride, pad)
+    (2, 3, 8, 8, 3, 1, 1),
+    (1, 2, 7, 9, 3, 2, 0),
+    (2, 4, 11, 11, 5, 2, 2),
+    (3, 1, 6, 6, 2, 2, 0),   # stride == kernel: non-overlapping fast path
+    (1, 2, 9, 9, 2, 3, 1),   # stride > kernel
+]
+
+
+class TestIm2colEquivalence:
+    @pytest.mark.parametrize("case", CONV_CASES)
+    def test_im2col_matches_naive(self, rng, case):
+        b, c, h, w, k, s, p = case
+        x = rng.standard_normal((b, c, h, w)).astype(np.float32)
+        got, oh, ow = im2col(x, k, s, p)
+        exp, eoh, eow = naive_im2col(x, k, s, p)
+        assert (oh, ow) == (eoh, eow)
+        np.testing.assert_array_equal(got, exp)
+
+    @pytest.mark.parametrize("case", CONV_CASES)
+    def test_col2im_matches_naive(self, rng, case):
+        b, c, h, w, k, s, p = case
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        cols = rng.standard_normal((b * oh * ow, c * k * k)).astype(np.float32)
+        got = col2im(cols, (b, c, h, w), k, s, p)
+        exp = naive_col2im(cols, (b, c, h, w), k, s, p)
+        np.testing.assert_allclose(got, exp, atol=ATOL, rtol=RTOL)
+
+    def test_im2col_out_buffer_reused(self, rng):
+        x1 = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        x2 = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols1, _, _ = im2col(x1, 3, 1, 1)
+        buf = cols1.copy()
+        cols2, _, _ = im2col(x2, 3, 1, 1, out=buf)
+        assert cols2 is buf
+        np.testing.assert_array_equal(cols2, naive_im2col(x2, 3, 1, 1)[0])
+
+
+class TestConvLayerEquivalence:
+    @pytest.mark.parametrize("case", CONV_CASES)
+    def test_forward_backward_match_naive_pipeline(self, rng, case):
+        b, c, h, w, k, s, p = case
+        out_channels = 5
+        layer = Conv2D("conv", c, out_channels, kernel=k, stride=s, pad=p,
+                       rng=np.random.default_rng(7))
+        x = rng.standard_normal((b, c, h, w)).astype(np.float32)
+
+        out = layer.forward(x)
+        # reference forward via the naive im2col pipeline
+        cols, oh, ow = naive_im2col(x, k, s, p)
+        w_mat = layer.params["weight"].reshape(out_channels, -1)
+        ref = (cols @ w_mat.T + layer.params["bias"]).reshape(
+            b, oh, ow, out_channels).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(out, ref, atol=ATOL, rtol=1e-5)
+
+        grad_out = rng.standard_normal(out.shape).astype(np.float32)
+        grad_in = layer.backward(grad_out)
+        grad_cols = grad_out.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        ref_gw = (grad_cols.T @ cols).reshape(layer.params["weight"].shape)
+        ref_gb = grad_cols.sum(axis=0)
+        ref_gi = naive_col2im(grad_cols @ w_mat, x.shape, k, s, p)
+        np.testing.assert_allclose(layer.grads["weight"], ref_gw,
+                                   atol=1e-4, rtol=1e-5)
+        np.testing.assert_allclose(layer.grads["bias"], ref_gb,
+                                   atol=1e-4, rtol=1e-5)
+        np.testing.assert_allclose(grad_in, ref_gi, atol=1e-5, rtol=1e-5)
+
+    def test_buffer_reuse_across_iterations_is_stable(self, rng):
+        layer = Conv2D("conv", 3, 4, kernel=3, pad=1, rng=np.random.default_rng(3))
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        g = rng.standard_normal((2, 4, 8, 8)).astype(np.float32)
+        layer.forward(x)
+        layer.backward(g)
+        first_gw = layer.grads["weight"].copy()
+        first_gi = layer.backward(g).copy()
+        # second iteration with identical inputs reuses the buffers
+        layer.forward(x)
+        grad_in = layer.backward(g)
+        np.testing.assert_array_equal(layer.grads["weight"], first_gw)
+        np.testing.assert_array_equal(grad_in, first_gi)
+
+    def test_inference_forward_does_not_clobber_training_cache(self, rng):
+        layer = Conv2D("conv", 3, 4, kernel=3, pad=1, rng=np.random.default_rng(3))
+        x_train = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        x_eval = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        g = rng.standard_normal((2, 4, 8, 8)).astype(np.float32)
+        layer.forward(x_train)
+        layer.backward(g)
+        expected = layer.grads["weight"].copy()
+        layer.forward(x_train)
+        layer.forward(x_eval, training=False)  # must not touch the cache
+        layer.backward(g)
+        np.testing.assert_array_equal(layer.grads["weight"], expected)
+
+
+# -- parameter server -----------------------------------------------------------
+
+class TestParameterServerEquivalence:
+    @pytest.mark.parametrize("aggregation", ["mean", "sum"])
+    def test_accumulation_matches_naive_sum(self, rng, aggregation):
+        params = {"fc": {"weight": rng.standard_normal((6, 4)).astype(np.float32),
+                         "bias": rng.standard_normal(4).astype(np.float32)}}
+        workers = 3
+        grads = [{"weight": rng.standard_normal((6, 4)).astype(np.float32),
+                  "bias": rng.standard_normal(4).astype(np.float32)}
+                 for _ in range(workers)]
+        server = ShardedParameterServer(
+            params, num_workers=workers, optimizer=SGD(learning_rate=0.1),
+            aggregation=aggregation)
+        for w, grad in enumerate(grads):
+            server.push(w, "fc", grad)
+        got = server.pull(0, "fc", min_version=1)
+
+        # naive reference: stack, sum, divide, SGD step
+        expected = {}
+        for key in params["fc"]:
+            total = np.sum([g[key] for g in grads], axis=0)
+            if aggregation == "mean":
+                total = total / float(workers)
+            expected[key] = params["fc"][key] - 0.1 * total
+        for key in expected:
+            np.testing.assert_allclose(got[key], expected[key], atol=ATOL, rtol=RTOL)
+
+    def test_two_iterations_accumulate_independently(self, rng):
+        params = {"fc": {"weight": np.zeros((3, 3), dtype=np.float32)}}
+        server = ShardedParameterServer(
+            params, num_workers=2, optimizer=SGD(learning_rate=1.0),
+            aggregation="mean")
+        g1 = {"weight": np.full((3, 3), 2.0, dtype=np.float32)}
+        g2 = {"weight": np.full((3, 3), 4.0, dtype=np.float32)}
+        server.push(0, "fc", g1)
+        server.push(1, "fc", g2)      # mean 3 -> params -3
+        server.push(0, "fc", g1)
+        server.push(1, "fc", g1)      # mean 2 -> params -5
+        got = server.pull(0, "fc", min_version=2)
+        np.testing.assert_allclose(got["weight"], -5.0, atol=ATOL, rtol=RTOL)
+
+    def test_apply_hooks_receive_stable_copies(self, rng):
+        # Hooks must not see their retained arrays mutate when the internal
+        # accumulation buffers are reused on the next iteration.
+        params = {"fc": {"weight": np.zeros((2, 2), dtype=np.float32)}}
+        server = ShardedParameterServer(params, num_workers=1,
+                                        optimizer=SGD(learning_rate=1.0))
+        seen = []
+        server.add_apply_hook(lambda layer, grads: seen.append(grads["weight"]))
+        server.push(0, "fc", {"weight": np.full((2, 2), 1.0, dtype=np.float32)})
+        server.push(0, "fc", {"weight": np.full((2, 2), 9.0, dtype=np.float32)})
+        np.testing.assert_array_equal(seen[0], np.full((2, 2), 1.0))
+        np.testing.assert_array_equal(seen[1], np.full((2, 2), 9.0))
+
+    def test_shared_snapshot_pull_is_read_only_and_consistent(self, rng):
+        params = {"fc": {"weight": rng.standard_normal((4, 4)).astype(np.float32)}}
+        server = ShardedParameterServer(params, num_workers=1,
+                                        optimizer=SGD(learning_rate=0.1))
+        server.push(0, "fc", {"weight": np.ones((4, 4), dtype=np.float32)})
+        shared_a = server.pull(0, "fc", min_version=1, copy=False)
+        shared_b = server.pull(0, "fc", min_version=1, copy=False)
+        assert shared_a["weight"] is shared_b["weight"]  # one snapshot per version
+        with pytest.raises(ValueError):
+            shared_a["weight"][0, 0] = 99.0
+        copied = server.pull(0, "fc", min_version=1)
+        np.testing.assert_array_equal(copied["weight"], shared_a["weight"])
+        copied["weight"][:] = 99.0    # default pull stays mutable + private
+        fresh = server.global_params("fc")
+        assert not np.allclose(fresh["weight"], 99.0)
+
+
+# -- SFB board hygiene -----------------------------------------------------------
+
+class TestSFBAutoGarbageCollect:
+    def test_board_drops_entry_once_all_workers_collected(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        for w in range(2):
+            board.publish(w, "fc6", 0, make_factors(rng))
+        assert ("fc6", 0) in board._board
+        board.collect(0, "fc6", 0)
+        assert ("fc6", 0) in board._board       # worker 1 still needs it
+        board.collect(1, "fc6", 0)
+        assert ("fc6", 0) not in board._board   # auto-GC'd
+        assert board._collected == {}
+
+    def test_board_stays_bounded_over_many_iterations(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=1)
+        for iteration in range(50):
+            board.publish(0, "fc6", iteration, make_factors(rng))
+            board.collect(0, "fc6", iteration)
+        assert len(board._board) == 0
+
+    def test_manual_garbage_collect_still_works(self, rng):
+        board = SufficientFactorBroadcaster(num_workers=2)
+        board.publish(0, "fc6", 0, make_factors(rng))
+        board.publish(0, "fc6", 7, make_factors(rng))
+        assert board.garbage_collect(before_iteration=5) == 1
+        assert ("fc6", 7) in board._board
+
+
+# -- DES determinism --------------------------------------------------------------
+
+#: Trace recorded from the seed (pre-optimisation) engine for the scenario
+#: below: same-time events must be processed in exactly this order.
+SEED_TRACE = [
+    (0.0, "z:0"), (0.0, "z:1"), (0.0, "z:2"), (0.0, "z:3"),
+    (1.0, "a"), (1.0, "b"), (1.0, "c"),
+    (2.0, "attacker"), (2.0, "a"), (2.0, "b"), (2.0, "c"),
+    (2.0, "w:all"), (2.0, "victim:interrupted:stop"),
+    (2.25, "victim:after"), (2.5, "w:any"),
+    (3.0, "a"), (3.0, "b"), (3.0, "c"), (3.0, "stale"),
+]
+SEED_EVENTS_PROCESSED = 42
+
+
+class TestDESDeterminism:
+    def test_same_time_ordering_matches_seed_engine(self):
+        env = Environment()
+        trace = []
+
+        def worker(name, delays):
+            for d in delays:
+                yield env.timeout(d)
+                trace.append((env.now, name))
+            return name
+
+        def zero_spinner(name, n):
+            for i in range(n):
+                yield env.timeout(0)
+                trace.append((env.now, f"{name}:{i}"))
+
+        def waiter(name, events):
+            yield AllOf(env, events)
+            trace.append((env.now, f"{name}:all"))
+            yield AnyOf(env, [env.timeout(0.5), env.timeout(1.5)])
+            trace.append((env.now, f"{name}:any"))
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                trace.append((env.now, f"victim:interrupted:{interrupt.cause}"))
+                yield env.timeout(0.25)
+                trace.append((env.now, "victim:after"))
+
+        def attacker(process):
+            yield env.timeout(2)
+            process.interrupt(cause="stop")
+            trace.append((env.now, "attacker"))
+
+        def stale(tmo):
+            yield env.timeout(3)
+            yield tmo  # already processed long ago
+            trace.append((env.now, "stale"))
+
+        for name in ("a", "b", "c"):
+            env.process(worker(name, [1, 1, 1]))
+        env.process(zero_spinner("z", 4))
+        e1, e2 = env.timeout(1), env.timeout(2)
+        env.process(waiter("w", [e1, e2]))
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.process(stale(env.timeout(0.5)))
+        env.run()
+
+        assert trace == SEED_TRACE
+        assert env.events_processed == SEED_EVENTS_PROCESSED
+
+    def test_interrupted_process_reregisters_behind_existing_waiters(self):
+        # Seed behavior (differentially verified): when an interrupted
+        # process re-yields a shared timeout, it re-registers *behind* the
+        # waiters that stayed registered, so they resume first.
+        env = Environment()
+        trace = []
+
+        def p1(t):
+            try:
+                yield t
+                trace.append("p1:normal")
+            except Interrupt:
+                yield t  # re-register on the same shared timeout
+                trace.append("p1:after-interrupt")
+
+        def p2(t):
+            yield t
+            trace.append("p2")
+
+        def attacker(process):
+            yield env.timeout(1)
+            process.interrupt()
+
+        shared = env.timeout(5)
+        proc1 = env.process(p1(shared))
+        env.process(p2(shared))
+        env.process(attacker(proc1))
+        env.run()
+        assert trace == ["p2", "p1:after-interrupt"]
+
+    def test_step_and_run_produce_identical_order(self):
+        def build(run_all):
+            env = Environment()
+            trace = []
+
+            def proc(name, delay):
+                yield env.timeout(delay)
+                trace.append((env.now, name))
+                yield env.timeout(delay)
+                trace.append((env.now, name))
+
+            for i, d in enumerate([2, 1, 1, 3]):
+                env.process(proc(f"p{i}", d))
+            if run_all:
+                env.run()
+            else:
+                from repro.exceptions import SimulationError
+                while True:
+                    try:
+                        env.step()
+                    except SimulationError:
+                        break
+            return trace
+
+        assert build(True) == build(False)
+
+
+# -- composite-event failure propagation (AllOf/AnyOf bugfix) ---------------------
+
+class TestCompositeFailurePropagation:
+    def test_all_of_fails_on_already_processed_failure(self):
+        env = Environment()
+        failed = env.event()
+        failed.fail(RuntimeError("boom"))
+        env.step()  # process the failure with nothing waiting
+        assert failed.processed
+
+        def proc():
+            yield AllOf(env, [env.timeout(1), failed])
+
+        process = env.process(proc())
+        env.run()
+        assert process.ok is False
+        assert isinstance(process.value, RuntimeError)
+
+    def test_any_of_fails_on_already_processed_failure(self):
+        env = Environment()
+        failed = env.event()
+        failed.fail(RuntimeError("boom"))
+        env.step()
+        assert failed.processed
+
+        def proc():
+            yield AnyOf(env, [failed, env.timeout(1)])
+
+        process = env.process(proc())
+        env.run()
+        assert process.ok is False
+        assert isinstance(process.value, RuntimeError)
+
+    def test_all_of_still_succeeds_with_processed_successes(self):
+        env = Environment()
+
+        def proc():
+            done = env.timeout(1, value="early")
+            yield env.timeout(2)
+            values = yield AllOf(env, [done, env.timeout(1, value="late")])
+            return values
+
+        assert env.run_process(proc()) == ["early", "late"]
