@@ -2,11 +2,20 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-update bench-full
+.PHONY: test bench bench-update bench-full bench-smoke sweep-quick
 
 ## tier-1 test suite
 test:
 	$(PYTEST) -x -q
+
+## quick figure sweeps through the parallel runner (one worker per core)
+sweep-quick:
+	PYTHONPATH=src python -m repro.experiments.runner --quick fig5 fig8 fidelity
+
+## every benchmark executed once as a plain test, no timing gates (CI smoke)
+bench-smoke:
+	$(PYTEST) benchmarks/ -q --benchmark-disable \
+		-o python_files='test_*.py bench_*.py'
 
 ## tier-1 tests + micro-benchmarks gated against benchmarks/baseline.json
 bench:
@@ -23,4 +32,5 @@ bench-update:
 
 ## every benchmark suite (figure/table regeneration included; slow)
 bench-full:
-	$(PYTEST) benchmarks/ --benchmark-only -q
+	$(PYTEST) benchmarks/ --benchmark-only -q \
+		-o python_files='test_*.py bench_*.py'

@@ -17,6 +17,7 @@ from repro.nn.optim import SGD
 from repro.nn.sufficient_factors import SufficientFactors
 from repro.sim import Environment
 from repro.simulation.workload import build_workload
+from repro.sweep import SweepTask, run_sweep
 
 
 def test_des_event_throughput(benchmark):
@@ -110,6 +111,26 @@ def test_onebit_quantization_rate(benchmark):
         return quantized.dequantize().shape
 
     assert benchmark(cycle) == (1024, 1024)
+
+
+def _sweep_noop(index):
+    return index
+
+
+def test_sweep_dispatch_overhead(benchmark):
+    """Per-config overhead of the sweep runner (serial dispatch + merge).
+
+    256 no-op tasks isolate the machinery itself -- key checking, dispatch
+    and the deterministic merge -- from any simulation work, so the number
+    divided by 256 is the fixed cost the sweep adds to every config.
+    """
+    tasks = [SweepTask(key=("noop", index), fn=_sweep_noop, args=(index,))
+             for index in range(256)]
+
+    def sweeping():
+        return len(run_sweep(tasks, jobs=1))
+
+    assert benchmark(sweeping) == 256
 
 
 @pytest.mark.parametrize("model", ["vgg19", "resnet-152"])

@@ -1,0 +1,40 @@
+"""Sweep-runner benchmarks: figure-level sweep wall-clock, serial vs pool.
+
+Part of the slow ``make bench-full`` suite (the gated micro-benchmark for
+the sweep machinery itself lives in ``bench_micro.py``).  The parallel
+variant's advantage scales with core count: on a single-core machine it
+only measures pool overhead, on a 4-core machine the full default sweep
+is expected to finish >= 2x faster than the sequential runner.
+"""
+
+import os
+
+from repro.experiments import fig5, fig8
+
+QUICK_NODES = (1, 4, 16)
+
+
+def test_fig5_quick_sweep_serial(benchmark):
+    """Figure 5 quick sweep (9 series x 3 node counts), sequential."""
+    result = benchmark(fig5.run_fig5, node_counts=QUICK_NODES, jobs=1)
+    assert result.curves
+
+
+def test_fig5_quick_sweep_parallel(benchmark):
+    """The same sweep over one worker per core."""
+    jobs = os.cpu_count() or 1
+    result = benchmark(fig5.run_fig5, node_counts=QUICK_NODES, jobs=jobs)
+    assert result.curves
+
+
+def test_fig8_quick_sweep_serial(benchmark):
+    """Figure 8 quick sweep (18 bandwidth series), sequential."""
+    result = benchmark(fig8.run_fig8, node_counts=QUICK_NODES, jobs=1)
+    assert result.curves
+
+
+def test_fig8_quick_sweep_parallel(benchmark):
+    """The same sweep over one worker per core."""
+    jobs = os.cpu_count() or 1
+    result = benchmark(fig8.run_fig8, node_counts=QUICK_NODES, jobs=jobs)
+    assert result.curves

@@ -37,9 +37,15 @@ class QuantizedGradient:
 
     @property
     def nbytes(self) -> int:
-        """Wire size: one bit per element plus the float32 scales."""
+        """Wire size: one bit per element plus the float32 scales.
+
+        The sign payload is a packed bitfield, so it occupies a whole
+        number of bytes: ceiling division, not floor -- flooring would
+        undercount every tensor whose element count is not a multiple
+        of 8 (and report zero bytes for tensors under 8 elements).
+        """
         bits = int(np.prod(self.shape))
-        return bits // 8 + int(self.positive_scale.nbytes) + int(self.negative_scale.nbytes)
+        return (bits + 7) // 8 + int(self.positive_scale.nbytes) + int(self.negative_scale.nbytes)
 
     def dequantize(self) -> np.ndarray:
         """Reconstruct the dense tensor from signs and scales."""
@@ -64,13 +70,22 @@ class OneBitQuantizer:
         corrected = gradient + self._residuals.get(key, 0.0)
         matrix = corrected.reshape(corrected.shape[0], -1)
         signs = matrix >= 0
-        positive_scale = np.zeros((1, matrix.shape[1]), dtype=np.float32)
-        negative_scale = np.zeros((1, matrix.shape[1]), dtype=np.float32)
-        for column in range(matrix.shape[1]):
-            pos = matrix[signs[:, column], column]
-            neg = matrix[~signs[:, column], column]
-            positive_scale[0, column] = pos.mean() if pos.size else 0.0
-            negative_scale[0, column] = neg.mean() if neg.size else 0.0
+        # Per-column means of the non-negative / negative entries, computed
+        # with masked sums and counts: one pass over the matrix instead of
+        # O(columns) fancy-indexing round trips (float64 accumulation keeps
+        # the result within 1e-6 of the per-column reference on any dtype).
+        positive_count = signs.sum(axis=0, dtype=np.int64)
+        negative_count = matrix.shape[0] - positive_count
+        positive_sum = np.where(signs, matrix, 0.0).sum(axis=0, dtype=np.float64)
+        negative_sum = matrix.sum(axis=0, dtype=np.float64) - positive_sum
+        positive_scale = np.divide(
+            positive_sum, positive_count,
+            out=np.zeros(matrix.shape[1], dtype=np.float64),
+            where=positive_count > 0).astype(np.float32).reshape(1, -1)
+        negative_scale = np.divide(
+            negative_sum, negative_count,
+            out=np.zeros(matrix.shape[1], dtype=np.float64),
+            where=negative_count > 0).astype(np.float32).reshape(1, -1)
         quantized = QuantizedGradient(
             signs=signs,
             positive_scale=positive_scale,

@@ -20,6 +20,7 @@ fig10     Per-node communication load (TF-WFBP / Adam / Poseidon)
 fig11     CIFAR-10 quick: exact sync vs. 1-bit quantization
 multigpu  Multi-GPU-per-node scaling (Section 5.1)
 ablation  Design-choice ablations (KV pair size, WFBP, HybComm)
+sweep     Parallel execution of a figure's independent configs
 ========  =======================================================
 """
 
@@ -34,6 +35,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for discoverability)
     fig10,
     fig11,
     multigpu,
+    sweep,
     table1,
     table3,
 )
@@ -51,4 +53,5 @@ __all__ = [
     "multigpu",
     "ablation",
     "fidelity",
+    "sweep",
 ]

@@ -97,16 +97,18 @@ class FidelityReport:
             rows=rows, title=title)
 
 
-def scaling_fidelity(node_counts=(1, 8, 16, 32)) -> FidelityReport:
+def scaling_fidelity(node_counts=(1, 8, 16, 32),
+                     jobs: Optional[int] = None) -> FidelityReport:
     """Fidelity checks for the Figure 5 / Figure 6 headline speedups.
 
     The band is deliberately wide (±50%) -- the brief asks for the *shape*
     (who wins, roughly what factor), not testbed-exact numbers; ordering
-    checks capture the who-wins part exactly.
+    checks capture the who-wins part exactly.  ``jobs`` is forwarded to the
+    underlying Figure 5 / Figure 6 sweeps.
     """
     report = FidelityReport()
-    fig5_result = fig5_module.run_fig5(node_counts=node_counts)
-    fig6_result = fig6_module.run_fig6(node_counts=node_counts)
+    fig5_result = fig5_module.run_fig5(node_counts=node_counts, jobs=jobs)
+    fig6_result = fig6_module.run_fig6(node_counts=node_counts, jobs=jobs)
     top = max(node_counts)
 
     for model, per_system in paper_reference.FIG5_SPEEDUPS_32_NODES.items():

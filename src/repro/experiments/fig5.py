@@ -9,13 +9,14 @@ baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.engines import CAFFE_PS, CAFFE_WFBP, POSEIDON_CAFFE
 from repro.engines.base import SystemConfig
 from repro.experiments.report import format_series, format_table
+from repro.experiments.sweep import sweep_scaling_curves
 from repro.nn.model_zoo import get_model_spec
-from repro.simulation.speedup import ScalingCurve, scaling_curve
+from repro.simulation.speedup import ScalingCurve
 
 #: Models of Figure 5, keyed by registry name.
 FIG5_MODELS = ("googlenet", "vgg19", "vgg19-22k")
@@ -47,16 +48,19 @@ class ScalingFigureResult:
 def run_fig5(node_counts: Sequence[int] = FIG5_NODE_COUNTS,
              models: Sequence[str] = FIG5_MODELS,
              systems: Sequence[SystemConfig] = FIG5_SYSTEMS,
-             bandwidth_gbps: float = 40.0) -> ScalingFigureResult:
-    """Simulate every Figure 5 series."""
+             bandwidth_gbps: float = 40.0,
+             jobs: Optional[int] = None) -> ScalingFigureResult:
+    """Simulate every Figure 5 series (one flat sweep over all configs)."""
     result = ScalingFigureResult(figure="fig5", bandwidth_gbps=bandwidth_gbps)
-    for model_key in models:
-        spec = get_model_spec(model_key)
-        result.curves[spec.name] = {}
-        for system in systems:
-            result.curves[spec.name][system.name] = scaling_curve(
-                spec, system, node_counts=node_counts,
-                bandwidth_gbps=bandwidth_gbps)
+    specs = [get_model_spec(model_key) for model_key in models]
+    combos = [(spec, system, bandwidth_gbps)
+              for spec in specs for system in systems]
+    curves = sweep_scaling_curves(combos, node_counts, jobs=jobs)
+    for spec in specs:
+        result.curves[spec.name] = {
+            system.name: curves[(spec, system, bandwidth_gbps)]
+            for system in systems
+        }
     return result
 
 

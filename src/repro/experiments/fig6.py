@@ -8,14 +8,14 @@ baseline.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.engines import POSEIDON_TF, TF, TF_WFBP
 from repro.engines.base import SystemConfig
 from repro.experiments.fig5 import ScalingFigureResult
 from repro.experiments.report import format_series, format_table
+from repro.experiments.sweep import sweep_scaling_curves
 from repro.nn.model_zoo import get_model_spec
-from repro.simulation.speedup import scaling_curve
 
 #: Models of Figure 6, keyed by registry name.
 FIG6_MODELS = ("inception-v3", "vgg19", "vgg19-22k")
@@ -30,16 +30,19 @@ FIG6_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
 def run_fig6(node_counts: Sequence[int] = FIG6_NODE_COUNTS,
              models: Sequence[str] = FIG6_MODELS,
              systems: Sequence[SystemConfig] = FIG6_SYSTEMS,
-             bandwidth_gbps: float = 40.0) -> ScalingFigureResult:
-    """Simulate every Figure 6 series."""
+             bandwidth_gbps: float = 40.0,
+             jobs: Optional[int] = None) -> ScalingFigureResult:
+    """Simulate every Figure 6 series (one flat sweep over all configs)."""
     result = ScalingFigureResult(figure="fig6", bandwidth_gbps=bandwidth_gbps)
-    for model_key in models:
-        spec = get_model_spec(model_key)
-        result.curves[spec.name] = {}
-        for system in systems:
-            result.curves[spec.name][system.name] = scaling_curve(
-                spec, system, node_counts=node_counts,
-                bandwidth_gbps=bandwidth_gbps)
+    specs = [get_model_spec(model_key) for model_key in models]
+    combos = [(spec, system, bandwidth_gbps)
+              for spec in specs for system in systems]
+    curves = sweep_scaling_curves(combos, node_counts, jobs=jobs)
+    for spec in specs:
+        result.curves[spec.name] = {
+            system.name: curves[(spec, system, bandwidth_gbps)]
+            for system in systems
+        }
     return result
 
 

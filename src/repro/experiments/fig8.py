@@ -9,13 +9,14 @@ half its throughput on VGG19 while Poseidon keeps scaling almost linearly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engines import CAFFE_WFBP, POSEIDON_CAFFE
 from repro.engines.base import SystemConfig
 from repro.experiments.report import format_series
+from repro.experiments.sweep import sweep_scaling_curves
 from repro.nn.model_zoo import get_model_spec
-from repro.simulation.speedup import ScalingCurve, scaling_curve
+from repro.simulation.speedup import ScalingCurve
 
 #: (model registry key, bandwidths in GbE) pairs exactly as plotted in Figure 8.
 FIG8_SWEEPS: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
@@ -50,18 +51,25 @@ class BandwidthFigureResult:
 
 def run_fig8(node_counts: Sequence[int] = FIG8_NODE_COUNTS,
              sweeps: Sequence[Tuple[str, Sequence[float]]] = FIG8_SWEEPS,
-             systems: Sequence[SystemConfig] = FIG8_SYSTEMS) -> BandwidthFigureResult:
-    """Simulate every Figure 8 series."""
+             systems: Sequence[SystemConfig] = FIG8_SYSTEMS,
+             jobs: Optional[int] = None) -> BandwidthFigureResult:
+    """Simulate every Figure 8 series (one flat sweep over all configs)."""
     result = BandwidthFigureResult(node_counts=tuple(node_counts))
+    specs = {model_key: get_model_spec(model_key) for model_key, _ in sweeps}
+    combos = [(specs[model_key], system, float(bandwidth))
+              for model_key, bandwidths in sweeps
+              for system in systems
+              for bandwidth in bandwidths]
+    curves = sweep_scaling_curves(combos, node_counts, jobs=jobs)
     for model_key, bandwidths in sweeps:
-        spec = get_model_spec(model_key)
-        result.curves[spec.name] = {}
-        for system in systems:
-            result.curves[spec.name][system.name] = {}
-            for bandwidth in bandwidths:
-                result.curves[spec.name][system.name][bandwidth] = scaling_curve(
-                    spec, system, node_counts=node_counts,
-                    bandwidth_gbps=bandwidth)
+        spec = specs[model_key]
+        result.curves[spec.name] = {
+            system.name: {
+                bandwidth: curves[(spec, system, float(bandwidth))]
+                for bandwidth in bandwidths
+            }
+            for system in systems
+        }
     return result
 
 

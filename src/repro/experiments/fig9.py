@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engines import POSEIDON_TF, TF
 from repro.experiments.report import format_series, format_table
+from repro.experiments.sweep import sweep_scaling_curves
 from repro.nn.model_zoo import get_model_spec
 from repro.simulation.convergence import (
     ConvergenceCurve,
@@ -25,7 +26,7 @@ from repro.simulation.convergence import (
     resnet152_error_curve,
     time_to_error_hours,
 )
-from repro.simulation.speedup import ScalingCurve, scaling_curve
+from repro.simulation.speedup import ScalingCurve
 
 #: Node counts of panel (a).
 FIG9_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
@@ -55,13 +56,20 @@ class Fig9Result:
 def run_fig9(node_counts: Sequence[int] = FIG9_NODE_COUNTS,
              convergence_nodes: Sequence[int] = FIG9_CONVERGENCE_NODES,
              epochs: int = 120,
-             bandwidth_gbps: float = 40.0) -> Fig9Result:
-    """Simulate both panels of Figure 9."""
+             bandwidth_gbps: float = 40.0,
+             jobs: Optional[int] = None) -> Fig9Result:
+    """Simulate both panels of Figure 9.
+
+    Panel (a)'s (system, nodes) configs run as one flat sweep; panel (b)'s
+    convergence model is analytic and stays in-process.
+    """
     spec = get_model_spec("resnet-152")
     result = Fig9Result()
-    for system in (POSEIDON_TF, TF):
-        result.throughput[system.name] = scaling_curve(
-            spec, system, node_counts=node_counts, bandwidth_gbps=bandwidth_gbps)
+    systems = (POSEIDON_TF, TF)
+    combos = [(spec, system, bandwidth_gbps) for system in systems]
+    curves = sweep_scaling_curves(combos, node_counts, jobs=jobs)
+    for system in systems:
+        result.throughput[system.name] = curves[(spec, system, bandwidth_gbps)]
     for nodes in convergence_nodes:
         result.convergence[nodes] = resnet152_error_curve(nodes, epochs=epochs)
         poseidon_curve = result.throughput[POSEIDON_TF.name]

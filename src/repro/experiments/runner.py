@@ -5,9 +5,17 @@ Usage::
     python -m repro.experiments.runner            # everything
     python -m repro.experiments.runner fig5 fig8  # a subset
     python -m repro.experiments.runner --quick    # reduced problem sizes
+    python -m repro.experiments.runner --jobs 4   # 4 sweep worker processes
 
 The runner prints each artefact's text rendering and, with ``--output``,
 also writes the combined report to a file (the basis of EXPERIMENTS.md).
+
+``--jobs`` controls how many worker processes the figure sweeps
+(:mod:`repro.experiments.sweep`) distribute their independent simulation
+configs over; the default is one per CPU core and ``--jobs 1`` runs
+everything sequentially.  Results are merged by config key, so the report
+is byte-identical for every worker count (per-experiment wall-clock goes
+to the log, not the report).
 """
 
 from __future__ import annotations
@@ -28,10 +36,13 @@ from repro.experiments import (
     fig10,
     fig11,
     multigpu,
+    sweep,
     table1,
     table3,
 )
-from repro.logging_util import enable_console_logging
+from repro.logging_util import enable_console_logging, get_logger
+
+LOGGER = get_logger(__name__)
 
 
 def _run_table1(quick: bool) -> str:
@@ -112,19 +123,28 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 }
 
 
-def run_experiments(names: Optional[List[str]] = None, quick: bool = False) -> str:
-    """Run the named experiments (all of them by default); returns the report."""
+def run_experiments(names: Optional[List[str]] = None, quick: bool = False,
+                    jobs: Optional[int] = None) -> str:
+    """Run the named experiments (all of them by default); returns the report.
+
+    Args:
+        names: subset of :data:`EXPERIMENTS` keys (all when ``None``).
+        quick: reduced problem sizes for a fast smoke run.
+        jobs: sweep worker processes; ``None`` keeps the library default
+            (sequential), ``0`` or negative means one per CPU core.  The
+            report text is independent of this value.
+    """
     selected = names or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments {unknown}; available: {list(EXPERIMENTS)}")
     sections: List[str] = []
-    for name in selected:
-        start = time.time()
-        rendering = EXPERIMENTS[name](quick)
-        elapsed = time.time() - start
-        header = f"=== {name} ({elapsed:.1f}s) ==="
-        sections.append(f"{header}\n{rendering}")
+    with sweep.use_jobs(jobs if jobs is not None else sweep.default_jobs()):
+        for name in selected:
+            start = time.time()
+            rendering = EXPERIMENTS[name](quick)
+            LOGGER.info("%s finished in %.1fs", name, time.time() - start)
+            sections.append(f"=== {name} ===\n{rendering}")
     return "\n\n".join(sections)
 
 
@@ -136,11 +156,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help=f"subset to run (default: all of {list(EXPERIMENTS)})")
     parser.add_argument("--quick", action="store_true",
                         help="reduced problem sizes for a fast smoke run")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="sweep worker processes (default: one per CPU "
+                             "core; 1 = sequential)")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the report to this file")
     args = parser.parse_args(argv)
     enable_console_logging()
-    report = run_experiments(args.experiments or None, quick=args.quick)
+    # repro.sweep owns the jobs policy: 0 or negative resolves to one
+    # worker per CPU core inside use_jobs/resolve_jobs.
+    report = run_experiments(args.experiments or None, quick=args.quick,
+                             jobs=args.jobs)
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

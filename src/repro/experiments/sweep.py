@@ -1,0 +1,79 @@
+"""Sweep subsystem of the experiment harness.
+
+The paper's figures are sweeps over independent configurations: Figure 5/6
+vary (model, system, nodes), Figure 8 adds bandwidth, Figure 9 sweeps
+systems, and the fidelity report re-runs Figures 5 and 6.  This module is
+the experiments-facing API over the generic engine in :mod:`repro.sweep`:
+
+* it re-exports :class:`~repro.sweep.SweepTask` / :func:`~repro.sweep.run_sweep`
+  and the worker-count controls the runner's ``--jobs`` flag uses, and
+* it provides :func:`sweep_scaling_curves`, the shared "enumerate every
+  (model, system, bandwidth, nodes) combo, execute once, merge by config
+  key" path underneath ``fig5``/``fig6``/``fig8``/``fig9``.
+
+Because results are merged by config key (never by completion order), a
+figure rendered from a parallel sweep is byte-identical to the sequential
+one; ``tests/test_sweep.py`` pins that property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engines.base import SystemConfig
+from repro.nn.spec import ModelSpec
+from repro.simulation.speedup import (
+    ScalingCurve,
+    curve_from_results,
+    curve_tasks,
+)
+from repro.sweep import (  # noqa: F401  (re-exported: the subsystem's public API)
+    SweepTask,
+    default_jobs,
+    resolve_jobs,
+    run_sweep,
+    set_default_jobs,
+    use_jobs,
+)
+
+#: One figure series: (model spec, system, bandwidth in Gb/s).
+Combo = Tuple[ModelSpec, SystemConfig, float]
+
+
+def sweep_scaling_curves(combos: Sequence[Combo],
+                         node_counts: Sequence[int],
+                         jobs: Optional[int] = None
+                         ) -> Dict[Combo, ScalingCurve]:
+    """Simulate every (combo, nodes) configuration in one flat sweep.
+
+    Args:
+        combos: the figure's series as (model, system, bandwidth) triples.
+        node_counts: cluster sizes simulated for every combo.
+        jobs: worker processes (``None`` defers to the module default).
+
+    Returns:
+        One :class:`ScalingCurve` per combo, keyed by the input triple and
+        ordered like ``combos``.
+    """
+    tasks: List[SweepTask] = []
+    for model, system, bandwidth in combos:
+        tasks.extend(curve_tasks(model, system, node_counts,
+                                 bandwidth_gbps=bandwidth))
+    results = run_sweep(tasks, jobs=jobs)
+    return {
+        combo: curve_from_results(combo[0], combo[1], node_counts, combo[2],
+                                  results)
+        for combo in combos
+    }
+
+
+__all__ = [
+    "Combo",
+    "SweepTask",
+    "default_jobs",
+    "resolve_jobs",
+    "run_sweep",
+    "set_default_jobs",
+    "sweep_scaling_curves",
+    "use_jobs",
+]

@@ -4,18 +4,26 @@ These helpers drive :func:`repro.simulation.throughput.simulate_system`
 across the node counts and bandwidths of Figures 5, 6, 8 and 9(a) and
 package the results as :class:`ScalingCurve` objects the experiment modules
 and benchmarks render.
+
+Every sweep point is independent, so all the entry points below enumerate
+their configurations as :class:`repro.sweep.SweepTask` objects and execute
+them through :func:`repro.sweep.run_sweep` -- serially by default, or over
+a process pool when a ``jobs`` argument (or the runner's ``--jobs`` flag)
+asks for one.  Results are merged by config key, so the curves are
+identical whichever way the sweep ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import ClusterConfig
 from repro.engines.base import SystemConfig
 from repro.nn.spec import ModelSpec
 from repro.simulation.throughput import SimulationResult, simulate_system
 from repro.simulation.workload import IterationWorkload, build_workload
+from repro.sweep import SweepTask, run_sweep
 
 #: Node counts used by the paper's scaling figures.
 DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
@@ -62,39 +70,110 @@ def single_node_reference_seconds(model: ModelSpec,
     return workload.single_node_seconds
 
 
-def scaling_curve(model: ModelSpec, system: SystemConfig,
-                  node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
-                  bandwidth_gbps: float = 40.0,
-                  batch_size: Optional[int] = None,
-                  base_cluster: Optional[ClusterConfig] = None) -> ScalingCurve:
-    """Simulate ``system`` training ``model`` across ``node_counts``."""
-    workload = build_workload(model, batch_size=batch_size)
+def simulate_point(model: ModelSpec, system: SystemConfig, nodes: int,
+                   bandwidth_gbps: float = 40.0,
+                   batch_size: Optional[int] = None,
+                   base_cluster: Optional[ClusterConfig] = None,
+                   workload: Optional[IterationWorkload] = None
+                   ) -> SimulationResult:
+    """Simulate one sweep point (module-level, hence picklable)."""
+    if base_cluster is not None:
+        cluster = base_cluster.with_workers(nodes).with_bandwidth(bandwidth_gbps)
+    else:
+        cluster = ClusterConfig(num_workers=nodes, bandwidth_gbps=bandwidth_gbps)
+    return simulate_system(model, system, cluster, batch_size=batch_size,
+                           workload=workload)
+
+
+def point_key(model: ModelSpec, system: SystemConfig, bandwidth_gbps: float,
+              nodes: int) -> Tuple[str, str, float, int]:
+    """Canonical sweep key of one (model, system, bandwidth, nodes) config."""
+    return (model.name, system.name, float(bandwidth_gbps), int(nodes))
+
+
+def curve_tasks(model: ModelSpec, system: SystemConfig,
+                node_counts: Sequence[int],
+                bandwidth_gbps: float = 40.0,
+                batch_size: Optional[int] = None,
+                base_cluster: Optional[ClusterConfig] = None
+                ) -> List[SweepTask]:
+    """Enumerate one scaling curve as independent sweep tasks.
+
+    The iteration workload only depends on (model, batch size, GPU), so it
+    is derived once here and shipped with every task instead of being
+    rebuilt per sweep point.
+    """
+    gpu_source = base_cluster if base_cluster is not None else ClusterConfig(
+        num_workers=1)
+    workload = build_workload(model, batch_size=batch_size,
+                              gpu=gpu_source.gpu)
+    return [
+        SweepTask(
+            key=point_key(model, system, bandwidth_gbps, nodes),
+            fn=simulate_point,
+            args=(model, system, int(nodes)),
+            kwargs={"bandwidth_gbps": bandwidth_gbps,
+                    "batch_size": batch_size,
+                    "base_cluster": base_cluster,
+                    "workload": workload},
+        )
+        for nodes in node_counts
+    ]
+
+
+def curve_from_results(model: ModelSpec, system: SystemConfig,
+                       node_counts: Sequence[int], bandwidth_gbps: float,
+                       results: Mapping[Hashable, SimulationResult]
+                       ) -> ScalingCurve:
+    """Assemble a :class:`ScalingCurve` from merged sweep results."""
     curve = ScalingCurve(
         model_name=model.name,
         system_name=system.name,
         bandwidth_gbps=bandwidth_gbps,
     )
     for nodes in node_counts:
-        if base_cluster is not None:
-            cluster = base_cluster.with_workers(nodes).with_bandwidth(bandwidth_gbps)
-        else:
-            cluster = ClusterConfig(num_workers=nodes, bandwidth_gbps=bandwidth_gbps)
-        result = simulate_system(model, system, cluster, workload=workload)
-        curve.node_counts.append(nodes)
+        result = results[point_key(model, system, bandwidth_gbps, nodes)]
+        curve.node_counts.append(int(nodes))
         curve.speedups.append(result.speedup)
         curve.results.append(result)
     return curve
 
 
+def scaling_curve(model: ModelSpec, system: SystemConfig,
+                  node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                  bandwidth_gbps: float = 40.0,
+                  batch_size: Optional[int] = None,
+                  base_cluster: Optional[ClusterConfig] = None,
+                  jobs: Optional[int] = None) -> ScalingCurve:
+    """Simulate ``system`` training ``model`` across ``node_counts``."""
+    tasks = curve_tasks(model, system, node_counts,
+                        bandwidth_gbps=bandwidth_gbps, batch_size=batch_size,
+                        base_cluster=base_cluster)
+    results = run_sweep(tasks, jobs=jobs)
+    return curve_from_results(model, system, node_counts, bandwidth_gbps,
+                              results)
+
+
 def bandwidth_sweep(model: ModelSpec, system: SystemConfig,
                     bandwidths_gbps: Sequence[float],
                     node_counts: Sequence[int] = (1, 2, 4, 8, 16),
-                    batch_size: Optional[int] = None) -> Dict[float, ScalingCurve]:
-    """Scaling curves of one system at several Ethernet bandwidths (Figure 8)."""
+                    batch_size: Optional[int] = None,
+                    jobs: Optional[int] = None) -> Dict[float, ScalingCurve]:
+    """Scaling curves of one system at several Ethernet bandwidths (Figure 8).
+
+    All (bandwidth, nodes) configurations run in a single flat sweep.
+    """
+    tasks = [
+        task
+        for bandwidth in bandwidths_gbps
+        for task in curve_tasks(model, system, node_counts,
+                                bandwidth_gbps=bandwidth,
+                                batch_size=batch_size)
+    ]
+    results = run_sweep(tasks, jobs=jobs)
     return {
-        bandwidth: scaling_curve(
-            model, system, node_counts=node_counts,
-            bandwidth_gbps=bandwidth, batch_size=batch_size)
+        bandwidth: curve_from_results(model, system, node_counts, bandwidth,
+                                      results)
         for bandwidth in bandwidths_gbps
     }
 
@@ -102,11 +181,22 @@ def bandwidth_sweep(model: ModelSpec, system: SystemConfig,
 def compare_systems(model: ModelSpec, systems: Sequence[SystemConfig],
                     node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
                     bandwidth_gbps: float = 40.0,
-                    batch_size: Optional[int] = None) -> Dict[str, ScalingCurve]:
-    """Scaling curves for several systems on the same model (Figures 5/6)."""
+                    batch_size: Optional[int] = None,
+                    jobs: Optional[int] = None) -> Dict[str, ScalingCurve]:
+    """Scaling curves for several systems on the same model (Figures 5/6).
+
+    All (system, nodes) configurations run in a single flat sweep.
+    """
+    tasks = [
+        task
+        for system in systems
+        for task in curve_tasks(model, system, node_counts,
+                                bandwidth_gbps=bandwidth_gbps,
+                                batch_size=batch_size)
+    ]
+    results = run_sweep(tasks, jobs=jobs)
     return {
-        system.name: scaling_curve(
-            model, system, node_counts=node_counts,
-            bandwidth_gbps=bandwidth_gbps, batch_size=batch_size)
+        system.name: curve_from_results(model, system, node_counts,
+                                        bandwidth_gbps, results)
         for system in systems
     }

@@ -74,11 +74,17 @@ def human_bytes(num_bytes: float) -> str:
 
 
 def human_seconds(seconds: float) -> str:
-    """Render a duration with an adaptive unit, e.g. ``'1.3 ms'``."""
-    if seconds < 1e-3:
+    """Render a duration with an adaptive unit, e.g. ``'1.3 ms'``.
+
+    The unit is chosen by magnitude so negative durations (e.g. a time
+    delta) render symmetrically: ``human_seconds(-0.5) == '-500.0 ms'``,
+    not ``'-500000.0 us'``.
+    """
+    magnitude = abs(seconds)
+    if magnitude < 1e-3:
         return f"{seconds * 1e6:.1f} us"
-    if seconds < 1.0:
+    if magnitude < 1.0:
         return f"{seconds * 1e3:.1f} ms"
-    if seconds < 120.0:
+    if magnitude < 120.0:
         return f"{seconds:.2f} s"
     return f"{seconds / 60.0:.1f} min"

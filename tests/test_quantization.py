@@ -87,6 +87,40 @@ class TestOneBitQuantizer:
         assert set(merged) == {"weight", "bias"}
         assert merged["weight"].shape == (32, 16)
 
+    @pytest.mark.parametrize("shape", [(3, 3), (5, 7), (13, 1), (7, 3)])
+    def test_wire_size_rounds_sign_payload_up(self, rng, shape):
+        """Regression: odd element counts need ceil(bits/8) sign bytes.
+
+        The seed implementation floored the division, undercounting every
+        tensor whose size is not a multiple of 8 (a (3, 3) tensor's 9 sign
+        bits were billed as 1 byte instead of 2).
+        """
+        quantizer = OneBitQuantizer()
+        grad = rng.standard_normal(shape).astype(np.float32)
+        quantized = quantizer.quantize("w", grad)
+        elements = shape[0] * shape[1]
+        scale_bytes = quantized.positive_scale.nbytes + quantized.negative_scale.nbytes
+        assert quantized.nbytes == -(-elements // 8) + scale_bytes
+        assert quantized.nbytes > scale_bytes  # sign payload never free
+
+    def test_loop_reference_equivalence(self, rng):
+        """The vectorized per-column scales match the per-column loop."""
+        quantizer = OneBitQuantizer()
+        for shape in ((8, 5), (1, 9), (16, 1), (6, 4, 3)):
+            grad = rng.standard_normal(shape).astype(np.float32)
+            quantized = quantizer.quantize(f"w{shape}", grad)
+            matrix = grad.reshape(grad.shape[0], -1)
+            signs = matrix >= 0
+            for column in range(matrix.shape[1]):
+                pos = matrix[signs[:, column], column]
+                neg = matrix[~signs[:, column], column]
+                expected_pos = pos.mean() if pos.size else 0.0
+                expected_neg = neg.mean() if neg.size else 0.0
+                assert quantized.positive_scale[0, column] == pytest.approx(
+                    expected_pos, abs=1e-6)
+                assert quantized.negative_scale[0, column] == pytest.approx(
+                    expected_neg, abs=1e-6)
+
     def test_quantized_nbytes_accounts_both_parts(self, rng):
         quantizer = OneBitQuantizer()
         grads = {"weight": rng.standard_normal((32, 16)).astype(np.float32),

@@ -1,0 +1,189 @@
+"""Tests for the parallel sweep runner.
+
+Covers the generic engine (`repro.sweep`), the experiments facade
+(`repro.experiments.sweep`) and the headline determinism property: a
+report produced with a process pool is byte-identical to the sequential
+one, including when there are more workers than configs.
+"""
+
+import pytest
+
+from repro.engines import CAFFE_WFBP, POSEIDON_CAFFE
+from repro.experiments import fig5, fig8
+from repro.experiments.runner import run_experiments
+from repro.experiments.sweep import sweep_scaling_curves
+from repro.sweep import (
+    SweepTask,
+    default_jobs,
+    resolve_jobs,
+    run_sweep,
+    set_default_jobs,
+    use_jobs,
+)
+from repro.simulation.speedup import (
+    bandwidth_sweep,
+    compare_systems,
+    scaling_curve,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _affine(x, scale=1, offset=0):
+    return x * scale + offset
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+def _boom_oserror(x):
+    raise FileNotFoundError(f"no such config {x}")
+
+
+def _make_tasks(count, fn=_square):
+    return [SweepTask(key=("t", i), fn=fn, args=(i,)) for i in range(count)]
+
+
+class TestRunSweep:
+    def test_serial_results_keyed_and_ordered(self):
+        results = run_sweep(_make_tasks(5), jobs=1)
+        assert list(results) == [("t", i) for i in range(5)]
+        assert results[("t", 3)] == 9
+
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(_make_tasks(7), jobs=1)
+        parallel = run_sweep(_make_tasks(7), jobs=4)
+        assert list(serial) == list(parallel)
+        assert serial == parallel
+
+    def test_more_workers_than_tasks(self):
+        results = run_sweep(_make_tasks(3), jobs=32)
+        assert results == {("t", i): i * i for i in range(3)}
+
+    def test_kwargs_forwarded(self):
+        tasks = [SweepTask(key=i, fn=_affine, args=(i,),
+                           kwargs={"scale": 10, "offset": 1}) for i in range(3)]
+        assert run_sweep(tasks, jobs=2) == {0: 1, 1: 11, 2: 21}
+
+    def test_empty_sweep(self):
+        assert run_sweep([], jobs=4) == {}
+
+    def test_duplicate_keys_rejected(self):
+        tasks = [SweepTask(key="same", fn=_square, args=(1,)),
+                 SweepTask(key="same", fn=_square, args=(2,))]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(tasks, jobs=1)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_task_failure_propagates(self, jobs):
+        tasks = _make_tasks(2) + [SweepTask(key="bad", fn=_boom, args=(9,))]
+        with pytest.raises(RuntimeError, match="task 9 failed"):
+            run_sweep(tasks, jobs=jobs)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_task_oserror_not_mistaken_for_broken_pool(self, jobs):
+        """An OSError raised *by a task* must propagate as-is, not trigger
+        the pool-unavailable serial fallback (which would re-run the
+        whole sweep and mislabel the failure)."""
+        tasks = [SweepTask(key="bad", fn=_boom_oserror, args=(3,)),
+                 *_make_tasks(2)]
+        with pytest.raises(FileNotFoundError, match="no such config 3"):
+            run_sweep(tasks, jobs=jobs)
+
+
+class TestJobsResolution:
+    def test_default_is_serial(self):
+        assert default_jobs() == 1
+
+    def test_explicit_jobs_win(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_use_jobs_restores_previous_default(self):
+        before = default_jobs()
+        with use_jobs(5):
+            assert default_jobs() == 5
+            with use_jobs(2):
+                assert default_jobs() == 2
+            assert default_jobs() == 5
+        assert default_jobs() == before
+
+    def test_set_default_jobs_roundtrip(self):
+        before = default_jobs()
+        try:
+            set_default_jobs(7)
+            assert default_jobs() == 7
+            assert resolve_jobs(None) == 7
+        finally:
+            set_default_jobs(before)
+
+
+class TestSpeedupSweeps:
+    """The simulation-layer entry points give identical curves either way."""
+
+    def test_scaling_curve_parallel_matches_serial(self, googlenet_spec):
+        serial = scaling_curve(googlenet_spec, POSEIDON_CAFFE,
+                               node_counts=(1, 4, 8), jobs=1)
+        parallel = scaling_curve(googlenet_spec, POSEIDON_CAFFE,
+                                 node_counts=(1, 4, 8), jobs=4)
+        assert serial.node_counts == parallel.node_counts
+        assert serial.speedups == parallel.speedups
+
+    def test_bandwidth_sweep_parallel_matches_serial(self, vgg19_spec):
+        kwargs = dict(bandwidths_gbps=(10.0, 40.0), node_counts=(1, 8))
+        serial = bandwidth_sweep(vgg19_spec, CAFFE_WFBP, jobs=1, **kwargs)
+        parallel = bandwidth_sweep(vgg19_spec, CAFFE_WFBP, jobs=4, **kwargs)
+        assert list(serial) == list(parallel)
+        for bandwidth in serial:
+            assert serial[bandwidth].speedups == parallel[bandwidth].speedups
+
+    def test_compare_systems_parallel_matches_serial(self, googlenet_spec):
+        systems = (CAFFE_WFBP, POSEIDON_CAFFE)
+        serial = compare_systems(googlenet_spec, systems,
+                                 node_counts=(1, 4), jobs=1)
+        parallel = compare_systems(googlenet_spec, systems,
+                                   node_counts=(1, 4), jobs=4)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert serial[name].speedups == parallel[name].speedups
+
+    def test_sweep_scaling_curves_keys(self, googlenet_spec):
+        combos = [(googlenet_spec, system, 40.0)
+                  for system in (CAFFE_WFBP, POSEIDON_CAFFE)]
+        curves = sweep_scaling_curves(combos, node_counts=(1, 4), jobs=2)
+        assert list(curves) == combos
+        for combo, curve in curves.items():
+            assert curve.system_name == combo[1].name
+            assert curve.node_counts == [1, 4]
+
+
+class TestFigureDeterminism:
+    """Figure-level and report-level byte-identity across worker counts."""
+
+    def test_fig5_render_identical(self):
+        serial = fig5.render(fig5.run_fig5(node_counts=(1, 4), jobs=1))
+        parallel = fig5.render(fig5.run_fig5(node_counts=(1, 4), jobs=4))
+        assert serial == parallel
+
+    def test_fig8_render_identical(self):
+        serial = fig8.render(fig8.run_fig8(node_counts=(1, 4), jobs=1))
+        parallel = fig8.render(fig8.run_fig8(node_counts=(1, 4), jobs=4))
+        assert serial == parallel
+
+    def test_quick_report_byte_identical_across_jobs(self):
+        """The acceptance check: --quick fig5 fig8 fidelity, jobs 1 vs 4."""
+        names = ["fig5", "fig8", "fidelity"]
+        sequential = run_experiments(names, quick=True, jobs=1)
+        parallel = run_experiments(names, quick=True, jobs=4)
+        assert sequential == parallel
+
+    def test_report_identical_with_more_workers_than_configs(self):
+        """jobs far above the config count changes nothing."""
+        sequential = run_experiments(["fig9"], quick=True, jobs=1)
+        oversubscribed = run_experiments(["fig9"], quick=True, jobs=64)
+        assert sequential == oversubscribed

@@ -54,3 +54,21 @@ class TestHumanFormatting:
 
     def test_human_seconds_plain(self):
         assert units.human_seconds(2.5) == "2.50 s"
+
+    def test_human_seconds_zero(self):
+        assert units.human_seconds(0.0) == "0.0 us"
+
+    def test_human_seconds_negative_picks_unit_by_magnitude(self):
+        """Regression: -0.5 used to fall into the sub-millisecond branch
+        and render as '-500000.0 us'."""
+        assert units.human_seconds(-0.5) == "-500.0 ms"
+
+    @pytest.mark.parametrize("value, rendered", [
+        (-2e-6, "-2.0 us"),
+        (-0.005, "-5.0 ms"),
+        (-2.5, "-2.50 s"),
+        (-600, "-10.0 min"),
+    ])
+    def test_human_seconds_negative_symmetry(self, value, rendered):
+        assert units.human_seconds(value) == rendered
+        assert units.human_seconds(-value) == rendered.lstrip("-")
