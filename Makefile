@@ -20,14 +20,14 @@ bench-smoke:
 ## tier-1 tests + micro-benchmarks gated against benchmarks/baseline.json
 bench:
 	$(PYTEST) -x -q
-	$(PYTEST) benchmarks/bench_micro.py --benchmark-only -q \
-		--benchmark-json=bench_results.json
+	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
+		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json
 
 ## refresh benchmarks/baseline.json from a fresh run (after intentional changes)
 bench-update:
-	$(PYTEST) benchmarks/bench_micro.py --benchmark-only -q \
-		--benchmark-json=bench_results.json
+	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
+		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json --update
 
 ## every benchmark suite (figure/table regeneration included; slow)

@@ -1,0 +1,51 @@
+"""Event-throughput micro-benchmarks of the flow-level iteration simulator.
+
+Each benchmark simulates one full BSP iteration of a figure-style
+configuration and reports the wall-clock per simulated iteration; the
+``simulated Kevents/s`` figure printed in PERFORMANCE.md is
+``events_processed / mean_s``.  Two traffic patterns bound the simulator's
+event graph from both sides:
+
+* the SFB configs (VGG19 under HybComm) are dominated by the all-to-all
+  sufficient-factor broadcasts of the FC layers -- the per-config event
+  graph the tail-clock channels and countdown barriers collapse;
+* the fine-PS configs (VGG19 under Caffe+WFBP) are dominated by the
+  per-unit KV-store scatter/gather against the fabric.
+
+The 8-node points track the constant overheads; the 32-node points are the
+scaling gate (the event graph used to be quadratic in cluster size).
+"""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.engines import CAFFE_WFBP, POSEIDON_CAFFE
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.throughput import IterationSimulator
+from repro.simulation.workload import build_workload
+
+VGG19 = get_model_spec("vgg19")
+WORKLOAD = build_workload(VGG19)
+
+
+def _simulate(system, nodes):
+    cluster = ClusterConfig(num_workers=nodes, bandwidth_gbps=40.0)
+    simulator = IterationSimulator(WORKLOAD, cluster, system)
+    result = simulator.run()
+    return result, simulator.env.events_processed
+
+
+@pytest.mark.parametrize("nodes", [8, 32])
+def test_flow_sim_sfb(benchmark, nodes):
+    """One VGG19 iteration under HybComm (SFB-dominated all-to-all)."""
+    result, events = benchmark(_simulate, POSEIDON_CAFFE, nodes)
+    assert result.iteration_seconds > 0
+    benchmark.extra_info["events_processed"] = events
+
+
+@pytest.mark.parametrize("nodes", [8, 32])
+def test_flow_sim_fine_ps(benchmark, nodes):
+    """One VGG19 iteration under Caffe+WFBP (fine-grained KV scatter/gather)."""
+    result, events = benchmark(_simulate, CAFFE_WFBP, nodes)
+    assert result.iteration_seconds > 0
+    benchmark.extra_info["events_processed"] = events

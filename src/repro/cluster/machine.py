@@ -7,6 +7,17 @@ fine-grained KV store scatter/gather) can be addressed to the *fabric*, a
 pseudo-endpoint with unlimited bandwidth, so that only the local NIC is
 occupied; the aggregate load those flows impose on the remote NICs is
 modelled by the corresponding fabric-to-node flows issued on the remote side.
+
+Each NIC direction is a capacity-1 FIFO channel.  Because such a channel
+admits a *tail-clock* ("busy-until") model -- a new flow starts at
+``max(now, tail)`` and advances the tail by its duration -- an uncontended
+transfer is a single analytically-computed timeout instead of a
+request/yield/release resource round-trip, and a broadcast serialises its
+copies on the sender's uplink inside one process instead of spawning one
+process per destination.  Completion times are identical to the historical
+:class:`~repro.sim.resources.Resource`-based model: FIFO order is by
+acquisition call either way, and contended holds chain on the previous
+holder's release event, which is processed exactly when the channel frees.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ from typing import Dict, Generator, List, Optional
 from repro import units
 from repro.config import ClusterConfig
 from repro.exceptions import SimulationError
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Event, TailChannel
 from repro.cluster.traffic import TrafficAccount
 
 #: Node id used to address the switching fabric pseudo-endpoint.
@@ -24,7 +35,12 @@ FABRIC = -1
 
 
 class GpuDevice:
-    """A GPU modelled as a serial compute resource with busy-time accounting."""
+    """A GPU modelled as a serial compute device with busy-time accounting.
+
+    Kernel sequences are serialised FIFO on a busy-until clock (the
+    simulator issues every node's compute from a single worker process, so
+    the device is effectively uncontended and each sequence is one timeout).
+    """
 
     def __init__(self, env: Environment, node_id: int, index: int,
                  effective_flops: float):
@@ -32,20 +48,21 @@ class GpuDevice:
         self.node_id = node_id
         self.index = index
         self.effective_flops = float(effective_flops)
-        self.resource = Resource(env, capacity=1, name=f"gpu{node_id}.{index}")
         self.busy_seconds = 0.0
+        self._free_at = 0.0
 
     def compute(self, seconds: float) -> Generator:
         """Process: run a kernel sequence of the given duration."""
         if seconds < 0:
             raise SimulationError(f"negative compute duration: {seconds}")
-        request = self.resource.request()
-        yield request
-        try:
-            yield self.env.timeout(seconds)
-            self.busy_seconds += seconds
-        finally:
-            self.resource.release(request)
+        now = self.env._now
+        start = self._free_at
+        if start < now:
+            start = now
+        finish = start + seconds
+        self._free_at = finish
+        yield self.env.timeout_at(finish)
+        self.busy_seconds += seconds
 
     def compute_flops(self, flops: float) -> Generator:
         """Process: run ``flops`` worth of work at the device's throughput."""
@@ -63,8 +80,8 @@ class NetworkInterface:
         self.node_id = node_id
         self.bandwidth_bps = float(bandwidth_bps)
         self.latency_seconds = float(latency_seconds)
-        self.uplink = Resource(env, capacity=1, name=f"nic{node_id}.up")
-        self.downlink = Resource(env, capacity=1, name=f"nic{node_id}.down")
+        self.uplink = TailChannel(env, name=f"nic{node_id}.up")
+        self.downlink = TailChannel(env, name=f"nic{node_id}.down")
         self.traffic = TrafficAccount(node_id)
 
     def wire_time(self, nbytes: float) -> float:
@@ -140,6 +157,12 @@ class ClusterModel:
         Either endpoint may be :data:`FABRIC`, in which case only the other
         endpoint's NIC is occupied.  A transfer between a node and itself is
         local and takes no network time (the colocated-PS-shard fast path).
+
+        The flow claims the sender's uplink at call time (FIFO) and the
+        receiver's downlink at the moment the uplink is granted -- the same
+        two-phase protocol the resource-based model used, with each phase
+        collapsing to tail-clock arithmetic whenever its channel has no
+        open hold.
         """
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
@@ -157,38 +180,230 @@ class ClusterModel:
             nic.latency_seconds for nic in (src_nic, dst_nic) if nic is not None
         )
         duration = units.transfer_seconds(nbytes, bandwidth) + latency
+        env = self.env
 
-        up_request = src_nic.uplink.request() if src_nic is not None else None
-        if up_request is not None:
-            yield up_request
-        down_request = dst_nic.downlink.request() if dst_nic is not None else None
-        if down_request is not None:
-            yield down_request
-        try:
-            yield self.env.timeout(duration)
-        finally:
-            if up_request is not None:
-                src_nic.uplink.release(up_request)
+        if src_nic is None or dst_nic is None:
+            # Fabric flow: a single channel, so the whole hold is one
+            # analytic booking (or a chained wait behind an open hold).
+            if src_nic is not None:
+                channel = src_nic.uplink
+            else:
+                channel = dst_nic.downlink
+            release = channel._release
+            if release is None or release.triggered:
+                finish = channel.book(duration)
+                wake = env.timeout_at(finish)
+                channel.note_entry(wake, finish)
+                yield wake
+            else:
+                mine = Event(env)
+                channel._release = mine
+                yield release  # granted exactly when the holder frees up
+                finish = env._now + duration
+                channel.release(mine, finish)
+                yield mine  # the release entry doubles as our own wake-up
+            if src_nic is not None:
                 src_nic.traffic.record_sent(nbytes, tag)
-            if down_request is not None:
-                dst_nic.downlink.release(down_request)
+            else:
                 dst_nic.traffic.record_received(nbytes, tag)
+            return
+
+        up = src_nic.uplink
+        down = dst_nic.downlink
+        # Phase 1: the uplink, claimed at call time.
+        up_release: Optional[Event] = None
+        previous = up._release
+        if previous is not None and not previous.triggered:
+            up_release = Event(env)
+            up._release = up_release
+            yield previous
+        else:
+            now = env._now
+            if up.tail > now:
+                # Busy but resolved: keep the hold open and wake at the
+                # grant, which is when the downlink gets requested.  Anchor
+                # the wake on the holder's own finish entry when known, so
+                # same-instant grants across channels dispatch in the
+                # holders' order (as resource releases did).
+                up_release = Event(env)
+                up._release = up_release
+                anchor = up.grant_anchor()
+                if anchor is not None:
+                    yield anchor
+                else:
+                    yield env.timeout_at(up.tail)
+        # Phase 2: the downlink, requested at the uplink grant.  The uplink
+        # is released (succeed_at with a sequence tick) at the moment the
+        # copy starts transmitting -- the moment the resource-based model
+        # created the transmit timeout -- so same-instant uplink releases
+        # across channels dispatch in the seed's order.
+        previous = down._release
+        if previous is None or previous.triggered:
+            now = env._now
+            start = down.tail
+            if start <= now:
+                # Receiver idle: the whole hold is analytic from here.
+                finish = now + duration
+                down.tail = finish
+                up.tail = finish
+                if up_release is not None:
+                    up_release.succeed_at(finish)
+                    up.note_entry(up_release, finish)
+                    yield up_release
+                else:
+                    wake = env.timeout_at(finish)
+                    up.note_entry(wake, finish)
+                    yield wake
+            else:
+                # Receiver busy but resolved: take the FIFO spot now, hold
+                # the uplink open, and release it once transmission starts.
+                finish = start + duration
+                down.tail = finish
+                if up_release is None:
+                    up_release = Event(env)
+                    up._release = up_release
+                yield env.timeout_at(start)
+                up.tail = finish
+                up_release.succeed_at(finish)
+                up.note_entry(up_release, finish)
+                yield up_release
+        else:
+            down_release = Event(env)
+            down._release = down_release
+            if up_release is None:
+                # The uplink hold stays open while we queue at the receiver.
+                up_release = Event(env)
+                up._release = up_release
+            yield previous
+            finish = env._now + duration
+            down.release(down_release, finish)
+            up.tail = finish
+            up_release.succeed_at(finish)
+            up.note_entry(up_release, finish)
+            yield down_release
+        src_nic.traffic.record_sent(nbytes, tag)
+        dst_nic.traffic.record_received(nbytes, tag)
 
     def broadcast(self, src: int, dst_ids: List[int], nbytes_each: float,
                   tag: str = "untagged") -> Generator:
         """Process: send ``nbytes_each`` from ``src`` to every node in ``dst_ids``.
 
-        The sender's uplink carries the transfers back to back (FIFO); each
-        receiver's downlink is occupied for its own copy.  Completes when the
-        last copy has been delivered.
+        The sender's uplink carries the copies back to back (FIFO) and is
+        held across the whole batch by this single process -- equivalent to
+        the per-destination processes that used to queue all their uplink
+        requests up front, but with one queue entry per copy instead of a
+        process per destination.  Each copy still queues for its receiver's
+        downlink while holding the uplink (head-of-line blocking, exactly
+        as before).  Completes when the last copy has been delivered.
         """
-        transfers = [
-            self.env.process(self.transfer(src, dst, nbytes_each, tag=tag))
-            for dst in dst_ids
-            if dst != src
-        ]
-        if transfers:
-            yield self.env.all_of(transfers)
+        if nbytes_each < 0:
+            raise SimulationError(f"negative transfer size: {nbytes_each}")
+        destinations = [dst for dst in dst_ids if dst != src]
+        if not destinations or nbytes_each == 0:
+            return
+        env = self.env
+        src_nic = self.machine(src).nic
+        up = src_nic.uplink
+        # Replicate the hop structure of the per-destination processes so
+        # same-instant interleaving with other flows is unchanged: a copy
+        # requested its receiver's downlink one queue hop after its uplink
+        # grant (the grant-event dispatch), and the first copy of an
+        # uncontended batch also consumed its process-bootstrap hop.
+        acquired_synchronously = up.resolved and up.tail <= env._now
+        up_release = yield from up.request()
+        if acquired_synchronously:
+            yield env.timeout(0.0)
+        yield env.timeout(0.0)
+        for dst in destinations:
+            dst_nic = self.machine(dst).nic
+            bandwidth = min(src_nic.bandwidth_bps, dst_nic.bandwidth_bps)
+            latency = max(src_nic.latency_seconds, dst_nic.latency_seconds)
+            duration = units.transfer_seconds(nbytes_each, bandwidth) + latency
+            down = dst_nic.downlink
+            previous = down._release
+            if previous is None or previous.triggered:
+                finish = down.book(duration)
+                yield env.timeout_at(finish)
+            else:
+                down_release = Event(env)
+                down._release = down_release
+                yield previous
+                down.release(down_release, env._now + duration)
+                yield down_release
+            src_nic.traffic.record_sent(nbytes_each, tag)
+            dst_nic.traffic.record_received(nbytes_each, tag)
+        up.release(up_release)
+
+    def _fabric_fan(self, node_ids: List[int], nbytes_each: float, tag: str,
+                    outbound: bool) -> Event:
+        """Aggregate fabric flows at many nodes; event fires at the last finish.
+
+        Each flow occupies exactly one channel (``node -> FABRIC`` the
+        node's uplink, ``FABRIC -> node`` its downlink), so no flow ever
+        holds one channel while waiting for another; its schedule is fully
+        determined at booking.  Each flow is therefore a single scheduled
+        *booking thunk* -- occupying exactly the queue slot the historical
+        per-node transfer process' bootstrap did, so same-instant
+        interleaving with other flows is unchanged -- that either books the
+        resolved channel analytically or chains a waiter behind the open
+        hold.  One deferred event fires at the last finish.
+        """
+        env = self.env
+        if nbytes_each < 0:
+            raise SimulationError(f"negative transfer size: {nbytes_each}")
+        if not node_ids or nbytes_each == 0:
+            return Event(env).succeed()
+        done = Event(env)
+        #: [flows not yet booked, latest finish seen so far]
+        pending = [len(node_ids), env._now]
+
+        def complete(finish: float) -> None:
+            if finish > pending[1]:
+                pending[1] = finish
+            pending[0] -= 1
+            if pending[0] == 0:
+                done.succeed_at(pending[1])
+
+        def booking_thunk(nic: NetworkInterface):
+            channel = nic.uplink if outbound else nic.downlink
+            duration = (units.transfer_seconds(nbytes_each, nic.bandwidth_bps)
+                        + nic.latency_seconds)
+
+            def thunk() -> None:
+                previous = channel._release
+                if previous is None or previous.triggered:
+                    complete(channel.book(duration))
+                else:
+                    mine = Event(env)
+                    channel._release = mine
+
+                    def on_grant(ok, value, channel=channel, mine=mine,
+                                 duration=duration) -> None:
+                        finish = env._now + duration
+                        channel.release(mine, finish)
+                        complete(finish)
+
+                    previous.add_waiter(on_grant)
+                if outbound:
+                    nic.traffic.record_sent(nbytes_each, tag)
+                else:
+                    nic.traffic.record_received(nbytes_each, tag)
+
+            return thunk
+
+        for node in node_ids:
+            env.schedule_thunk(booking_thunk(self.machine(node).nic))
+        return done
+
+    def fabric_gather(self, node_ids: List[int], nbytes_each: float,
+                      tag: str = "untagged") -> Event:
+        """Fabric-to-node flows into every node's downlink; fires at the last."""
+        return self._fabric_fan(node_ids, nbytes_each, tag, outbound=False)
+
+    def fabric_scatter(self, node_ids: List[int], nbytes_each: float,
+                       tag: str = "untagged") -> Event:
+        """Node-to-fabric flows out of every node's uplink; fires at the last."""
+        return self._fabric_fan(node_ids, nbytes_each, tag, outbound=True)
 
     # -- accounting ------------------------------------------------------------------
     def reset_traffic(self) -> None:

@@ -19,6 +19,9 @@ class MaxPool2D(Layer):
         self.stride = int(stride) if stride is not None else int(kernel)
         self.pad = int(pad)
         self._cache = None
+        # Scatter buffer reused across training iterations (same input shape
+        # -> zero allocation per backward), mirroring Conv2D's column buffers.
+        self._grad_col_buffer: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
         self._check_input(inputs, 4)
@@ -42,13 +45,17 @@ class MaxPool2D(Layer):
         arg_max, input_shape, out_h, out_w = self._cache
         batch, channels, _, _ = input_shape
         grad = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, channels)
-        grad_cols = np.zeros(
-            (batch * out_h * out_w, channels, self.kernel * self.kernel),
-            dtype=grad_output.dtype,
-        )
+        shape = (batch * out_h * out_w, channels, self.kernel * self.kernel)
+        grad_cols = self._grad_col_buffer
+        if (grad_cols is not None and grad_cols.shape == shape
+                and grad_cols.dtype == grad_output.dtype):
+            grad_cols.fill(0)
+        else:
+            grad_cols = np.zeros(shape, dtype=grad_output.dtype)
+            self._grad_col_buffer = grad_cols
         np.put_along_axis(grad_cols, arg_max[:, :, None], grad[:, :, None], axis=2)
-        grad_cols = grad_cols.reshape(batch * out_h * out_w, -1)
-        return col2im(grad_cols, input_shape, self.kernel, self.stride, self.pad)
+        flat_cols = grad_cols.reshape(batch * out_h * out_w, -1)
+        return col2im(flat_cols, input_shape, self.kernel, self.stride, self.pad)
 
 
 class AvgPool2D(Layer):
@@ -60,6 +67,9 @@ class AvgPool2D(Layer):
         self.stride = int(stride) if stride is not None else int(kernel)
         self.pad = int(pad)
         self._cache = None
+        # Broadcast buffer reused across training iterations, mirroring
+        # Conv2D's column buffers.
+        self._grad_col_buffer: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
         self._check_input(inputs, 4)
@@ -83,6 +93,12 @@ class AvgPool2D(Layer):
         batch, channels, _, _ = input_shape
         window = self.kernel * self.kernel
         grad = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, channels)
-        grad_cols = np.repeat(grad[:, :, None] / window, window, axis=2)
-        grad_cols = grad_cols.reshape(batch * out_h * out_w, -1)
-        return col2im(grad_cols, input_shape, self.kernel, self.stride, self.pad)
+        shape = (batch * out_h * out_w, channels, window)
+        grad_cols = self._grad_col_buffer
+        if (grad_cols is None or grad_cols.shape != shape
+                or grad_cols.dtype != grad_output.dtype):
+            grad_cols = np.empty(shape, dtype=grad_output.dtype)
+            self._grad_col_buffer = grad_cols
+        np.copyto(grad_cols, (grad / window)[:, :, None])
+        flat_cols = grad_cols.reshape(batch * out_h * out_w, -1)
+        return col2im(flat_cols, input_shape, self.kernel, self.stride, self.pad)

@@ -9,20 +9,27 @@ events fire.  Only the features the cluster model needs are implemented:
 * :class:`Environment` -- the event loop and simulated clock.
 * :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`,
   :class:`AnyOf` -- the events processes wait on.
-* :class:`Resource` -- a FIFO server with fixed capacity (GPUs, NIC links).
+* :class:`CountdownEvent` -- a counter-based barrier: the O(1)-per-arrival
+  replacement for ``all_of`` over homogeneous fan-ins.
+* :class:`Resource` -- a FIFO server with fixed integer capacity (kept as
+  the general-purpose primitive and the reference the tail-clock channels
+  are property-tested against).
+* :class:`TailChannel` -- a capacity-1 FIFO link on a busy-until clock
+  (NIC directions); uncontended holds are pure arithmetic.
 * :class:`Store` -- an unbounded FIFO queue of items (message mailboxes).
 """
 
 from repro.sim.core import (
     AllOf,
     AnyOf,
+    CountdownEvent,
     Environment,
     Event,
     Interrupt,
     Process,
     Timeout,
 )
-from repro.sim.resources import Request, Resource, Store
+from repro.sim.resources import Request, Resource, Store, TailChannel
 
 __all__ = [
     "Environment",
@@ -31,8 +38,10 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "CountdownEvent",
     "Interrupt",
     "Resource",
     "Request",
     "Store",
+    "TailChannel",
 ]

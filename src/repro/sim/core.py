@@ -107,6 +107,34 @@ class Event:
         self.env.schedule(self)
         return self
 
+    def succeed_at(self, time: float, value: Any = None) -> "Event":
+        """Mark the event successful now, but process its waiters at ``time``.
+
+        A deferred trigger: the event is committed (``triggered`` flips
+        immediately, so double-triggering still raises) but its waiters run
+        when the simulated clock reaches ``time``.  This is what lets a
+        tail-clock channel publish "I free up at ``time``" as a single
+        queue entry instead of holding a process open until then.
+
+        Raises:
+            SimulationError: if ``time`` lies in the past.
+        """
+        env = self.env
+        if time < env._now:
+            raise SimulationError(
+                f"cannot succeed_at into the past: {time} < {env._now}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        # Push the absolute time, not now + delta: the caller's ``time`` is
+        # typically an analytically derived finish instant that must land on
+        # the queue bit-exactly (now + (time - now) can be off by one ulp).
+        env._push((time, env._sequence, self))
+        env._sequence += 1
+        return self
+
     def fail(self, exception: BaseException) -> "Event":
         """Mark the event failed; waiting processes will see the exception."""
         if self.triggered:
@@ -300,6 +328,69 @@ class AllOf(Event):
             self.succeed([e.value for e in self._events])
 
 
+class CountdownEvent(Event):
+    """A counter-based barrier: fires once :meth:`arrive` was called ``count`` times.
+
+    The O(1)-per-arrival replacement for joining *homogeneous* fan-ins with
+    :class:`AllOf`: where ``all_of`` materialises an N-element event list
+    (and every waiter builds its own), a countdown barrier is one shared
+    event plus an integer.  Completion time is identical to an ``AllOf``
+    over the corresponding per-member events -- the barrier succeeds during
+    the same dispatch in which the last member would have fired.
+
+    Members that are themselves events (e.g. processes) can be attached
+    with :meth:`arrive_on`, which also propagates the first member failure
+    to the barrier, matching ``AllOf``'s failure semantics.
+    """
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, env: "Environment", count: int):
+        super().__init__(env)
+        if count < 0:
+            raise SimulationError(f"countdown count must be >= 0, got {count}")
+        self._remaining = count
+        if count == 0:
+            self.succeed()
+
+    @property
+    def remaining(self) -> int:
+        """Arrivals still outstanding before the barrier fires."""
+        return self._remaining
+
+    def arrive(self) -> None:
+        """Record one arrival; the barrier succeeds on the ``count``-th.
+
+        Raises:
+            SimulationError: on arrivals beyond ``count`` (the barrier has
+                already been triggered).
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r}: arrival after the barrier fired")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed()
+
+    def arrive_on(self, event: Event) -> None:
+        """Arrive when ``event`` fires; its failure fails the barrier."""
+        if event.processed:
+            if event.ok is False:
+                if not self.triggered:
+                    self.fail(event.value)
+                return
+            self.arrive()
+        else:
+            event.add_waiter(self._on_member)
+
+    def _on_member(self, ok: Optional[bool], value: Any) -> None:
+        if self.triggered:
+            return
+        if ok is False:
+            self.fail(value)
+        else:
+            self.arrive()
+
+
 class AnyOf(Event):
     """Fires as soon as any one of the given events fires."""
 
@@ -408,6 +499,29 @@ class Environment:
             heapq.heappush(self._queue, entry)
         return t
 
+    def timeout_at(self, time: float, value: Any = None) -> Timeout:
+        """Create an event that fires at the absolute simulated ``time``.
+
+        Equivalent to ``timeout(time - now)`` except that the queue entry
+        carries ``time`` bit-exactly -- the round trip through a delta can
+        perturb the instant by one ulp, which matters when ``time`` was
+        derived analytically (e.g. a tail-clock finish) and must coincide
+        with other occurrences at the same instant.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot time out in the past: {time} < {self._now}")
+        t = _TIMEOUT_NEW(Timeout)
+        t.env = self
+        t._waiter = None
+        t._waiters = None
+        t.value = value
+        t.processed = False
+        t.delay = time - self._now
+        self._push((time, self._sequence, t))
+        self._sequence += 1
+        return t
+
     def process(self, generator: Generator) -> Process:
         """Start a new process from a generator."""
         return Process(self, generator)
@@ -419,6 +533,10 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when any of ``events`` has fired."""
         return AnyOf(self, events)
+
+    def countdown(self, count: int) -> CountdownEvent:
+        """Barrier event that fires after ``count`` arrivals."""
+        return CountdownEvent(self, count)
 
     # -- scheduling ----------------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:

@@ -100,8 +100,12 @@ def curve_tasks(model: ModelSpec, system: SystemConfig,
     """Enumerate one scaling curve as independent sweep tasks.
 
     The iteration workload only depends on (model, batch size, GPU), so it
-    is derived once here and shipped with every task instead of being
-    rebuilt per sweep point.
+    is derived once here -- :func:`build_workload` memoizes by exactly that
+    key, so repeated curves (e.g. one per bandwidth in Figure 8) share one
+    instance -- and shipped with every task instead of being rebuilt per
+    sweep point.  Scheme decisions are likewise memoized per
+    (workload, comm mode, cluster shape) inside the simulator, so a
+    bandwidth sweep re-derives neither.
     """
     gpu_source = base_cluster if base_cluster is not None else ClusterConfig(
         num_workers=1)

@@ -89,19 +89,75 @@ class SimulationResult:
 
 
 class _UnitSyncState:
-    """Shared per-unit synchronization bookkeeping for one iteration."""
+    """Shared per-unit synchronization bookkeeping for one iteration.
+
+    The per-worker ``send_done`` event map of the historical implementation
+    (every worker joined it with a freshly built N-element ``all_of``) is
+    collapsed into one :class:`~repro.sim.CountdownEvent`: each worker
+    arrives once its send completes, and the barrier fires during the same
+    dispatch in which the last worker's ``send_done`` would have.
+    """
+
+    __slots__ = ("send_started", "_send_started_fired", "all_sent",
+                 "aggregated", "scatter_done")
 
     def __init__(self, env: Environment, num_workers: int):
         self.send_started: Event = env.event()
         self._send_started_fired = False
-        self.send_done: Dict[int, Event] = {w: env.event() for w in range(num_workers)}
+        self.all_sent = env.countdown(num_workers)
         self.aggregated: Event = env.event()
-        self.broadcast_done: List[Event] = []
+        self.scatter_done: Optional[Event] = None
 
     def mark_send_started(self) -> None:
         if not self._send_started_fired:
             self.send_started.succeed()
             self._send_started_fired = True
+
+
+#: Memoized scheme assignments: Algorithm 1 only looks at the workload's
+#: units, the comm mode and the cluster shape, none of which vary across the
+#: bandwidth/node sweep points of one figure, so the decision table is shared
+#: (read-only) between simulator instances.
+_SCHEME_CACHE: Dict[Tuple, Dict[str, CommScheme]] = {}
+
+
+def _decide_scheme(unit: SyncUnit, comm: CommMode, batch_size: int,
+                   num_workers: int, num_servers: int) -> CommScheme:
+    """Choose the communication scheme of one unit (Algorithm 1 for HYBRID)."""
+    if comm is CommMode.PS:
+        return CommScheme.PS
+    if comm is CommMode.ONEBIT:
+        return CommScheme.ONEBIT
+    if comm is CommMode.ADAM:
+        return CommScheme.ADAM if unit.sf_eligible else CommScheme.PS
+    if comm is CommMode.SFB_ONLY:
+        return CommScheme.SFB if unit.sf_eligible else CommScheme.PS
+    # HybComm: Algorithm 1.
+    if unit.sf_eligible and unit.fc_dims is not None and num_workers > 1:
+        m, n = unit.fc_dims
+        sfb = sfb_worker_cost(m, n, batch_size, num_workers)
+        ps = ps_combined_cost(m, n, num_workers, num_servers)
+        if sfb <= ps:
+            return CommScheme.SFB
+    return CommScheme.PS
+
+
+def decide_schemes(workload: IterationWorkload, comm: CommMode,
+                   num_workers: int, num_servers: int) -> Dict[str, CommScheme]:
+    """Per-unit scheme assignment, memoized by (workload, comm, cluster shape).
+
+    The returned dict is shared between callers and must not be mutated.
+    """
+    key = (workload, comm, num_workers, num_servers)
+    schemes = _SCHEME_CACHE.get(key)
+    if schemes is None:
+        schemes = {
+            unit.name: _decide_scheme(unit, comm, workload.batch_size,
+                                      num_workers, num_servers)
+            for unit in workload.units
+        }
+        _SCHEME_CACHE[key] = schemes
+    return schemes
 
 
 class IterationSimulator:
@@ -117,35 +173,15 @@ class IterationSimulator:
         self.num_workers = cluster.num_workers
         self.num_servers = cluster.num_servers
         self.server_nodes = self.cluster.server_ids
-        self.schemes: Dict[str, CommScheme] = {
-            unit.name: self._decide_scheme(unit) for unit in workload.units
-        }
+        self.schemes: Dict[str, CommScheme] = decide_schemes(
+            workload, system.comm, self.num_workers, self.num_servers)
         self.coarse_owner: Dict[str, int] = self._assign_coarse_owners()
         self._unit_state: Dict[str, _UnitSyncState] = {}
         self._backward_done: Dict[int, Event] = {}
         self._iteration_seconds: Optional[float] = None
 
     # -- scheme / placement decisions ---------------------------------------------
-    def _decide_scheme(self, unit: SyncUnit) -> CommScheme:
-        comm = self.system.comm
-        if comm is CommMode.PS:
-            return CommScheme.PS
-        if comm is CommMode.ONEBIT:
-            return CommScheme.ONEBIT
-        if comm is CommMode.ADAM:
-            return CommScheme.ADAM if unit.sf_eligible else CommScheme.PS
-        if comm is CommMode.SFB_ONLY:
-            return CommScheme.SFB if unit.sf_eligible else CommScheme.PS
-        # HybComm: Algorithm 1.
-        if unit.sf_eligible and unit.fc_dims is not None and self.num_workers > 1:
-            m, n = unit.fc_dims
-            sfb = sfb_worker_cost(m, n, self.workload.batch_size, self.num_workers)
-            ps = ps_combined_cost(m, n, self.num_workers, self.num_servers)
-            if sfb <= ps:
-                return CommScheme.SFB
-        return CommScheme.PS
-
-    def _assign_coarse_owners(self) -> Dict[int, int]:
+    def _assign_coarse_owners(self) -> Dict[str, int]:
         owners: Dict[str, int] = {}
         for index, unit in enumerate(self.workload.units):
             owners[unit.name] = self.server_nodes[index % len(self.server_nodes)]
@@ -223,34 +259,37 @@ class IterationSimulator:
         machine = self.cluster.machine(worker)
         gpu = machine.gpu
         start = self.env.now
-        sync_processes = []
+        # One countdown barrier joins every unit's sync process (a failing
+        # sync fails the barrier, and with it this worker).
+        sync_barrier = self.env.countdown(self.workload.num_units)
 
         if not self.system.overlap_host_copy:
             staging_seconds = units.transfer_seconds(
                 2 * self.workload.total_param_bytes,
                 self.system.host_copy_bandwidth_bps,
             )
-            yield self.env.process(gpu.compute(staging_seconds))
+            yield from gpu.compute(staging_seconds)
 
-        yield self.env.process(gpu.compute(self.workload.forward_seconds))
+        yield from gpu.compute(self.workload.forward_seconds)
 
         pending_sequential = []
         for unit in reversed(self.workload.units):
-            yield self.env.process(gpu.compute(unit.backward_seconds))
+            yield from gpu.compute(unit.backward_seconds)
             if self.system.schedule is ScheduleMode.WFBP:
-                sync_processes.append(
+                sync_barrier.arrive_on(
                     self.env.process(self._unit_sync(worker, unit)))
             else:
                 pending_sequential.append(unit)
         if self.workload.tail_backward_seconds > 0:
-            yield self.env.process(gpu.compute(self.workload.tail_backward_seconds))
+            yield from gpu.compute(self.workload.tail_backward_seconds)
         self._backward_done[worker].succeed()
 
         for unit in pending_sequential:
-            sync_processes.append(self.env.process(self._unit_sync(worker, unit)))
+            sync_barrier.arrive_on(
+                self.env.process(self._unit_sync(worker, unit)))
 
-        if self.num_workers > 1 and sync_processes:
-            yield self.env.all_of(sync_processes)
+        if self.num_workers > 1:
+            yield sync_barrier
         return self.env.now - start
 
     def _unit_sync(self, worker: int, unit: SyncUnit):
@@ -278,39 +317,31 @@ class IterationSimulator:
         state = self._unit_state[unit.name]
         push_bytes = self._fine_push_bytes(unit, scheme)
         state.mark_send_started()
-        yield self.env.process(self.cluster.transfer(
-            worker, FABRIC, push_bytes, tag=f"push:{unit.name}"))
-        state.send_done[worker].succeed()
+        yield from self.cluster.transfer(
+            worker, FABRIC, push_bytes, tag=f"push:{unit.name}")
+        state.all_sent.arrive()
 
-        if self.system.overlap_pull:
-            yield state.aggregated
-        else:
-            yield self.env.all_of([state.aggregated, self._backward_done[worker]])
+        yield state.aggregated
+        if not self.system.overlap_pull:
+            yield self._backward_done[worker]
         pull_bytes = self._fine_push_bytes(unit, scheme)
-        yield self.env.process(self.cluster.transfer(
-            FABRIC, worker, pull_bytes, tag=f"pull:{unit.name}"))
-        if state.broadcast_done:
-            yield self.env.all_of(state.broadcast_done)
+        yield from self.cluster.transfer(
+            FABRIC, worker, pull_bytes, tag=f"pull:{unit.name}")
+        if state.scatter_done is not None:
+            yield state.scatter_done
 
     def _fine_server_process(self, unit: SyncUnit, scheme: CommScheme):
         """Server-shard side of a fine-grained PS unit: gather, apply, scatter."""
         state = self._unit_state[unit.name]
         yield state.send_started
         server_bytes = self._fine_server_bytes(unit, scheme)
-        receive_processes = [
-            self.env.process(self.cluster.transfer(
-                FABRIC, node, server_bytes, tag=f"gather:{unit.name}"))
-            for node in set(self.server_nodes)
-        ]
-        yield self.env.all_of(receive_processes)
-        yield self.env.all_of(list(state.send_done.values()))
+        shard_nodes = list(set(self.server_nodes))
+        yield self.cluster.fabric_gather(shard_nodes, server_bytes,
+                                         tag=f"gather:{unit.name}")
+        yield state.all_sent
         state.aggregated.succeed()
-        broadcast_processes = [
-            self.env.process(self.cluster.transfer(
-                node, FABRIC, server_bytes, tag=f"scatter:{unit.name}"))
-            for node in set(self.server_nodes)
-        ]
-        state.broadcast_done.extend(broadcast_processes)
+        state.scatter_done = self.cluster.fabric_scatter(
+            shard_nodes, server_bytes, tag=f"scatter:{unit.name}")
 
     # -- coarse per-tensor PS (stock TensorFlow) ---------------------------------------------
     def _coarse_unit_sync(self, worker: int, unit: SyncUnit, scheme: CommScheme):
@@ -318,14 +349,17 @@ class IterationSimulator:
         owner = self.coarse_owner[unit.name]
         dense_bytes = unit.param_bytes / self._compression(scheme)
         state.mark_send_started()
-        yield self.env.process(self.cluster.transfer(
-            worker, owner, dense_bytes, tag=f"push:{unit.name}"))
-        state.send_done[worker].succeed()
+        yield from self.cluster.transfer(
+            worker, owner, dense_bytes, tag=f"push:{unit.name}")
+        state.all_sent.arrive()
 
-        gates = [self.env.all_of(list(state.send_done.values()))]
+        yield state.all_sent
         if not self.system.overlap_pull:
-            gates.append(self._backward_done[worker])
-        yield self.env.all_of(gates)
+            yield self._backward_done[worker]
+        # The pull stays a spawned process: when ``overlap_pull`` is off,
+        # every gated pull of every worker is released in one cascade at
+        # backward-done, and the bootstrap hop keeps those bookings ordered
+        # behind the final unit's pushes exactly as the seed serialised them.
         yield self.env.process(self.cluster.transfer(
             owner, worker, dense_bytes, tag=f"pull:{unit.name}"))
 
@@ -333,18 +367,14 @@ class IterationSimulator:
     def _sfb_unit_sync(self, worker: int, unit: SyncUnit):
         sf_bytes = unit.sufficient_factor_bytes(self.workload.batch_size)
         peers = [p for p in range(self.num_workers) if p != worker]
-        outgoing = [
-            self.env.process(self.cluster.transfer(
-                worker, peer, sf_bytes, tag=f"sfb:{unit.name}"))
-            for peer in peers
-        ]
         state = self._unit_state[unit.name]
         state.mark_send_started()
-        yield self.env.all_of(outgoing)
-        state.send_done[worker].succeed()
+        yield from self.cluster.broadcast(worker, peers, sf_bytes,
+                                          tag=f"sfb:{unit.name}")
+        state.all_sent.arrive()
         # The unit is synchronized at this worker once every peer's factors
         # have arrived, i.e. once every peer has finished its own broadcast.
-        yield self.env.all_of([state.send_done[p] for p in peers])
+        yield state.all_sent
 
     # -- Adam: SF push to the owning shard, full matrix pull ------------------------------------
     def _adam_unit_sync(self, worker: int, unit: SyncUnit):
@@ -352,13 +382,13 @@ class IterationSimulator:
         owner = self.coarse_owner[unit.name]
         sf_bytes = unit.sufficient_factor_bytes(self.workload.batch_size)
         state.mark_send_started()
-        yield self.env.process(self.cluster.transfer(
-            worker, owner, sf_bytes, tag=f"adam-push:{unit.name}"))
-        state.send_done[worker].succeed()
+        yield from self.cluster.transfer(
+            worker, owner, sf_bytes, tag=f"adam-push:{unit.name}")
+        state.all_sent.arrive()
 
-        yield self.env.all_of(list(state.send_done.values()))
-        yield self.env.process(self.cluster.transfer(
-            owner, worker, unit.param_bytes, tag=f"adam-pull:{unit.name}"))
+        yield state.all_sent
+        yield from self.cluster.transfer(
+            owner, worker, unit.param_bytes, tag=f"adam-pull:{unit.name}")
 
 
 def simulate_system(model: ModelSpec, system: SystemConfig, cluster: ClusterConfig,

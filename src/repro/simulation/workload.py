@@ -17,7 +17,8 @@ faithful to the paper's Titan X testbed without needing the hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from functools import cached_property
+from typing import Dict, List, Optional, Tuple
 
 from repro import units
 from repro.config import GpuModel, TITAN_X
@@ -104,18 +105,31 @@ class IterationWorkload:
         """Number of sync units."""
         return len(self.units)
 
+    @cached_property
+    def _units_by_name(self) -> Dict[str, SyncUnit]:
+        # cached_property stores via the instance __dict__, which bypasses
+        # the frozen-dataclass setattr guard; equality/hash ignore it.
+        return {unit.name: unit for unit in self.units}
+
     def unit_by_name(self, name: str) -> SyncUnit:
         """Look up a unit by its representative name."""
-        for unit in self.units:
-            if unit.name == name:
-                return unit
-        raise KeyError(f"workload has no unit named {name!r}")
+        try:
+            return self._units_by_name[name]
+        except KeyError:
+            raise KeyError(f"workload has no unit named {name!r}") from None
+
+
+#: Memoized workloads keyed by the full derivation input.  A workload only
+#: depends on (model, batch, gpu, coarsen threshold) -- not on bandwidth or
+#: cluster size -- so every point of a figure sweep shares one instance
+#: (the dataclass is frozen; nothing downstream mutates it).
+_WORKLOAD_CACHE: Dict[Tuple[ModelSpec, int, GpuModel, int], IterationWorkload] = {}
 
 
 def build_workload(model: ModelSpec, batch_size: Optional[int] = None,
                    gpu: GpuModel = TITAN_X,
                    coarsen_bytes: int = DEFAULT_COARSEN_BYTES) -> IterationWorkload:
-    """Build the simulation workload for ``model``.
+    """Build (or fetch the memoized) simulation workload for ``model``.
 
     Args:
         model: architecture specification.
@@ -127,7 +141,17 @@ def build_workload(model: ModelSpec, batch_size: Optional[int] = None,
     batch = int(batch_size) if batch_size is not None else model.default_batch_size
     if batch < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch}")
+    key = (model, batch, gpu, coarsen_bytes)
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = _derive_workload(model, batch, gpu, coarsen_bytes)
+        _WORKLOAD_CACHE[key] = workload
+    return workload
 
+
+def _derive_workload(model: ModelSpec, batch: int, gpu: GpuModel,
+                     coarsen_bytes: int) -> IterationWorkload:
+    """Derive a workload from scratch (the uncached body of ``build_workload``)."""
     flops_per_sample = model.flops_per_sample
     if model.reference_images_per_sec:
         total_compute = batch / model.reference_images_per_sec

@@ -22,6 +22,12 @@ Determinism contract:
 The module-level default worker count is ``1`` (serial) so library
 callers are unaffected unless they, or the experiment runner's
 ``--jobs`` flag, opt in via :func:`set_default_jobs` / :func:`use_jobs`.
+
+Tasks should ship (or memoize) their config-independent derivations: the
+simulation layers cache workload derivation by (model, batch, gpu,
+coarsen) and scheme decisions by (workload, comm, cluster shape), and
+those caches are per-process, so both the serial path and every pool
+worker pay each derivation at most once per sweep.
 """
 
 from __future__ import annotations

@@ -124,6 +124,42 @@ class TestPooling:
         grad = layer.backward(np.ones_like(out))
         np.testing.assert_allclose(grad, 0.25)
 
+    @pytest.mark.parametrize("cls", [MaxPool2D, AvgPool2D])
+    def test_backward_buffer_reuse_is_equivalent(self, cls):
+        """Repeated backwards through one layer (reused grad-col buffer)
+        match a fresh layer bit for bit, and returned gradients stay valid
+        after the buffer is overwritten by the next iteration."""
+        rng = np.random.default_rng(3)
+        layer = cls("pool", kernel=3, stride=2, pad=1)
+        previous = None
+        for _ in range(3):
+            x = rng.standard_normal((4, 8, 12, 12)).astype(np.float32)
+            out = layer.forward(x)
+            grad_out = rng.standard_normal(out.shape).astype(np.float32)
+            grad_in = layer.backward(grad_out)
+
+            fresh = cls("fresh", kernel=3, stride=2, pad=1)
+            fresh.forward(x)
+            np.testing.assert_array_equal(grad_in, fresh.backward(grad_out))
+            if previous is not None:
+                # The previous iteration's output must not alias the buffer.
+                np.testing.assert_array_equal(previous[0], previous[1])
+            previous = (grad_in, grad_in.copy())
+
+    @pytest.mark.parametrize("cls", [MaxPool2D, AvgPool2D])
+    def test_backward_buffer_rebuilds_on_shape_change(self, cls):
+        rng = np.random.default_rng(4)
+        layer = cls("pool", kernel=2, stride=2)
+        for shape in ((2, 4, 8, 8), (3, 4, 6, 6), (2, 4, 8, 8)):
+            x = rng.standard_normal(shape).astype(np.float32)
+            out = layer.forward(x)
+            grad_out = rng.standard_normal(out.shape).astype(np.float32)
+            grad_in = layer.backward(grad_out)
+            fresh = cls("fresh", kernel=2, stride=2)
+            fresh.forward(x)
+            np.testing.assert_array_equal(grad_in, fresh.backward(grad_out))
+            assert grad_in.shape == shape
+
 
 class TestActivationsAndFriends:
     def test_relu_masks_negative(self):
