@@ -2,11 +2,22 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-update bench-full bench-smoke sweep-quick
+.PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism
 
 ## tier-1 test suite
 test:
 	$(PYTEST) -x -q
+
+## bit-reproducibility gate: trainer/determinism tests, then the fig11 smoke
+## twice with the reports diffed (they must be byte-identical)
+determinism:
+	$(PYTEST) tests/test_parallel_trainer.py tests/test_determinism.py -q
+	PYTHONPATH=src python -m repro.experiments.runner --quick --jobs 1 fig11 \
+		--output /tmp/fig11_run_a.txt > /dev/null
+	PYTHONPATH=src python -m repro.experiments.runner --quick --jobs 1 fig11 \
+		--output /tmp/fig11_run_b.txt > /dev/null
+	diff /tmp/fig11_run_a.txt /tmp/fig11_run_b.txt
+	@echo "fig11 report byte-identical across consecutive runs"
 
 ## quick figure sweeps through the parallel runner (one worker per core)
 sweep-quick:

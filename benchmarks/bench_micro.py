@@ -139,3 +139,31 @@ def test_workload_derivation(benchmark, model):
     spec = get_model_spec(model)
     workload = benchmark(build_workload, spec)
     assert workload.num_units > 5
+
+
+def test_backend_dispatch(benchmark):
+    """Registry resolution + Algorithm-1 cost evaluation per layer.
+
+    The communication-backend registry sits on the per-layer hot path of
+    the scheme assigner, the trainer's syncer construction and the
+    simulator's flow dispatch.  One round resolves 6 backends and
+    evaluates their costs for 256 layers plus 256 full hybrid choices, so
+    mean_s / 1792 is the fixed cost the indirection adds per layer --
+    it must stay in dict-lookup territory (sub-microsecond).
+    """
+    from repro.comm.backend import get_backend, hybrid_choice
+    from repro.core.cost_model import CommScheme
+
+    schemes = (CommScheme.PS, CommScheme.SFB, CommScheme.ONEBIT,
+               CommScheme.ADAM, CommScheme.RING, CommScheme.HIERPS)
+
+    def dispatch():
+        total = 0.0
+        for _ in range(256):
+            for scheme in schemes:
+                total += get_backend(scheme).cost(1024, 1024, 8, 8, 32)
+            if hybrid_choice(1024, 1024, 8, 8, 32) is CommScheme.SFB:
+                total += 1.0
+        return total
+
+    assert benchmark(dispatch) > 0

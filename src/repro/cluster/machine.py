@@ -136,6 +136,37 @@ class ClusterModel:
         first = self.config.num_workers
         return list(range(first, first + self.config.num_servers))
 
+    def ring_successor(self, worker_id: int) -> int:
+        """The next worker on the logical ring (worker ids, wrap-around).
+
+        Used by ring-style collectives (e.g. the ring all-reduce backend):
+        worker ``i`` always ships to worker ``(i + 1) mod P``.
+
+        Raises:
+            SimulationError: if ``worker_id`` is not a worker node.
+        """
+        num_workers = self.config.num_workers
+        if not 0 <= worker_id < num_workers:
+            raise SimulationError(
+                f"worker id {worker_id} out of range [0, {num_workers})"
+            )
+        return (worker_id + 1) % num_workers
+
+    def racks(self, rack_size: int) -> List[List[int]]:
+        """Workers grouped into racks of ``rack_size`` consecutive ids.
+
+        The grouping used by hierarchical (rack-aggregating) schemes; the
+        last rack may be smaller when the worker count is not a multiple.
+
+        Raises:
+            SimulationError: on a non-positive rack size.
+        """
+        if rack_size < 1:
+            raise SimulationError(f"rack_size must be >= 1, got {rack_size}")
+        workers = self.worker_ids
+        return [workers[first:first + rack_size]
+                for first in range(0, len(workers), rack_size)]
+
     def machine(self, node_id: int) -> Machine:
         """Look up a machine by node id.
 

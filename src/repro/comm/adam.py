@@ -28,16 +28,22 @@ class _AdamSlot:
 
     def __init__(self, params: ArrayDict):
         self.params = {key: value.copy() for key, value in params.items()}
-        self.pending: List[Tuple[SufficientFactors, ArrayDict]] = []
+        self.pending: List[Tuple[int, SufficientFactors, ArrayDict]] = []
         self.version = 0
         self.condition = threading.Condition()
 
 
 class AdamSFServer:
-    """Functional model of Adam's SF-push / matrix-pull synchronization."""
+    """Functional model of Adam's SF-push / matrix-pull synchronization.
+
+    With ``ordered=True`` the per-iteration reduction runs in worker-id
+    order instead of push-arrival order, making the aggregate bit-identical
+    run-to-run under the threaded trainer.
+    """
 
     def __init__(self, initial_params: Dict[str, ArrayDict], num_workers: int,
-                 optimizer: Optional[SGD] = None, aggregation: str = "mean"):
+                 optimizer: Optional[SGD] = None, aggregation: str = "mean",
+                 ordered: bool = False):
         if num_workers < 1:
             raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
         if aggregation not in ("mean", "sum"):
@@ -46,6 +52,7 @@ class AdamSFServer:
             )
         self.num_workers = int(num_workers)
         self.aggregation = aggregation
+        self.ordered = bool(ordered)
         self.optimizer = optimizer or SGD(learning_rate=0.01)
         self._slots = {name: _AdamSlot(params) for name, params in initial_params.items()}
         self.meter = ByteMeter()
@@ -67,7 +74,12 @@ class AdamSFServer:
         extras = extras or {}
         nbytes = factors.nbytes + sum(int(v.nbytes) for v in extras.values())
         with slot.condition:
-            slot.pending.append((factors, {k: np.asarray(v) for k, v in extras.items()}))
+            if self.ordered and any(entry[0] == worker_id for entry in slot.pending):
+                raise CommunicationError(
+                    f"layer {layer!r}: worker {worker_id} pushed twice in one iteration"
+                )
+            slot.pending.append(
+                (worker_id, factors, {k: np.asarray(v) for k, v in extras.items()}))
             if len(slot.pending) > self.num_workers:
                 raise CommunicationError(
                     f"layer {layer!r}: more pushes than workers in one iteration"
@@ -95,7 +107,10 @@ class AdamSFServer:
     def _apply_locked(self, layer: str, slot: _AdamSlot) -> None:
         weight_total = None
         extra_totals: ArrayDict = {}
-        for factors, extras in slot.pending:
+        pending = slot.pending
+        if self.ordered:
+            pending = sorted(pending, key=lambda entry: entry[0])
+        for _, factors, extras in pending:
             dense = factors.reconstruct()
             weight_total = dense if weight_total is None else weight_total + dense
             for key, value in extras.items():

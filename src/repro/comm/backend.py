@@ -1,0 +1,512 @@
+"""Pluggable communication backends.
+
+Historically every communication scheme was hard-wired through four layers
+at once: the :class:`~repro.core.cost_model.CommScheme` enum, the
+``if``/``elif`` chains of :func:`repro.parallel.schemes.assign_schemes`, the
+substrate wiring inside :class:`~repro.parallel.trainer.DistributedTrainer`
+and the per-scheme flow processes of
+:class:`repro.simulation.throughput.IterationSimulator`.  Adding a scheme
+meant editing all of them by hand.
+
+A :class:`CommBackend` bundles everything one scheme needs:
+
+* ``cost(m, n, P1, P2, K)`` -- the Algorithm-1 / Table-1 cost (parameters
+  transmitted plus received per combined server/worker node per iteration),
+  the quantity HybComm minimises;
+* ``wire_bytes(...)`` -- the same cost in bytes on the wire;
+* ``build_substrate`` / ``make_syncer`` -- the functional trainer side: the
+  shared communication substrate (parameter server, bulletin board, ...)
+  and the per-layer :class:`~repro.core.syncer.Syncer` that speaks to it;
+* ``flow_plan`` -- a :class:`FlowPlan` describing the scheme's transfer
+  pattern for the flow-level throughput simulator.
+
+Backends register themselves in a process-wide registry; the scheme
+assigner, the trainer and the simulator all resolve schemes through
+:func:`get_backend`, so a new scheme is one self-registering file (see
+:mod:`repro.comm.ring` and :mod:`repro.comm.hierarchical` for complete
+examples, and PERFORMANCE.md "Communication backends" for the recipe).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Dict, Generator, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.cluster.machine import FABRIC
+from repro.core.cost_model import (
+    CommScheme,
+    adam_combined_cost,
+    ps_combined_cost,
+    sfb_worker_cost,
+)
+from repro.engines.base import Partitioning
+from repro.exceptions import ConfigurationError
+
+#: A layer's parameters or gradients: parameter name -> array.
+ArrayDict = Dict[str, Any]
+
+#: Factor by which 1-bit quantization shrinks gradient payloads.
+ONEBIT_COMPRESSION = 32.0
+
+
+@dataclass(frozen=True)
+class TrainerContext:
+    """Cluster/training shape a backend needs to build trainer-side state.
+
+    Attributes:
+        num_workers: worker count (``P1``).
+        num_servers: PS shard count (``P2``).
+        batch_size: per-worker batch size (``K``).
+        aggregation: ``"mean"`` or ``"sum"`` gradient aggregation.
+        deterministic: request bit-reproducible reductions (worker-id order)
+            from every substrate that aggregates floating point.
+        optimizer_factory: builds one fresh optimiser instance per call; used
+            by substrates that hold the authoritative parameter copy.
+    """
+
+    num_workers: int
+    num_servers: int
+    batch_size: int
+    aggregation: str = "mean"
+    deterministic: bool = False
+    optimizer_factory: Optional[Callable[[], Any]] = None
+
+    def make_optimizer(self) -> Any:
+        if self.optimizer_factory is None:
+            raise ConfigurationError(
+                "this backend needs an optimizer_factory in its TrainerContext"
+            )
+        return self.optimizer_factory()
+
+
+@dataclass
+class WorkerResources:
+    """Per-worker objects shared by all of that worker's syncers.
+
+    Attributes:
+        worker_id: the worker these resources belong to.
+        local_optimizer: optimiser applied to the worker's own replica by
+            peer-to-peer schemes (SFB, ring all-reduce).
+        quantizer: the worker's stateful 1-bit quantizer (error feedback).
+    """
+
+    worker_id: int
+    local_optimizer: Any = None
+    quantizer: Any = None
+
+
+class FlowPlan:
+    """Simulator-side description of one scheme's transfer pattern.
+
+    A plan operates on the running
+    :class:`~repro.simulation.throughput.IterationSimulator` (passed as
+    ``sim``): it may use the cluster's flow primitives
+    (``sim.cluster.transfer`` / ``broadcast`` / fabric fans), the shared
+    per-unit synchronization state (``sim.unit_state(unit)``) and the
+    system descriptor (``sim.system``).  ``worker_sync`` is a simulation
+    process generator; ``server_process`` (optional) models scheme logic
+    that runs on the server side rather than being driven by a worker.
+    """
+
+    def needs_server_process(self, sim: Any, unit: Any, scheme: CommScheme) -> bool:
+        """Whether :meth:`server_process` must be spawned for ``unit``."""
+        return False
+
+    def server_process(self, sim: Any, unit: Any, scheme: CommScheme) -> Generator:
+        raise NotImplementedError
+
+    def worker_sync(self, sim: Any, worker: int, unit: Any,
+                    scheme: CommScheme) -> Generator:
+        """Process: synchronize ``unit`` at ``worker`` under this plan."""
+        raise NotImplementedError
+
+
+class CommBackend(abc.ABC):
+    """One communication scheme, end to end.
+
+    Class attributes:
+        scheme: the :class:`CommScheme` this backend implements.
+        requires_factorization: gradients travel as sufficient factors, so
+            the scheme only applies to factorisable (Dense / SF-eligible)
+            layers; everything else falls back to PS.
+        hybrid_candidate: participates in Algorithm 1's per-layer choice
+            (the paper considers exact schemes only: PS and SFB).
+        hybrid_rank: tie-break for equal Algorithm-1 costs -- lower wins,
+            which keeps the paper's "SFB on ties" rule.
+        compression: payload shrink factor on dense PS-style transfers.
+    """
+
+    scheme: ClassVar[CommScheme]
+    requires_factorization: ClassVar[bool] = False
+    hybrid_candidate: ClassVar[bool] = False
+    hybrid_rank: ClassVar[int] = 0
+    compression: ClassVar[float] = 1.0
+    flow_plan: ClassVar[FlowPlan]
+
+    @property
+    def name(self) -> str:
+        """Registry key (the scheme's wire name)."""
+        return self.scheme.value
+
+    # -- Algorithm 1 ------------------------------------------------------------
+    @abc.abstractmethod
+    def cost(self, m: int, n: int, num_workers: int, num_servers: int,
+             batch_size: int, bandwidth_bps: Optional[float] = None) -> float:
+        """Table-1 cost: parameters a combined server/worker node moves.
+
+        ``bandwidth_bps`` is accepted for cost models that are not purely
+        volumetric (none of the built-ins use it).
+        """
+
+    def wire_bytes(self, m: int, n: int, num_workers: int, num_servers: int,
+                   batch_size: int) -> float:
+        """Same as :meth:`cost` but in bytes on the wire."""
+        return self.cost(m, n, num_workers, num_servers, batch_size) * units.FLOAT32_BYTES
+
+    # -- functional trainer -----------------------------------------------------
+    @abc.abstractmethod
+    def build_substrate(self, initial_layers: Dict[str, ArrayDict],
+                        ctx: TrainerContext) -> Any:
+        """Build the shared communication substrate for this scheme's layers."""
+
+    @abc.abstractmethod
+    def make_syncer(self, layer: Any, substrate: Any,
+                    resources: WorkerResources, ctx: TrainerContext) -> Any:
+        """Build the per-layer syncer one worker uses for ``layer``."""
+
+
+def reduce_in_worker_order(contributions: Dict[int, ArrayDict],
+                           mean_divisor: Optional[float] = None) -> ArrayDict:
+    """Sum per-worker gradient dicts in worker-id order (fresh buffers).
+
+    The fixed fold order makes the result bit-identical regardless of which
+    thread contributed first (floating-point addition is not associative).
+    With ``mean_divisor`` the totals are scaled by ``1/mean_divisor`` in
+    place; mixed-dtype contributions fall back to upcasting semantics.
+    Shared by the peer-to-peer substrates (ring all-reduce, hierarchical
+    rack accumulators); the flat parameter server keeps its own in-place
+    variant that folds into preallocated accumulation buffers.
+    """
+    totals: ArrayDict = {}
+    for worker_id in sorted(contributions):
+        for name, grad in contributions[worker_id].items():
+            total = totals.get(name)
+            if total is None:
+                totals[name] = np.array(grad, copy=True)
+            elif total.dtype == grad.dtype and total.shape == grad.shape:
+                np.add(total, grad, out=total)
+            else:  # mixed dtypes: fall back to upcasting semantics
+                totals[name] = total + grad
+    if mean_divisor is not None:
+        count = float(mean_divisor)
+        for name, total in totals.items():
+            if np.issubdtype(total.dtype, np.floating):
+                total /= count
+            else:
+                totals[name] = total / count
+    return totals
+
+
+# -- registry ---------------------------------------------------------------------
+
+_REGISTRY: Dict[str, CommBackend] = {}
+
+#: Bumped on every (un)registration so caches keyed on scheme decisions
+#: (e.g. the simulator's memoized assignments) can detect registry changes.
+_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Monotonic counter of registry mutations (for cache invalidation)."""
+    return _GENERATION
+
+
+def register_backend(backend: CommBackend) -> CommBackend:
+    """Add a backend to the registry; rejects duplicate scheme names.
+
+    Returns the backend so modules can ``BACKEND = register_backend(...)``.
+
+    Raises:
+        ConfigurationError: if a backend with the same name is registered.
+    """
+    global _GENERATION
+    key = backend.name
+    if key in _REGISTRY:
+        raise ConfigurationError(
+            f"communication backend {key!r} is already registered "
+            f"(by {type(_REGISTRY[key]).__name__})"
+        )
+    _REGISTRY[key] = backend
+    _GENERATION += 1
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (primarily for tests exercising registration)."""
+    global _GENERATION
+    if _REGISTRY.pop(str(name), None) is not None:
+        _GENERATION += 1
+
+
+def get_backend(scheme: Any) -> CommBackend:
+    """Resolve a scheme (enum member or wire name) to its backend.
+
+    Raises:
+        ConfigurationError: for unknown schemes.
+    """
+    key = scheme.value if isinstance(scheme, CommScheme) else str(scheme)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown communication scheme {key!r}; registered backends: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_backends() -> Dict[str, CommBackend]:
+    """Copy of the registry in registration order."""
+    return dict(_REGISTRY)
+
+
+def hybrid_candidates() -> Tuple[CommBackend, ...]:
+    """Backends Algorithm 1 chooses between, in registration order."""
+    return tuple(b for b in _REGISTRY.values() if b.hybrid_candidate)
+
+
+def hybrid_choice(m: int, n: int, num_workers: int, num_servers: int,
+                  batch_size: int, sf_eligible: bool = True) -> CommScheme:
+    """Algorithm 1: the cheapest hybrid-candidate scheme for one layer.
+
+    Factor-based candidates are skipped for non-factorisable layers and for
+    single-worker clusters (one worker never communicates factors); ties go
+    to the lowest ``hybrid_rank`` (SFB before PS, matching the paper).
+    """
+    best: Optional[Tuple[Tuple[float, int], CommScheme]] = None
+    for backend in hybrid_candidates():
+        if backend.requires_factorization and (not sf_eligible or num_workers <= 1):
+            continue
+        cost = backend.cost(m, n, num_workers, num_servers, batch_size)
+        key = (cost, backend.hybrid_rank)
+        if best is None or key < best[0]:
+            best = (key, backend.scheme)
+    if best is None:
+        raise ConfigurationError("no hybrid-candidate backend is registered")
+    return best[1]
+
+
+# -- built-in flow plans -----------------------------------------------------------
+
+
+class PSFlowPlan(FlowPlan):
+    """Dense (optionally quantized) parameter-server traffic.
+
+    Respects the system's partitioning: fine-grained balanced KV pairs are
+    modelled as aggregate fabric flows plus a server-side gather/apply/
+    scatter process, coarse per-tensor placement as point-to-point flows
+    against the owning shard's NIC (hotspots emerge naturally).
+    """
+
+    def needs_server_process(self, sim, unit, scheme):
+        return sim.system.partitioning is Partitioning.FINE
+
+    def worker_sync(self, sim, worker, unit, scheme):
+        if sim.system.partitioning is Partitioning.FINE:
+            yield from self._fine_worker_sync(sim, worker, unit, scheme)
+        else:
+            yield from self._coarse_worker_sync(sim, worker, unit, scheme)
+
+    # -- fine-grained PS (Poseidon KV store / TF+WFBP) ----------------------------
+    def _fine_worker_sync(self, sim, worker, unit, scheme):
+        state = sim.unit_state(unit)
+        push_bytes = sim.fine_push_bytes(unit, scheme)
+        state.mark_send_started()
+        yield from sim.cluster.transfer(
+            worker, FABRIC, push_bytes, tag=f"push:{unit.name}")
+        state.all_sent.arrive()
+
+        yield state.aggregated
+        if not sim.system.overlap_pull:
+            yield sim.backward_done(worker)
+        pull_bytes = sim.fine_push_bytes(unit, scheme)
+        yield from sim.cluster.transfer(
+            FABRIC, worker, pull_bytes, tag=f"pull:{unit.name}")
+        if state.scatter_done is not None:
+            yield state.scatter_done
+
+    def server_process(self, sim, unit, scheme):
+        """Server-shard side of a fine-grained PS unit: gather, apply, scatter."""
+        state = sim.unit_state(unit)
+        yield state.send_started
+        server_bytes = sim.fine_server_bytes(unit, scheme)
+        shard_nodes = list(set(sim.server_nodes))
+        yield sim.cluster.fabric_gather(shard_nodes, server_bytes,
+                                        tag=f"gather:{unit.name}")
+        yield state.all_sent
+        state.aggregated.succeed()
+        state.scatter_done = sim.cluster.fabric_scatter(
+            shard_nodes, server_bytes, tag=f"scatter:{unit.name}")
+
+    # -- coarse per-tensor PS (stock TensorFlow) ----------------------------------
+    def _coarse_worker_sync(self, sim, worker, unit, scheme):
+        state = sim.unit_state(unit)
+        owner = sim.coarse_owner[unit.name]
+        dense_bytes = unit.param_bytes / sim.compression(scheme)
+        state.mark_send_started()
+        yield from sim.cluster.transfer(
+            worker, owner, dense_bytes, tag=f"push:{unit.name}")
+        state.all_sent.arrive()
+
+        yield state.all_sent
+        if not sim.system.overlap_pull:
+            yield sim.backward_done(worker)
+        # The pull stays a spawned process: when ``overlap_pull`` is off,
+        # every gated pull of every worker is released in one cascade at
+        # backward-done, and the bootstrap hop keeps those bookings ordered
+        # behind the final unit's pushes exactly as the seed serialised them.
+        yield sim.env.process(sim.cluster.transfer(
+            owner, worker, dense_bytes, tag=f"pull:{unit.name}"))
+
+
+class SFBFlowPlan(FlowPlan):
+    """Peer-to-peer sufficient-factor broadcasting (Figure 2(b))."""
+
+    def worker_sync(self, sim, worker, unit, scheme):
+        sf_bytes = unit.sufficient_factor_bytes(sim.workload.batch_size)
+        peers = [p for p in range(sim.num_workers) if p != worker]
+        state = sim.unit_state(unit)
+        state.mark_send_started()
+        yield from sim.cluster.broadcast(worker, peers, sf_bytes,
+                                         tag=f"sfb:{unit.name}")
+        state.all_sent.arrive()
+        # The unit is synchronized at this worker once every peer's factors
+        # have arrived, i.e. once every peer has finished its own broadcast.
+        yield state.all_sent
+
+
+class AdamFlowPlan(FlowPlan):
+    """Project Adam: SF push to the owning shard, full-matrix pull back."""
+
+    def worker_sync(self, sim, worker, unit, scheme):
+        state = sim.unit_state(unit)
+        owner = sim.coarse_owner[unit.name]
+        sf_bytes = unit.sufficient_factor_bytes(sim.workload.batch_size)
+        state.mark_send_started()
+        yield from sim.cluster.transfer(
+            worker, owner, sf_bytes, tag=f"adam-push:{unit.name}")
+        state.all_sent.arrive()
+
+        yield state.all_sent
+        yield from sim.cluster.transfer(
+            owner, worker, unit.param_bytes, tag=f"adam-pull:{unit.name}")
+
+
+# -- built-in backends -------------------------------------------------------------
+
+
+class PSBackend(CommBackend):
+    """Dense gradients through the sharded parameter server (Figure 2(a))."""
+
+    scheme = CommScheme.PS
+    hybrid_candidate = True
+    hybrid_rank = 1  # PS loses Algorithm-1 ties to SFB
+    flow_plan = PSFlowPlan()
+
+    def cost(self, m, n, num_workers, num_servers, batch_size,
+             bandwidth_bps=None):
+        return ps_combined_cost(m, n, num_workers, num_servers)
+
+    def build_substrate(self, initial_layers, ctx):
+        from repro.comm.parameter_server import ShardedParameterServer
+        return ShardedParameterServer(
+            initial_layers, ctx.num_workers, optimizer=ctx.make_optimizer(),
+            aggregation=ctx.aggregation, ordered=ctx.deterministic,
+        )
+
+    def make_syncer(self, layer, substrate, resources, ctx):
+        from repro.core.syncer import Syncer
+        return Syncer(resources.worker_id, layer, self.scheme, ps=substrate,
+                      aggregation=ctx.aggregation)
+
+
+class OneBitBackend(PSBackend):
+    """1-bit quantized gradients through the PS (the CNTK baseline)."""
+
+    scheme = CommScheme.ONEBIT
+    hybrid_candidate = False  # approximate: Algorithm 1 only weighs exact schemes
+    compression = ONEBIT_COMPRESSION
+    flow_plan = PSFlowPlan()
+
+    def cost(self, m, n, num_workers, num_servers, batch_size,
+             bandwidth_bps=None):
+        # 1-bit quantization shrinks the PS payload by ~32x in both
+        # directions (scales are negligible at this granularity).
+        return ps_combined_cost(m, n, num_workers, num_servers) / self.compression
+
+    def make_syncer(self, layer, substrate, resources, ctx):
+        from repro.core.syncer import Syncer
+        return Syncer(resources.worker_id, layer, self.scheme, ps=substrate,
+                      quantizer=resources.quantizer, aggregation=ctx.aggregation)
+
+
+class SFBBackend(CommBackend):
+    """Peer-to-peer sufficient-factor broadcasting."""
+
+    scheme = CommScheme.SFB
+    requires_factorization = True
+    hybrid_candidate = True
+    hybrid_rank = 0  # SFB wins Algorithm-1 ties
+    flow_plan = SFBFlowPlan()
+
+    def cost(self, m, n, num_workers, num_servers, batch_size,
+             bandwidth_bps=None):
+        return sfb_worker_cost(m, n, batch_size, num_workers)
+
+    def build_substrate(self, initial_layers, ctx):
+        from repro.comm.sfb import SufficientFactorBroadcaster
+        return SufficientFactorBroadcaster(ctx.num_workers)
+
+    def make_syncer(self, layer, substrate, resources, ctx):
+        from repro.core.syncer import Syncer
+        return Syncer(resources.worker_id, layer, self.scheme, sfb=substrate,
+                      local_optimizer=resources.local_optimizer,
+                      aggregation=ctx.aggregation)
+
+
+class AdamBackend(CommBackend):
+    """Project Adam's SF-push / full-matrix-pull strategy."""
+
+    scheme = CommScheme.ADAM
+    requires_factorization = True
+    flow_plan = AdamFlowPlan()
+
+    def cost(self, m, n, num_workers, num_servers, batch_size,
+             bandwidth_bps=None):
+        return adam_combined_cost(m, n, batch_size, num_workers)
+
+    def build_substrate(self, initial_layers, ctx):
+        from repro.comm.adam import AdamSFServer
+        return AdamSFServer(
+            initial_layers, ctx.num_workers, optimizer=ctx.make_optimizer(),
+            aggregation=ctx.aggregation, ordered=ctx.deterministic,
+        )
+
+    def make_syncer(self, layer, substrate, resources, ctx):
+        from repro.core.syncer import Syncer
+        return Syncer(resources.worker_id, layer, self.scheme, adam=substrate,
+                      aggregation=ctx.aggregation)
+
+
+PS_BACKEND = register_backend(PSBackend())
+SFB_BACKEND = register_backend(SFBBackend())
+ONEBIT_BACKEND = register_backend(OneBitBackend())
+ADAM_BACKEND = register_backend(AdamBackend())
+
+# Self-registering backends that live in their own modules -- importing this
+# module is the single entry point that guarantees the full registry.
+from repro.comm import hierarchical as _hierarchical  # noqa: E402,F401
+from repro.comm import ring as _ring  # noqa: E402,F401

@@ -1,0 +1,286 @@
+"""Hierarchical parameter server: rack-local aggregation, then a root shard.
+
+Datacenter Ethernet is typically oversubscribed above the top-of-rack
+switch, so a flat parameter server pays cross-rack bandwidth for every
+worker's gradient.  The hierarchical scheme aggregates gradients inside
+each rack first (workers push to their rack leader), ships one pre-reduced
+gradient per rack to the root shard that owns the layer, and distributes
+the updated parameters back down the same tree -- cross-rack traffic drops
+from ``P1`` flows to ``ceil(P1 / R)`` flows per layer.
+
+Like :mod:`repro.comm.ring`, this module is a complete self-registering
+communication backend: functional substrate
+(:class:`HierarchicalParameterServer`, which reuses
+:class:`~repro.comm.parameter_server.ShardedParameterServer` as its root),
+trainer syncer (:class:`HierPSSyncer`), simulator flow pattern
+(:class:`HierPSFlowPlan`, built on the existing NIC-contention model) and
+Algorithm-1 cost (:class:`HierPSBackend`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.backend import (
+    CommBackend,
+    FlowPlan,
+    TrainerContext,
+    WorkerResources,
+    reduce_in_worker_order,
+    register_backend,
+)
+from repro.comm.parameter_server import ShardedParameterServer
+from repro.core.cost_model import CommScheme
+from repro.core.syncer import Syncer
+from repro.exceptions import CommunicationError, TrainingError
+from repro.nn.optim import SGD
+
+#: A layer's parameters or gradients: parameter name -> array.
+ArrayDict = Dict[str, np.ndarray]
+
+#: Workers aggregated under one top-of-rack switch by default.
+DEFAULT_RACK_SIZE = 4
+
+
+class HierarchicalParameterServer:
+    """Two-level BSP parameter server: rack accumulators over a root PS.
+
+    Workers are grouped into racks of ``rack_size`` consecutive ids.  A
+    ``push`` lands in the worker's rack accumulator; once the rack is
+    complete its gradients are reduced **in worker-id order** and forwarded
+    (as one contribution per rack) to the root
+    :class:`ShardedParameterServer`, which applies the optimiser step after
+    the last rack arrives -- rack forwarding order is likewise fixed by the
+    root's ordered reduction, so the whole tree is bit-reproducible.
+
+    With ``aggregation="mean"`` each rack's partial sum is pre-scaled by
+    ``1/P1`` and the root aggregates with ``"sum"``, which reproduces the
+    flat PS mean exactly (up to float associativity).
+    """
+
+    def __init__(self, initial_params: Dict[str, ArrayDict], num_workers: int,
+                 rack_size: int = DEFAULT_RACK_SIZE,
+                 optimizer: Optional[SGD] = None, aggregation: str = "mean"):
+        if num_workers < 1:
+            raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
+        if rack_size < 1:
+            raise CommunicationError(f"rack_size must be >= 1, got {rack_size}")
+        if aggregation not in ("mean", "sum"):
+            raise CommunicationError(
+                f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
+            )
+        self.num_workers = int(num_workers)
+        self.rack_size = int(rack_size)
+        self.num_racks = math.ceil(self.num_workers / self.rack_size)
+        self.aggregation = aggregation
+        self.root = ShardedParameterServer(
+            initial_params, num_workers=self.num_racks, optimizer=optimizer,
+            aggregation="sum", ordered=True,
+        )
+        self._pending: Dict[Tuple[str, int], Dict[int, ArrayDict]] = {}
+        self._lock = threading.Lock()
+
+    # -- topology ---------------------------------------------------------------
+    def rack_of(self, worker_id: int) -> int:
+        """Rack index of a worker."""
+        if not 0 <= worker_id < self.num_workers:
+            raise CommunicationError(
+                f"worker_id {worker_id} out of range [0, {self.num_workers})"
+            )
+        return worker_id // self.rack_size
+
+    def rack_members(self, rack: int) -> List[int]:
+        """Worker ids aggregated under one rack."""
+        first = rack * self.rack_size
+        return list(range(first, min(first + self.rack_size, self.num_workers)))
+
+    def leader_of(self, rack: int) -> int:
+        """The rack's aggregating worker (its first member)."""
+        return self.rack_members(rack)[0]
+
+    # -- worker-facing API --------------------------------------------------------
+    def push(self, worker_id: int, layer: str, grads: ArrayDict) -> int:
+        """Contribute one worker's gradient; returns its wire bytes.
+
+        The rack-completing push reduces the rack and forwards the partial
+        aggregate to the root shard; the last rack's forward triggers the
+        root's optimiser step.
+        """
+        rack = self.rack_of(worker_id)
+        nbytes = sum(int(g.nbytes) for g in grads.values())
+        key = (layer, rack)
+        with self._lock:
+            pending = self._pending.setdefault(key, {})
+            if worker_id in pending:
+                raise CommunicationError(
+                    f"worker {worker_id} already pushed {layer!r} this iteration"
+                )
+            pending[worker_id] = grads
+            if len(pending) < len(self.rack_members(rack)):
+                return nbytes
+            del self._pending[key]
+        partial = self._reduce_rack(pending)
+        self.root.push(rack, layer, partial)
+        return nbytes
+
+    def pull(self, worker_id: int, layer: str, min_version: int,
+             timeout: Optional[float] = 30.0) -> ArrayDict:
+        """Block until the root reaches ``min_version``; shared snapshot."""
+        return self.root.pull(worker_id, layer, min_version, timeout=timeout,
+                              copy=False)
+
+    def version(self, layer: str) -> int:
+        """Aggregated updates applied to ``layer`` at the root."""
+        return self.root.version(layer)
+
+    def global_params(self, layer: str) -> ArrayDict:
+        """Copy of the root's current global parameters of ``layer``."""
+        return self.root.global_params(layer)
+
+    # -- reduction ----------------------------------------------------------------
+    def _reduce_rack(self, pending: Dict[int, ArrayDict]) -> ArrayDict:
+        """Sum one rack's contributions in worker-id order (pre-scaled mean)."""
+        divisor = self.num_workers if self.aggregation == "mean" else None
+        return reduce_in_worker_order(pending, mean_divisor=divisor)
+
+
+class HierPSSyncer(Syncer):
+    """Per-layer syncer pushing through the rack tree, pulling the root."""
+
+    def __init__(self, worker_id: int, layer, hier: HierarchicalParameterServer,
+                 aggregation: str = "mean"):
+        self.hier = hier
+        super().__init__(worker_id, layer, CommScheme.HIERPS,
+                         aggregation=aggregation)
+
+    def _validate_backends(self) -> None:
+        if self.hier is None:
+            raise TrainingError(
+                f"syncer for {self.layer.name!r}: hierarchical PS needs a "
+                f"HierarchicalParameterServer"
+            )
+
+    def _scheme_handler(self):
+        return self._sync_hier
+
+    def _sync_hier(self, iteration: int) -> None:
+        assert self._staged_grads is not None
+        sent = self.hier.push(self.worker_id, self.layer.name, self._staged_grads)
+        params = self.hier.pull(self.worker_id, self.layer.name,
+                                min_version=iteration + 1)
+        self.layer.set_params(params)
+        self.stats.bytes_sent += sent
+        self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
+
+
+class HierPSFlowPlan(FlowPlan):
+    """Simulator flow pattern of the rack tree.
+
+    Per unit: rack members push dense gradients to their rack leader
+    (point-to-point flows into the leader's downlink); each complete rack's
+    leader forwards one aggregate to the unit's root owner; once every
+    rack's aggregate arrived the root applies the update and the leaders
+    pull the fresh parameters and redistribute them inside their racks.
+    All hops ride the existing per-NIC TailChannel contention model, so
+    leader and root hotspots emerge naturally.
+    """
+
+    def __init__(self, rack_size: int = DEFAULT_RACK_SIZE):
+        self.rack_size = int(rack_size)
+
+    def _tree_state(self, sim, unit):
+        state = sim.unit_state(unit)
+        tree = state.extra.get("hierps")
+        if tree is None:
+            racks = sim.cluster.racks(self.rack_size)
+            tree = {
+                "racks": racks,
+                "rack_done": {rack: sim.env.countdown(len(members))
+                              for rack, members in enumerate(racks)},
+                "root_done": sim.env.countdown(len(racks)),
+                "delivered": {rack: sim.env.event() for rack in range(len(racks))},
+            }
+            state.extra["hierps"] = tree
+        return state, tree
+
+    def worker_sync(self, sim, worker, unit, scheme):
+        state, tree = self._tree_state(sim, unit)
+        rack = worker // self.rack_size
+        members = tree["racks"][rack]
+        leader = members[0]
+        dense_bytes = unit.param_bytes / sim.compression(scheme)
+        state.mark_send_started()
+        if worker != leader:
+            yield from sim.cluster.transfer(worker, leader, dense_bytes,
+                                            tag=f"hier-push:{unit.name}")
+            tree["rack_done"][rack].arrive()
+            if not sim.system.overlap_pull:
+                yield sim.backward_done(worker)
+            yield tree["delivered"][rack]
+            state.all_sent.arrive()
+            return
+        # Rack leader: own gradient is already local; wait for the rack,
+        # forward one aggregate to the root owner, pull, redistribute.
+        tree["rack_done"][rack].arrive()
+        yield tree["rack_done"][rack]
+        owner = sim.coarse_owner[unit.name]
+        yield from sim.cluster.transfer(leader, owner, dense_bytes,
+                                        tag=f"hier-up:{unit.name}")
+        tree["root_done"].arrive()
+        yield tree["root_done"]
+        if not sim.system.overlap_pull:
+            # No-overlap systems fetch parameters only after the backward
+            # pass, exactly as the PS flow plan gates its pulls.
+            yield sim.backward_done(leader)
+        yield from sim.cluster.transfer(owner, leader, dense_bytes,
+                                        tag=f"hier-down:{unit.name}")
+        peers = [member for member in members if member != leader]
+        if peers:
+            yield from sim.cluster.broadcast(leader, peers, dense_bytes,
+                                             tag=f"hier-dist:{unit.name}")
+        tree["delivered"][rack].succeed()
+        state.all_sent.arrive()
+
+
+class HierPSBackend(CommBackend):
+    """Rack-aggregated parameter server as a pluggable backend."""
+
+    scheme = CommScheme.HIERPS
+
+    def __init__(self, rack_size: int = DEFAULT_RACK_SIZE):
+        if rack_size < 1:
+            raise CommunicationError(f"rack_size must be >= 1, got {rack_size}")
+        self.rack_size = int(rack_size)
+        self.flow_plan = HierPSFlowPlan(rack_size)
+
+    def cost(self, m, n, num_workers, num_servers, batch_size,
+             bandwidth_bps=None):
+        """Transmit+receive volume at the busiest node of the tree.
+
+        A rack leader exchanges the whole rack's gradients and parameters
+        (``2 R M N``); the root owner exchanges one aggregate per rack
+        (``2 ceil(P1/R) M N``).  The hotspot is whichever fan is wider.
+        """
+        if num_workers <= 1:
+            return 0.0
+        local_fan = min(self.rack_size, num_workers)
+        num_racks = math.ceil(num_workers / self.rack_size)
+        return 2.0 * m * n * max(local_fan, num_racks)
+
+    def build_substrate(self, initial_layers, ctx: TrainerContext):
+        return HierarchicalParameterServer(
+            initial_layers, ctx.num_workers, rack_size=self.rack_size,
+            optimizer=ctx.make_optimizer(), aggregation=ctx.aggregation,
+        )
+
+    def make_syncer(self, layer, substrate, resources: WorkerResources,
+                    ctx: TrainerContext):
+        return HierPSSyncer(resources.worker_id, layer, substrate,
+                            aggregation=ctx.aggregation)
+
+
+HIERPS_BACKEND = register_backend(HierPSBackend())

@@ -42,6 +42,9 @@ class _LayerSlot:
         self.pushes = 0                 # contributions this iteration
         self.version = 0
         self.condition = threading.Condition()
+        # Ordered mode: contributions buffered per worker id so the
+        # reduction can run in worker-id order instead of arrival order.
+        self.contributions: Dict[int, ArrayDict] = {}
         # Read-only parameter snapshot shared by pull(copy=False) callers,
         # rebuilt lazily per version.
         self.snapshot: Optional[ArrayDict] = None
@@ -59,10 +62,17 @@ class ShardedParameterServer:
         aggregation: ``"mean"`` (average worker gradients; equivalent to
             training on the combined batch with the same learning rate) or
             ``"sum"`` (the literal form of Eq. 2).
+        ordered: buffer contributions per worker and reduce them in
+            worker-id order once the iteration is complete, making the
+            aggregate bit-identical run-to-run regardless of which thread
+            pushes first (floating-point addition is not associative).
+            Arrival-order in-place accumulation (the default) avoids the
+            buffering but lets thread scheduling perturb the last bits.
     """
 
     def __init__(self, initial_params: Dict[str, ArrayDict], num_workers: int,
-                 optimizer: Optional[SGD] = None, aggregation: str = "mean"):
+                 optimizer: Optional[SGD] = None, aggregation: str = "mean",
+                 ordered: bool = False):
         if num_workers < 1:
             raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
         if aggregation not in ("mean", "sum"):
@@ -71,6 +81,7 @@ class ShardedParameterServer:
             )
         self.num_workers = int(num_workers)
         self.aggregation = aggregation
+        self.ordered = bool(ordered)
         self.optimizer = optimizer or SGD(learning_rate=0.01)
         self._slots: Dict[str, _LayerSlot] = {
             name: _LayerSlot(params) for name, params in initial_params.items()
@@ -132,15 +143,28 @@ class ShardedParameterServer:
                     f"layer {layer!r} received {slot.pushes + 1} pushes for "
                     f"{self.num_workers} workers; a worker pushed twice in one iteration"
                 )
-            for key, grad in grads.items():
-                acc = slot.accum[key]
-                if key in slot.touched:
-                    np.add(acc, grad, out=acc, casting="unsafe")
-                else:
-                    np.copyto(acc, grad, casting="unsafe")
-                    slot.touched.add(key)
+            if self.ordered:
+                if worker_id in slot.contributions:
+                    raise CommunicationError(
+                        f"layer {layer!r}: worker {worker_id} pushed twice in "
+                        f"one iteration"
+                    )
+                # Buffered by reference: BSP guarantees the pusher blocks on
+                # its pull until the aggregate is applied, so the gradient
+                # buffers stay untouched until the reduction below runs.
+                slot.contributions[worker_id] = grads
+            else:
+                for key, grad in grads.items():
+                    acc = slot.accum[key]
+                    if key in slot.touched:
+                        np.add(acc, grad, out=acc, casting="unsafe")
+                    else:
+                        np.copyto(acc, grad, casting="unsafe")
+                        slot.touched.add(key)
             slot.pushes += 1
             if slot.pushes == self.num_workers:
+                if self.ordered:
+                    self._reduce_ordered_locked(slot)
                 self._apply_locked(layer, slot)
         self.meter.record(push_bytes, "received", tag=f"push:{layer}")
         return push_bytes
@@ -221,11 +245,24 @@ class ShardedParameterServer:
                     np.copyto(slot.params[key], value)
                 slot.touched.clear()
                 slot.pushes = 0
+                slot.contributions.clear()
                 slot.snapshot = None
                 slot.snapshot_version = -1
                 slot.condition.notify_all()
 
     # -- aggregation -------------------------------------------------------------------
+    def _reduce_ordered_locked(self, slot: _LayerSlot) -> None:
+        """Fold the buffered contributions into ``accum`` in worker-id order."""
+        for worker_id in sorted(slot.contributions):
+            for key, grad in slot.contributions[worker_id].items():
+                acc = slot.accum[key]
+                if key in slot.touched:
+                    np.add(acc, grad, out=acc, casting="unsafe")
+                else:
+                    np.copyto(acc, grad, casting="unsafe")
+                    slot.touched.add(key)
+        slot.contributions.clear()
+
     def _apply_locked(self, layer: str, slot: _LayerSlot) -> None:
         """Apply the accumulated gradients to the global params (lock held)."""
         aggregated: ArrayDict = {}

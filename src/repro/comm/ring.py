@@ -1,0 +1,232 @@
+"""Ring all-reduce: a bandwidth-optimal peer-to-peer communication backend.
+
+The classic chunked ring (Baidu/Horovod style): the ``P`` workers form a
+logical ring and run ``2(P-1)`` lockstep steps -- ``P-1`` reduce-scatter
+steps followed by ``P-1`` all-gather steps -- each moving ``1/P`` of the
+gradient to the next neighbour.  Every worker therefore sends (and receives)
+``2 (P-1)/P`` times the gradient size regardless of cluster size, which is
+the bandwidth-optimal bound for an all-reduce.  Like SFB, the scheme is
+server-free: every replica applies the same aggregate update locally, so
+replicas stay consistent without a parameter server.
+
+This module is a complete, self-registering communication backend -- the
+functional substrate (:class:`RingAllReducer`), the per-layer trainer syncer
+(:class:`RingSyncer`), the simulator flow pattern (:class:`RingFlowPlan`)
+and the Algorithm-1 cost model (:class:`RingBackend`) all live here; nothing
+outside this file special-cases the scheme.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.comm.backend import (
+    CommBackend,
+    FlowPlan,
+    TrainerContext,
+    WorkerResources,
+    reduce_in_worker_order,
+    register_backend,
+)
+from repro.comm.message import ByteMeter
+from repro.core.cost_model import CommScheme
+from repro.core.syncer import Syncer
+from repro.exceptions import CommunicationError, TrainingError
+
+#: A layer's parameters or gradients: parameter name -> array.
+ArrayDict = Dict[str, np.ndarray]
+
+
+class RingAllReducer:
+    """A BSP all-reduce board with ring wire-cost accounting.
+
+    Functionally the all-reduce is modelled like the SFB bulletin board:
+    every worker posts its gradient dict for (layer, iteration), the first
+    collector reduces all contributions **in worker-id order** (so the
+    result is bit-identical run-to-run regardless of thread arrival order)
+    and the reduced dict is shared read-only by every collector.  The wire
+    cost charged per worker is the chunked ring's ``2 (P-1)/P`` of the
+    dense gradient size in each direction.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self._board: Dict[Tuple[str, int], Dict[int, ArrayDict]] = {}
+        self._reduced: Dict[Tuple[str, int], Dict[str, ArrayDict]] = {}
+        self._collected: Dict[Tuple[str, int], Set[int]] = {}
+        self._condition = threading.Condition()
+        self.meter = ByteMeter()
+
+    def wire_bytes(self, dense_bytes: int) -> int:
+        """Ring traffic one worker sends (= receives) for a dense payload."""
+        if self.num_workers == 1:
+            return 0
+        return int(dense_bytes * 2 * (self.num_workers - 1) / self.num_workers)
+
+    def allreduce(self, worker_id: int, layer: str, iteration: int,
+                  grads: ArrayDict, aggregation: str = "mean",
+                  timeout: Optional[float] = 30.0
+                  ) -> Tuple[ArrayDict, int, int]:
+        """Contribute ``grads`` and block for the aggregate of all workers.
+
+        Returns:
+            ``(reduced, bytes_sent, bytes_received)``.  The reduced arrays
+            are shared between all collectors of the iteration and must be
+            treated as read-only (optimisers read gradients, never write
+            them).
+
+        Raises:
+            CommunicationError: on double contribution or timeout.
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise CommunicationError(
+                f"worker_id {worker_id} out of range [0, {self.num_workers})"
+            )
+        if aggregation not in ("mean", "sum"):
+            raise CommunicationError(
+                f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
+            )
+        key = (layer, int(iteration))
+        dense_bytes = sum(int(g.nbytes) for g in grads.values())
+        wire = self.wire_bytes(dense_bytes)
+        with self._condition:
+            entry = self._board.setdefault(key, {})
+            if worker_id in entry:
+                raise CommunicationError(
+                    f"worker {worker_id} already contributed {layer!r} at "
+                    f"iteration {iteration}"
+                )
+            entry[worker_id] = grads
+            self._condition.notify_all()
+            if not self._condition.wait_for(
+                    lambda: len(self._board.get(key, ())) >= self.num_workers
+                    or key in self._reduced,
+                    timeout=timeout):
+                have = len(self._board.get(key, {}))
+                raise CommunicationError(
+                    f"ring all-reduce of {layer!r}@{iteration} timed out with "
+                    f"{have}/{self.num_workers} contributions"
+                )
+            reduced = self._reduced.get(key)
+            if reduced is None:
+                reduced = self._reduce_locked(key, aggregation)
+            seen = self._collected.setdefault(key, set())
+            seen.add(worker_id)
+            if len(seen) >= self.num_workers:
+                # Every worker holds the result: drop the board entry so a
+                # long BSP run does not grow without bound.
+                self._board.pop(key, None)
+                self._reduced.pop(key, None)
+                del self._collected[key]
+        self.meter.record(wire, "sent", tag=f"ring:{layer}")
+        self.meter.record(wire, "received", tag=f"ring:{layer}")
+        return reduced, wire, wire
+
+    def _reduce_locked(self, key: Tuple[str, int], aggregation: str) -> ArrayDict:
+        """Reduce all contributions of ``key`` in worker-id order (lock held)."""
+        divisor = self.num_workers if aggregation == "mean" else None
+        totals = reduce_in_worker_order(self._board[key], mean_divisor=divisor)
+        for total in totals.values():
+            total.setflags(write=False)
+        self._reduced[key] = totals
+        return totals
+
+
+class RingSyncer(Syncer):
+    """Per-layer syncer speaking the ring all-reduce protocol.
+
+    Like the SFB syncer, it applies the aggregate update to the worker's
+    own replica with a local optimiser -- no central parameter copy exists.
+    """
+
+    def __init__(self, worker_id: int, layer, ring: RingAllReducer,
+                 local_optimizer, aggregation: str = "mean"):
+        self.ring = ring
+        super().__init__(worker_id, layer, CommScheme.RING,
+                         local_optimizer=local_optimizer, aggregation=aggregation)
+
+    def _validate_backends(self) -> None:
+        if self.ring is None or self.local_optimizer is None:
+            raise TrainingError(
+                f"syncer for {self.layer.name!r}: ring all-reduce needs a "
+                f"RingAllReducer and a local optimizer"
+            )
+
+    def _scheme_handler(self):
+        return self._sync_ring
+
+    def _sync_ring(self, iteration: int) -> None:
+        assert self._staged_grads is not None
+        reduced, sent, received = self.ring.allreduce(
+            self.worker_id, self.layer.name, iteration, self._staged_grads,
+            aggregation=self.aggregation)
+        for key, grad in reduced.items():
+            self.local_optimizer.apply(
+                f"{self.layer.name}/{key}", self.layer.params[key], grad)
+        self.stats.bytes_sent += sent
+        self.stats.bytes_received += received
+
+
+class RingFlowPlan(FlowPlan):
+    """Simulator flow pattern: ``2(P-1)`` lockstep neighbour transfers.
+
+    Each step, every worker ships one ``1/P`` chunk of the unit's gradient
+    to its ring successor's downlink (point-to-point TailChannel flows, so
+    NIC contention with other units emerges naturally) and waits on a
+    per-step countdown barrier before starting the next step, which models
+    the lockstep data dependency of the ring.
+    """
+
+    def worker_sync(self, sim, worker, unit, scheme):
+        num_workers = sim.num_workers
+        state = sim.unit_state(unit)
+        barriers = state.extra.get("ring")
+        if barriers is None:
+            barriers = [sim.env.countdown(num_workers)
+                        for _ in range(2 * (num_workers - 1))]
+            state.extra["ring"] = barriers
+        state.mark_send_started()
+        chunk = unit.chunk_bytes(num_workers)
+        successor = sim.cluster.ring_successor(worker)
+        for barrier in barriers:
+            yield from sim.cluster.transfer(worker, successor, chunk,
+                                            tag=f"ring:{unit.name}")
+            barrier.arrive()
+            yield barrier
+        state.all_sent.arrive()
+
+
+class RingBackend(CommBackend):
+    """Chunked ring all-reduce as an Algorithm-1-comparable backend."""
+
+    scheme = CommScheme.RING
+    flow_plan = RingFlowPlan()
+
+    def cost(self, m, n, num_workers, num_servers, batch_size,
+             bandwidth_bps=None):
+        """Transmit+receive volume per node: ``4 M N (P1-1)/P1`` parameters.
+
+        Each direction moves ``2 (P1-1)/P1 * M N`` -- notably equal to the
+        colocated sharded-PS combined cost when ``P2 == P1``, which is why
+        the paper's PS-with-colocated-shards baseline is already
+        bandwidth-optimal for dense layers.
+        """
+        if num_workers <= 1:
+            return 0.0
+        return 4.0 * m * n * (num_workers - 1) / num_workers
+
+    def build_substrate(self, initial_layers, ctx: TrainerContext):
+        return RingAllReducer(ctx.num_workers)
+
+    def make_syncer(self, layer, substrate, resources: WorkerResources,
+                    ctx: TrainerContext):
+        return RingSyncer(resources.worker_id, layer, substrate,
+                          resources.local_optimizer, aggregation=ctx.aggregation)
+
+
+RING_BACKEND = register_backend(RingBackend())

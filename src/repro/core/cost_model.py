@@ -31,12 +31,18 @@ from repro.nn.spec import LayerKind, LayerSpec
 
 
 class CommScheme(str, enum.Enum):
-    """Communication strategies Poseidon can assign to a layer."""
+    """Communication strategies Poseidon can assign to a layer.
+
+    Members are the *vocabulary*; behaviour lives in the corresponding
+    :class:`repro.comm.backend.CommBackend` registered under each value.
+    """
 
     PS = "ps"
     SFB = "sfb"
     ADAM = "adam"
     ONEBIT = "onebit"
+    RING = "ring"
+    HIERPS = "hierps"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -182,43 +188,35 @@ class CostModel:
         return estimate
 
     def best_scheme(self, layer: LayerSpec) -> CommScheme:
-        """Algorithm 1: pick SFB for an FC layer when it beats the PS cost."""
+        """Algorithm 1: the cheapest hybrid-candidate backend for ``layer``."""
+        # Imported lazily: repro.comm.backend depends on this module's
+        # Table-1 formulas, so a module-level import would be circular.
+        from repro.comm.backend import hybrid_choice
+
         if not layer.sf_decomposable or layer.kind is not LayerKind.FC:
             return CommScheme.PS
         m, n = layer.fc_dims
-        p1 = self.cluster.num_workers
-        p2 = self.cluster.num_servers
-        k = self.batch_size
-        if p1 == 1:
-            # A single worker never needs to communicate factors.
-            return CommScheme.PS
-        sfb = sfb_worker_cost(m, n, k, p1)
-        ps = ps_combined_cost(m, n, p1, p2)
-        return CommScheme.SFB if sfb <= ps else CommScheme.PS
+        return hybrid_choice(m, n, self.cluster.num_workers,
+                             self.cluster.num_servers, self.batch_size,
+                             sf_eligible=True)
 
     # -- bytes-on-the-wire helpers ----------------------------------------------
     def scheme_cost_params(self, layer: LayerSpec, scheme: CommScheme) -> float:
         """Parameter count a combined server/worker node moves for ``layer``."""
-        estimate = self.estimate_layer(layer)
-        if scheme is CommScheme.PS:
-            return estimate.ps_server_and_worker
-        if scheme is CommScheme.SFB:
-            if estimate.sfb_worker is None:
-                raise ConfigurationError(
-                    f"layer {layer.name!r} is not SF-decomposable; SFB does not apply"
-                )
-            return estimate.sfb_worker
-        if scheme is CommScheme.ADAM:
-            if estimate.adam_server_and_worker is None:
-                raise ConfigurationError(
-                    f"layer {layer.name!r} is not SF-decomposable; Adam does not apply"
-                )
-            return estimate.adam_server_and_worker
-        if scheme is CommScheme.ONEBIT:
-            # 1-bit quantization shrinks the PS payload by ~32x in both
-            # directions (scales are negligible at this granularity).
-            return estimate.ps_server_and_worker / 32.0
-        raise ConfigurationError(f"unknown scheme {scheme!r}")
+        from repro.comm.backend import get_backend
+
+        backend = get_backend(scheme)
+        if backend.requires_factorization and not layer.sf_decomposable:
+            raise ConfigurationError(
+                f"layer {layer.name!r} is not SF-decomposable; "
+                f"{scheme} does not apply"
+            )
+        if layer.kind is LayerKind.FC:
+            m, n = layer.fc_dims
+        else:
+            m, n = 1, max(layer.param_count, 1)
+        return backend.cost(m, n, self.cluster.num_workers,
+                            self.cluster.num_servers, self.batch_size)
 
     def scheme_cost_bytes(self, layer: LayerSpec, scheme: CommScheme) -> float:
         """Same as :meth:`scheme_cost_params` but in bytes."""

@@ -110,13 +110,7 @@ class Syncer:
         """
         if self._staged_grads is None:
             self.move_out()
-        handler = {
-            CommScheme.PS: self._sync_ps,
-            CommScheme.ONEBIT: self._sync_onebit,
-            CommScheme.SFB: self._sync_sfb,
-            CommScheme.ADAM: self._sync_adam,
-        }[self.scheme]
-        handler(iteration)
+        self._scheme_handler()(iteration)
         self._staged_grads = None
         self.stats.syncs += 1
         return self.stats
@@ -125,6 +119,26 @@ class Syncer:
         """Full syncer job: Move out, Send, Receive, Move in (Algorithm 2)."""
         self.move_out()
         return self.send_and_receive(iteration)
+
+    def _scheme_handler(self):
+        """The bound method implementing this syncer's scheme.
+
+        Backends whose schemes are not implemented by this class provide a
+        subclass overriding this hook (and ``_validate_backends``), e.g.
+        :class:`repro.comm.ring.RingSyncer`.
+        """
+        try:
+            return {
+                CommScheme.PS: self._sync_ps,
+                CommScheme.ONEBIT: self._sync_onebit,
+                CommScheme.SFB: self._sync_sfb,
+                CommScheme.ADAM: self._sync_adam,
+            }[self.scheme]
+        except KeyError:
+            raise TrainingError(
+                f"scheme {self.scheme} has no functional handler in Syncer; "
+                f"its backend must supply a Syncer subclass via make_syncer"
+            ) from None
 
     # -- scheme implementations ------------------------------------------------------
     def _sync_ps(self, iteration: int) -> None:

@@ -103,3 +103,21 @@ class WFBPScheduler:
 
     def __exit__(self, *_exc_info: Any) -> None:
         self.shutdown()
+
+
+class DeterministicScheduler(WFBPScheduler):
+    """A WFBP pool whose jobs run (and complete) in submission order.
+
+    Communication still overlaps with the backward pass -- jobs execute on
+    a pool thread while the compute thread keeps going -- but the pool has
+    exactly one thread, so syncer jobs of one worker neither interleave nor
+    reorder: the completion-drain order of :meth:`wait_all` is the
+    submission order every run.  Combined with worker-id-ordered reductions
+    in the aggregation substrates (``ordered=True`` on
+    :class:`~repro.comm.parameter_server.ShardedParameterServer` /
+    :class:`~repro.comm.adam.AdamSFServer`), this makes the threaded
+    trainer bit-reproducible run-to-run.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(mode=ScheduleMode.WFBP, num_threads=1)

@@ -19,6 +19,7 @@ from repro.engines.caffe_like import (
     POSEIDON_CAFFE,
     caffe_systems,
 )
+from repro.engines.collective import HIERARCHICAL_PS, RING_ALLREDUCE
 from repro.engines.tensorflow_like import (
     ADAM_TF,
     CNTK_1BIT,
@@ -42,4 +43,6 @@ __all__ = [
     "ADAM_TF",
     "CNTK_1BIT",
     "tensorflow_systems",
+    "RING_ALLREDUCE",
+    "HIERARCHICAL_PS",
 ]

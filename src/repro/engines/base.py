@@ -32,6 +32,10 @@ class CommMode(str, enum.Enum):
     ONEBIT = "onebit"
     #: Force SFB for every factorisable layer (ablation).
     SFB_ONLY = "sfb"
+    #: Chunked bandwidth-optimal ring all-reduce (server-free).
+    RING = "ring"
+    #: Rack-local aggregation feeding a root PS shard.
+    HIERPS = "hierps"
 
 
 @dataclass(frozen=True)

@@ -63,7 +63,8 @@ def run_fig11(iterations: int = 150, num_workers: int = 4, batch_size: int = 16,
               num_train: int = 800, num_test: int = 200, eval_every: int = 50,
               image_size: int = 12, learning_rate: float = 0.1,
               noise_scale: float = 2.0, seed: int = 0,
-              full_size_model: bool = False) -> Fig11Result:
+              full_size_model: bool = False,
+              deterministic: bool = True) -> Fig11Result:
     """Train the CIFAR-quick model with exact sync and with 1-bit quantization.
 
     The defaults are a deterministic configuration (seed 0) on which the
@@ -87,6 +88,10 @@ def run_fig11(iterations: int = 150, num_workers: int = 4, batch_size: int = 16,
         seed: dataset and initialisation seed.
         full_size_model: build the real 145K-parameter network instead of the
             downscaled variant.
+        deterministic: run the trainer bit-reproducibly (ordered gradient
+            reduction + fixed syncer-drain order), so consecutive fig11 runs
+            -- including the Poseidon-1bit rows, whose error-feedback state
+            historically drifted with thread timing -- render identically.
     """
     dataset = make_cifar10_like(num_train=num_train, num_test=num_test,
                                 image_size=image_size, noise_scale=noise_scale,
@@ -113,6 +118,7 @@ def run_fig11(iterations: int = 150, num_workers: int = 4, batch_size: int = 16,
             schedule=ScheduleMode.WFBP,
             test_data=test_data,
             eval_every=eval_every,
+            deterministic=deterministic,
         )
         result.histories[label] = trainer.train(iterations)
     return result

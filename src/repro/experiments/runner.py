@@ -35,6 +35,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11,
+    fig_backends,
     multigpu,
     sweep,
     table1,
@@ -94,6 +95,11 @@ def _run_fig11(quick: bool) -> str:
     return "\n".join(lines)
 
 
+def _run_fig_backends(quick: bool) -> str:
+    nodes = (2, 8, 32) if quick else fig_backends.FIG_BACKENDS_NODE_COUNTS
+    return fig_backends.render(fig_backends.run_fig_backends(node_counts=nodes))
+
+
 def _run_multigpu(quick: bool) -> str:
     return multigpu.render(multigpu.run_multigpu())
 
@@ -117,6 +123,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig9": _run_fig9,
     "fig10": _run_fig10,
     "fig11": _run_fig11,
+    "fig_backends": _run_fig_backends,
     "multigpu": _run_multigpu,
     "ablation": _run_ablation,
     "fidelity": _run_fidelity,

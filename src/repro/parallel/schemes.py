@@ -3,27 +3,31 @@
 The coordinator's cost model (:mod:`repro.core.cost_model`) operates on
 :class:`~repro.nn.spec.LayerSpec` objects; the functional trainer operates on
 runnable :class:`~repro.nn.layers.base.Layer` objects.  This module bridges
-the two: it applies the same Algorithm-1 decision rule to the Dense layers
-of a runnable network and produces a per-layer scheme assignment the trainer
-can hand to its syncers.
+the two: it resolves the requested mode through the communication-backend
+registry (:mod:`repro.comm.backend`) -- applying the same Algorithm-1
+decision rule for ``"hybrid"`` -- and produces a per-layer scheme assignment
+the trainer hands to its syncers.  A newly registered backend becomes a
+valid trainer mode without any change here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-from repro.core.cost_model import (
-    CommScheme,
-    ps_combined_cost,
-    sfb_worker_cost,
-)
+from repro.comm.backend import get_backend, hybrid_choice, registered_backends
+from repro.core.cost_model import CommScheme
 from repro.exceptions import ConfigurationError
 from repro.nn.layers.dense import Dense
 from repro.nn.network import Network
 
-#: Synchronization modes accepted by the functional trainer.
-TRAINER_MODES = ("ps", "sfb", "hybrid", "onebit", "adam")
+#: The per-layer Algorithm-1 mode; every registered backend name is also a mode.
+HYBRID_MODE = "hybrid"
+
+
+def trainer_modes() -> Tuple[str, ...]:
+    """Synchronization modes accepted by the functional trainer."""
+    return tuple(registered_backends()) + (HYBRID_MODE,)
 
 
 @dataclass(frozen=True)
@@ -50,38 +54,46 @@ def assign_schemes(network: Network, mode: str, num_workers: int,
 
     Args:
         network: the runnable model replica (its Dense layers expose shapes).
-        mode: one of ``"ps"``, ``"sfb"``, ``"hybrid"``, ``"onebit"``,
-            ``"adam"``.  ``"sfb"``/``"adam"`` fall back to PS for layers
-            whose gradients are not sufficient-factor decomposable.
+        mode: a registered backend name (``"ps"``, ``"sfb"``, ``"onebit"``,
+            ``"adam"``, ``"ring"``, ``"hierps"``, ...) or ``"hybrid"``.
+            Factor-based backends fall back to PS for layers whose gradients
+            are not sufficient-factor decomposable.
         num_workers: worker count (``P1``).
         num_servers: PS shard count (``P2``).
         batch_size: per-worker batch size (``K``).
 
     Raises:
-        ConfigurationError: on an unknown mode.
+        ConfigurationError: on an unknown mode or a degenerate cluster /
+            batch configuration.
     """
-    if mode not in TRAINER_MODES:
+    if num_workers < 1:
+        raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+    if num_servers < 1:
+        raise ConfigurationError(f"num_servers must be >= 1, got {num_servers}")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    modes = trainer_modes()
+    if mode not in modes:
         raise ConfigurationError(
-            f"unknown trainer mode {mode!r}; expected one of {TRAINER_MODES}"
+            f"unknown trainer mode {mode!r}; expected one of {modes}"
         )
+    backend = get_backend(mode) if mode != HYBRID_MODE else None
     schemes: Dict[str, CommScheme] = {}
     for _, layer in network.parameter_layers():
-        is_dense = isinstance(layer, Dense)
-        if mode == "ps":
+        # Dense layers are exactly the runnable layers whose gradients admit
+        # a sufficient-factor decomposition (outer product of activations
+        # and back-propagated errors).
+        factorizable = isinstance(layer, Dense)
+        if backend is None:  # hybrid: Algorithm 1 through the registry
+            if factorizable:
+                scheme = hybrid_choice(layer.in_features, layer.out_features,
+                                       num_workers, num_servers, batch_size,
+                                       sf_eligible=True)
+            else:
+                scheme = CommScheme.PS
+        elif backend.requires_factorization and not factorizable:
             scheme = CommScheme.PS
-        elif mode == "onebit":
-            scheme = CommScheme.ONEBIT
-        elif mode == "sfb":
-            scheme = CommScheme.SFB if is_dense else CommScheme.PS
-        elif mode == "adam":
-            scheme = CommScheme.ADAM if is_dense else CommScheme.PS
-        else:  # hybrid: Algorithm 1
-            scheme = CommScheme.PS
-            if is_dense and num_workers > 1:
-                m, n = layer.in_features, layer.out_features
-                sfb = sfb_worker_cost(m, n, batch_size, num_workers)
-                ps = ps_combined_cost(m, n, num_workers, num_servers)
-                if sfb <= ps:
-                    scheme = CommScheme.SFB
+        else:
+            scheme = backend.scheme
         schemes[layer.name] = scheme
     return SchemeAssignment(mode=mode, schemes=schemes)

@@ -11,19 +11,17 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.adam import AdamSFServer
-from repro.comm.parameter_server import ShardedParameterServer
+from repro.comm.backend import TrainerContext, WorkerResources, get_backend
 from repro.comm.quantization import OneBitQuantizer
-from repro.comm.sfb import SufficientFactorBroadcaster
 from repro.config import TrainingConfig
 from repro.core.consistency import BSPController
 from repro.core.cost_model import CommScheme
 from repro.core.syncer import Syncer
-from repro.core.wfbp import ScheduleMode, WFBPScheduler
+from repro.core.wfbp import DeterministicScheduler, ScheduleMode, WFBPScheduler
 from repro.data.samplers import BatchSampler
 from repro.exceptions import TrainingError
 from repro.nn.network import Network
@@ -86,8 +84,9 @@ class DistributedTrainer:
         train_shards: per-worker ``(images, labels)`` partitions; may be
             ``None`` when a ``batch_provider`` is given.
         training: hyper-parameters.
-        mode: communication mode -- ``"ps"``, ``"sfb"``, ``"hybrid"``,
-            ``"onebit"`` or ``"adam"``.
+        mode: communication mode -- any registered backend name (``"ps"``,
+            ``"sfb"``, ``"onebit"``, ``"adam"``, ``"ring"``, ``"hierps"``,
+            ...) or ``"hybrid"`` (per-layer Algorithm 1).
         schedule: WFBP (overlapped) or sequential synchronization.
         num_servers: PS shard count used by the hybrid cost model.
         test_data: optional held-out set for periodic evaluation.
@@ -97,6 +96,10 @@ class DistributedTrainer:
             tests).
         aggregation: ``"mean"`` or ``"sum"`` gradient aggregation.
         sync_timeout: per-operation timeout guarding against deadlocks.
+        deterministic: make the run bit-reproducible: syncer jobs drain in
+            submission order (:class:`DeterministicScheduler`) and every
+            aggregation substrate reduces gradients in worker-id order
+            instead of thread-arrival order.
     """
 
     def __init__(self,
@@ -111,7 +114,8 @@ class DistributedTrainer:
                  eval_every: int = 0,
                  batch_provider: Optional[BatchProvider] = None,
                  aggregation: str = "mean",
-                 sync_timeout: float = 60.0):
+                 sync_timeout: float = 60.0,
+                 deterministic: bool = False):
         if num_workers < 1:
             raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
         if train_shards is None and batch_provider is None:
@@ -129,6 +133,7 @@ class DistributedTrainer:
         self.eval_every = int(eval_every)
         self.aggregation = aggregation
         self.sync_timeout = float(sync_timeout)
+        self.deterministic = bool(deterministic)
         self._external_provider = batch_provider
         self._train_shards = train_shards
 
@@ -138,28 +143,26 @@ class DistributedTrainer:
         self.assignment: SchemeAssignment = assign_schemes(
             reference, mode, self.num_workers, self.num_servers, training.batch_size)
 
-        # Global state holders, split by scheme.
-        initial_state = reference.get_state()
-        ps_layers = {
-            name: params for name, params in initial_state.items()
-            if self.assignment.scheme_for(name) in (CommScheme.PS, CommScheme.ONEBIT)
-        }
-        adam_layers = {
-            name: params for name, params in initial_state.items()
-            if self.assignment.scheme_for(name) is CommScheme.ADAM
-        }
-        self.parameter_server = ShardedParameterServer(
-            ps_layers, self.num_workers,
-            optimizer=self._make_optimizer(), aggregation=aggregation,
-        ) if ps_layers else None
-        self.adam_server = AdamSFServer(
-            adam_layers, self.num_workers,
-            optimizer=self._make_optimizer(), aggregation=aggregation,
-        ) if adam_layers else None
-        self.broadcaster = (
-            SufficientFactorBroadcaster(self.num_workers)
-            if self.assignment.sfb_layers else None
+        # Global state holders: one substrate per scheme present in the
+        # assignment, built by that scheme's registered backend.
+        self._backend_context = TrainerContext(
+            num_workers=self.num_workers,
+            num_servers=self.num_servers,
+            batch_size=training.batch_size,
+            aggregation=aggregation,
+            deterministic=self.deterministic,
+            optimizer_factory=self._make_optimizer,
         )
+        initial_state = reference.get_state()
+        layers_by_scheme: Dict[CommScheme, Dict[str, Dict[str, np.ndarray]]] = {}
+        for name, params in initial_state.items():
+            scheme = self.assignment.scheme_for(name)
+            layers_by_scheme.setdefault(scheme, {})[name] = params
+        self._substrates: Dict[CommScheme, Any] = {
+            scheme: get_backend(scheme).build_substrate(layers,
+                                                        self._backend_context)
+            for scheme, layers in layers_by_scheme.items()
+        }
 
         self._param_layer_names = [name for name in initial_state]
         self.bsp = BSPController(self.num_workers, self._param_layer_names)
@@ -175,25 +178,44 @@ class DistributedTrainer:
             weight_decay=self.training.weight_decay,
         )
 
+    def substrate(self, scheme: CommScheme) -> Optional[Any]:
+        """The shared communication substrate of one scheme (None if absent)."""
+        return self._substrates.get(CommScheme(scheme))
+
+    @property
+    def parameter_server(self) -> Optional[Any]:
+        """The dense (or quantized) PS substrate, when one is in play."""
+        return (self._substrates.get(CommScheme.PS)
+                or self._substrates.get(CommScheme.ONEBIT))
+
+    @property
+    def broadcaster(self) -> Optional[Any]:
+        """The SFB bulletin board, when one is in play."""
+        return self._substrates.get(CommScheme.SFB)
+
+    @property
+    def adam_server(self) -> Optional[Any]:
+        """The Adam SF server, when one is in play."""
+        return self._substrates.get(CommScheme.ADAM)
+
     def _build_worker(self, worker_id: int) -> _WorkerRuntime:
         network = self._replicas[worker_id]
-        local_optimizer = self._make_optimizer()
-        quantizer = OneBitQuantizer()
+        resources = WorkerResources(
+            worker_id=worker_id,
+            local_optimizer=self._make_optimizer(),
+            quantizer=OneBitQuantizer(),
+        )
         syncers: Dict[str, Syncer] = {}
         for _, layer in network.parameter_layers():
             scheme = self.assignment.scheme_for(layer.name)
-            syncers[layer.name] = Syncer(
-                worker_id=worker_id,
-                layer=layer,
-                scheme=scheme,
-                ps=self.parameter_server,
-                sfb=self.broadcaster,
-                adam=self.adam_server,
-                local_optimizer=local_optimizer,
-                quantizer=quantizer,
-                aggregation=self.aggregation,
-            )
-        scheduler = WFBPScheduler(mode=self.schedule, num_threads=2)
+            backend = get_backend(scheme)
+            syncers[layer.name] = backend.make_syncer(
+                layer, self._substrates[scheme], resources,
+                self._backend_context)
+        if self.deterministic and self.schedule is ScheduleMode.WFBP:
+            scheduler: WFBPScheduler = DeterministicScheduler()
+        else:
+            scheduler = WFBPScheduler(mode=self.schedule, num_threads=2)
         sampler = None
         if self._train_shards is not None:
             shard_x, _ = self._train_shards[worker_id]

@@ -4,10 +4,13 @@ The simulator places one worker per node (plus, optionally, colocated PS
 shards), runs every worker's GPU through forward and per-unit backward
 computation, and launches each unit's synchronization according to the
 system descriptor: immediately after the unit's backward pass (WFBP) or only
-after the full backward pass (sequential); through a fine-grained balanced
-KV store, a coarse per-tensor placement, sufficient-factor broadcasting,
-Adam's SF-push/matrix-pull, or 1-bit quantized PS.  The iteration ends when
-every worker holds every unit's fresh parameters (BSP).
+after the full backward pass (sequential).  The transfer pattern of each
+unit's scheme comes from its registered communication backend's
+:class:`~repro.comm.backend.FlowPlan` -- fine-grained balanced KV store or
+coarse per-tensor PS (optionally 1-bit quantized), sufficient-factor
+broadcasting, Adam's SF-push/matrix-pull, chunked ring all-reduce,
+rack-hierarchical PS, or any newly registered scheme.  The iteration ends
+when every worker holds every unit's fresh parameters (BSP).
 
 Network contention is modelled at each node's full-duplex NIC: uplink and
 downlink are FIFO channels of the configured bandwidth.  Scatter/gather
@@ -24,18 +27,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import units
-from repro.cluster.machine import FABRIC, ClusterModel
+from repro.cluster.machine import ClusterModel
+from repro.comm.backend import (
+    ONEBIT_COMPRESSION,
+    get_backend,
+    hybrid_choice,
+    registry_generation,
+)
 from repro.config import ClusterConfig
-from repro.core.cost_model import CommScheme, ps_combined_cost, sfb_worker_cost
+from repro.core.cost_model import CommScheme
 from repro.core.wfbp import ScheduleMode
-from repro.engines.base import CommMode, Partitioning, SystemConfig
+from repro.engines.base import CommMode, SystemConfig
 from repro.exceptions import SimulationError
 from repro.nn.spec import ModelSpec
 from repro.sim import Environment, Event
 from repro.simulation.workload import IterationWorkload, SyncUnit, build_workload
 
-#: Factor by which 1-bit quantization shrinks gradient payloads.
-ONEBIT_COMPRESSION = 32.0
+__all__ = ["ONEBIT_COMPRESSION", "SimulationResult", "IterationSimulator",
+           "decide_schemes", "simulate_system"]
 
 
 @dataclass
@@ -99,7 +108,7 @@ class _UnitSyncState:
     """
 
     __slots__ = ("send_started", "_send_started_fired", "all_sent",
-                 "aggregated", "scatter_done")
+                 "aggregated", "scatter_done", "extra")
 
     def __init__(self, env: Environment, num_workers: int):
         self.send_started: Event = env.event()
@@ -107,6 +116,10 @@ class _UnitSyncState:
         self.all_sent = env.countdown(num_workers)
         self.aggregated: Event = env.event()
         self.scatter_done: Optional[Event] = None
+        #: Backend-specific synchronization state (e.g. the ring's per-step
+        #: barriers or the hierarchical tree's per-rack countdowns), keyed
+        #: by the owning flow plan.
+        self.extra: Dict[str, object] = {}
 
     def mark_send_started(self) -> None:
         if not self._send_started_fired:
@@ -124,31 +137,27 @@ _SCHEME_CACHE: Dict[Tuple, Dict[str, CommScheme]] = {}
 def _decide_scheme(unit: SyncUnit, comm: CommMode, batch_size: int,
                    num_workers: int, num_servers: int) -> CommScheme:
     """Choose the communication scheme of one unit (Algorithm 1 for HYBRID)."""
-    if comm is CommMode.PS:
+    if comm is CommMode.HYBRID:
+        if unit.sf_eligible and unit.fc_dims is not None:
+            m, n = unit.fc_dims
+            return hybrid_choice(m, n, num_workers, num_servers, batch_size,
+                                 sf_eligible=True)
         return CommScheme.PS
-    if comm is CommMode.ONEBIT:
-        return CommScheme.ONEBIT
-    if comm is CommMode.ADAM:
-        return CommScheme.ADAM if unit.sf_eligible else CommScheme.PS
-    if comm is CommMode.SFB_ONLY:
-        return CommScheme.SFB if unit.sf_eligible else CommScheme.PS
-    # HybComm: Algorithm 1.
-    if unit.sf_eligible and unit.fc_dims is not None and num_workers > 1:
-        m, n = unit.fc_dims
-        sfb = sfb_worker_cost(m, n, batch_size, num_workers)
-        ps = ps_combined_cost(m, n, num_workers, num_servers)
-        if sfb <= ps:
-            return CommScheme.SFB
-    return CommScheme.PS
+    backend = get_backend(comm.value)
+    if backend.requires_factorization and not unit.sf_eligible:
+        return CommScheme.PS
+    return backend.scheme
 
 
 def decide_schemes(workload: IterationWorkload, comm: CommMode,
                    num_workers: int, num_servers: int) -> Dict[str, CommScheme]:
     """Per-unit scheme assignment, memoized by (workload, comm, cluster shape).
 
+    The key includes the backend-registry generation so a backend
+    registered after a sweep warmed the cache is not silently ignored.
     The returned dict is shared between callers and must not be mutated.
     """
-    key = (workload, comm, num_workers, num_servers)
+    key = (workload, comm, num_workers, num_servers, registry_generation())
     schemes = _SCHEME_CACHE.get(key)
     if schemes is None:
         schemes = {
@@ -187,21 +196,34 @@ class IterationSimulator:
             owners[unit.name] = self.server_nodes[index % len(self.server_nodes)]
         return owners
 
-    # -- byte budgets ---------------------------------------------------------------
-    def _compression(self, scheme: CommScheme) -> float:
-        return ONEBIT_COMPRESSION if scheme is CommScheme.ONEBIT else 1.0
+    # -- flow-plan interface --------------------------------------------------------
+    # The per-scheme transfer patterns live in each backend's FlowPlan
+    # (:mod:`repro.comm.backend`); plans drive the simulation through the
+    # accessors below.
+    def unit_state(self, unit: SyncUnit) -> "_UnitSyncState":
+        """Shared synchronization state of one unit for this iteration."""
+        return self._unit_state[unit.name]
 
-    def _fine_push_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
+    def backward_done(self, worker: int) -> Event:
+        """Event fired when ``worker`` finishes its whole backward pass."""
+        return self._backward_done[worker]
+
+    # -- byte budgets ---------------------------------------------------------------
+    def compression(self, scheme: CommScheme) -> float:
+        """Payload shrink factor of a scheme's dense transfers."""
+        return get_backend(scheme).compression
+
+    def fine_push_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
         """Bytes a worker sends towards the sharded KV store (remote shards only)."""
         remote_shards = self.num_servers - (1 if self.cluster_config.colocate_servers else 0)
         fraction = remote_shards / self.num_servers
-        return unit.param_bytes * fraction / self._compression(scheme)
+        return unit.param_bytes * fraction / self.compression(scheme)
 
-    def _fine_server_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
+    def fine_server_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
         """Bytes one server shard receives (and later re-sends) for this unit."""
         remote_workers = self.num_workers - (1 if self.cluster_config.colocate_servers else 0)
         return (unit.param_bytes * remote_workers / self.num_servers
-                / self._compression(scheme))
+                / self.compression(scheme))
 
     # -- simulation ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -217,14 +239,14 @@ class IterationSimulator:
             self.env.process(self._worker_process(worker))
             for worker in range(self.num_workers)
         ]
-        # Server-side helpers for PS-style schemes.
+        # Server-side helpers, where the scheme's flow plan asks for them
+        # (fine-grained PS-style gather/apply/scatter; coarse aggregation is
+        # driven from the per-worker send processes).
         for unit in self.workload.units:
             scheme = self.schemes[unit.name]
-            if scheme in (CommScheme.PS, CommScheme.ONEBIT):
-                if self.system.partitioning is Partitioning.FINE:
-                    self.env.process(self._fine_server_process(unit, scheme))
-                # Coarse aggregation is driven from the per-worker send
-                # processes; see _coarse_unit_sync.
+            plan = get_backend(scheme).flow_plan
+            if plan.needs_server_process(self, unit, scheme):
+                self.env.process(plan.server_process(self, unit, scheme))
 
         self.env.run()
         for process in worker_processes:
@@ -303,92 +325,8 @@ class IterationSimulator:
             yield self.env.timeout(units.transfer_seconds(
                 local_bytes, self.cluster_config.gpu.pcie_bandwidth_bps))
         scheme = self.schemes[unit.name]
-        if scheme is CommScheme.SFB:
-            yield from self._sfb_unit_sync(worker, unit)
-        elif scheme is CommScheme.ADAM:
-            yield from self._adam_unit_sync(worker, unit)
-        elif self.system.partitioning is Partitioning.FINE:
-            yield from self._fine_unit_sync(worker, unit, scheme)
-        else:
-            yield from self._coarse_unit_sync(worker, unit, scheme)
-
-    # -- fine-grained PS (Poseidon KV store / TF+WFBP) -------------------------------------
-    def _fine_unit_sync(self, worker: int, unit: SyncUnit, scheme: CommScheme):
-        state = self._unit_state[unit.name]
-        push_bytes = self._fine_push_bytes(unit, scheme)
-        state.mark_send_started()
-        yield from self.cluster.transfer(
-            worker, FABRIC, push_bytes, tag=f"push:{unit.name}")
-        state.all_sent.arrive()
-
-        yield state.aggregated
-        if not self.system.overlap_pull:
-            yield self._backward_done[worker]
-        pull_bytes = self._fine_push_bytes(unit, scheme)
-        yield from self.cluster.transfer(
-            FABRIC, worker, pull_bytes, tag=f"pull:{unit.name}")
-        if state.scatter_done is not None:
-            yield state.scatter_done
-
-    def _fine_server_process(self, unit: SyncUnit, scheme: CommScheme):
-        """Server-shard side of a fine-grained PS unit: gather, apply, scatter."""
-        state = self._unit_state[unit.name]
-        yield state.send_started
-        server_bytes = self._fine_server_bytes(unit, scheme)
-        shard_nodes = list(set(self.server_nodes))
-        yield self.cluster.fabric_gather(shard_nodes, server_bytes,
-                                         tag=f"gather:{unit.name}")
-        yield state.all_sent
-        state.aggregated.succeed()
-        state.scatter_done = self.cluster.fabric_scatter(
-            shard_nodes, server_bytes, tag=f"scatter:{unit.name}")
-
-    # -- coarse per-tensor PS (stock TensorFlow) ---------------------------------------------
-    def _coarse_unit_sync(self, worker: int, unit: SyncUnit, scheme: CommScheme):
-        state = self._unit_state[unit.name]
-        owner = self.coarse_owner[unit.name]
-        dense_bytes = unit.param_bytes / self._compression(scheme)
-        state.mark_send_started()
-        yield from self.cluster.transfer(
-            worker, owner, dense_bytes, tag=f"push:{unit.name}")
-        state.all_sent.arrive()
-
-        yield state.all_sent
-        if not self.system.overlap_pull:
-            yield self._backward_done[worker]
-        # The pull stays a spawned process: when ``overlap_pull`` is off,
-        # every gated pull of every worker is released in one cascade at
-        # backward-done, and the bootstrap hop keeps those bookings ordered
-        # behind the final unit's pushes exactly as the seed serialised them.
-        yield self.env.process(self.cluster.transfer(
-            owner, worker, dense_bytes, tag=f"pull:{unit.name}"))
-
-    # -- sufficient-factor broadcasting --------------------------------------------------------
-    def _sfb_unit_sync(self, worker: int, unit: SyncUnit):
-        sf_bytes = unit.sufficient_factor_bytes(self.workload.batch_size)
-        peers = [p for p in range(self.num_workers) if p != worker]
-        state = self._unit_state[unit.name]
-        state.mark_send_started()
-        yield from self.cluster.broadcast(worker, peers, sf_bytes,
-                                          tag=f"sfb:{unit.name}")
-        state.all_sent.arrive()
-        # The unit is synchronized at this worker once every peer's factors
-        # have arrived, i.e. once every peer has finished its own broadcast.
-        yield state.all_sent
-
-    # -- Adam: SF push to the owning shard, full matrix pull ------------------------------------
-    def _adam_unit_sync(self, worker: int, unit: SyncUnit):
-        state = self._unit_state[unit.name]
-        owner = self.coarse_owner[unit.name]
-        sf_bytes = unit.sufficient_factor_bytes(self.workload.batch_size)
-        state.mark_send_started()
-        yield from self.cluster.transfer(
-            worker, owner, sf_bytes, tag=f"adam-push:{unit.name}")
-        state.all_sent.arrive()
-
-        yield state.all_sent
-        yield from self.cluster.transfer(
-            owner, worker, unit.param_bytes, tag=f"adam-pull:{unit.name}")
+        plan = get_backend(scheme).flow_plan
+        yield from plan.worker_sync(self, worker, unit, scheme)
 
 
 def simulate_system(model: ModelSpec, system: SystemConfig, cluster: ClusterConfig,

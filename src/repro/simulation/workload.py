@@ -64,6 +64,20 @@ class SyncUnit:
         m, n = self.fc_dims
         return int(batch_size * (m + n) * units.FLOAT32_BYTES)
 
+    def chunk_bytes(self, parts: int) -> float:
+        """Bytes of one of ``parts`` equal slices of the unit's gradient.
+
+        Chunked collectives (e.g. ring all-reduce) move the gradient in
+        ``parts`` slices; fractional bytes are kept so the slices always
+        sum exactly to ``param_bytes``.
+
+        Raises:
+            ConfigurationError: on a non-positive part count.
+        """
+        if parts < 1:
+            raise ConfigurationError(f"parts must be >= 1, got {parts}")
+        return self.param_bytes / parts
+
 
 @dataclass(frozen=True)
 class IterationWorkload:
