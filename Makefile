@@ -2,7 +2,8 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism
+.PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism \
+	examples-smoke docs-check
 
 ## tier-1 test suite
 test:
@@ -22,6 +23,23 @@ determinism:
 ## quick figure sweeps through the parallel runner (one worker per core)
 sweep-quick:
 	PYTHONPATH=src python -m repro.experiments.runner --quick fig5 fig8 fidelity
+
+## run all four examples/ scripts at reduced sizes (CI smoke)
+examples-smoke:
+	PYTHONPATH=src python examples/quickstart.py
+	PYTHONPATH=src python examples/bandwidth_planning.py --nodes 8 \
+		--bandwidths 10 40
+	PYTHONPATH=src python examples/cluster_scaling_study.py --nodes 1 2 4
+	PYTHONPATH=src python examples/distributed_cifar_training.py \
+		--iterations 10 --workers 2
+
+## intra-repo markdown links + public-API doctests
+docs-check:
+	python tools/check_links.py README.md PERFORMANCE.md ROADMAP.md \
+		CHANGES.md docs/architecture.md docs/backends.md
+	PYTHONPATH=src python -m doctest src/repro/config.py src/repro/sweep.py \
+		src/repro/comm/backend.py
+	@echo "docs check passed"
 
 ## every benchmark executed once as a plain test, no timing gates (CI smoke)
 bench-smoke:

@@ -18,11 +18,22 @@ process per destination.  Completion times are identical to the historical
 :class:`~repro.sim.resources.Resource`-based model: FIFO order is by
 acquisition call either way, and contended holds chain on the previous
 holder's release event, which is processed exactly when the channel frees.
+
+With a non-flat rack topology (``ClusterConfig.racks > 1`` and
+``oversubscription > 1``), every rack additionally owns a
+:class:`RackSwitch` -- an aggregate uplink/downlink channel pair at
+``node_bandwidth * rack_members / oversubscription``.  Cross-rack flows
+hold their NICs as usual *and* serialise their bytes through the source
+rack's uplink and the destination rack's downlink, so contention for the
+scarce cross-rack bandwidth emerges exactly like NIC contention does.
+Intra-rack flows never touch the rack channels, and a flat topology (the
+default) skips this machinery entirely -- the event graph is byte-identical
+to the pre-topology model.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro import units
 from repro.config import ClusterConfig
@@ -89,6 +100,35 @@ class NetworkInterface:
         return units.transfer_seconds(nbytes, self.bandwidth_bps)
 
 
+class RackSwitch:
+    """The aggregate uplink of one rack's top-of-rack switch.
+
+    Both directions are capacity-1 FIFO :class:`TailChannel` links at the
+    rack's bisection bandwidth (``member NIC rate * members /
+    oversubscription``).  A cross-rack flow serialises ``nbytes /
+    bandwidth`` through the source rack's :attr:`uplink` and the
+    destination rack's :attr:`downlink` -- its *share* of the aggregate
+    pipe -- so N concurrent cross-rack flows collectively occupy the
+    channel for exactly the time the fluid model predicts, while intra-rack
+    flows bypass it entirely.
+    """
+
+    def __init__(self, env: Environment, rack_id: int, bandwidth_bps: float):
+        if bandwidth_bps <= 0:
+            raise SimulationError(
+                f"rack bisection bandwidth must be positive, got {bandwidth_bps}")
+        self.env = env
+        self.rack_id = rack_id
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.uplink = TailChannel(env, name=f"rack{rack_id}.up")
+        self.downlink = TailChannel(env, name=f"rack{rack_id}.down")
+        self.traffic = TrafficAccount(rack_id)
+
+    def wire_time(self, nbytes: float) -> float:
+        """Serialisation delay of ``nbytes`` on the rack's bisection link."""
+        return units.transfer_seconds(nbytes, self.bandwidth_bps)
+
+
 class Machine:
     """A worker/server node: one NIC and one or more GPUs."""
 
@@ -121,6 +161,29 @@ class ClusterModel:
         self.machines: Dict[int, Machine] = {
             node_id: Machine(env, node_id, config) for node_id in range(num_nodes)
         }
+        #: Whether cross-rack flows contend on shared rack uplinks.  A flat
+        #: topology (single rack or full bisection) takes the historical
+        #: code paths untouched -- byte-identical event graphs.
+        self.topology_active = not config.is_flat_topology
+        self.rack_switches: List[RackSwitch] = []
+        self._rack_by_node: List[int] = []
+        self._cross_fraction_by_node: List[float] = []
+        if self.topology_active:
+            rack_size = config.nodes_per_rack
+            for rack_id in range(0, (num_nodes + rack_size - 1) // rack_size):
+                members = min(rack_size, num_nodes - rack_id * rack_size)
+                self.rack_switches.append(RackSwitch(
+                    env, rack_id, config.rack_bisection_bps(members)))
+            # Per-node lookup tables: rack_of / fabric_cross_fraction sit on
+            # every flow's hot path, so the chained config properties are
+            # resolved once here.
+            for node_id in range(num_nodes):
+                rack = node_id // rack_size
+                members = min(rack_size, num_nodes - rack * rack_size)
+                self._rack_by_node.append(rack)
+                self._cross_fraction_by_node.append(
+                    (num_nodes - members) / (num_nodes - 1)
+                    if num_nodes > 1 else 0.0)
 
     # -- topology helpers --------------------------------------------------------
     @property
@@ -152,20 +215,57 @@ class ClusterModel:
             )
         return (worker_id + 1) % num_workers
 
-    def racks(self, rack_size: int) -> List[List[int]]:
+    def racks(self, rack_size: Optional[int] = None) -> List[List[int]]:
         """Workers grouped into racks of ``rack_size`` consecutive ids.
 
         The grouping used by hierarchical (rack-aggregating) schemes; the
         last rack may be smaller when the worker count is not a multiple.
+        Without an explicit ``rack_size`` the physical topology's rack
+        size (``ClusterConfig.nodes_per_rack``) is used, so schemes that
+        aggregate per rack align with the racks whose uplinks actually
+        contend.
 
         Raises:
             SimulationError: on a non-positive rack size.
         """
+        if rack_size is None:
+            rack_size = self.config.nodes_per_rack
         if rack_size < 1:
             raise SimulationError(f"rack_size must be >= 1, got {rack_size}")
         workers = self.worker_ids
         return [workers[first:first + rack_size]
                 for first in range(0, len(workers), rack_size)]
+
+    def rack_of(self, node_id: int) -> int:
+        """Rack index of a node under the physical topology.
+
+        Raises:
+            SimulationError: for ids outside the cluster (including the
+                :data:`FABRIC` sentinel, which belongs to no rack).
+        """
+        if self.topology_active:
+            if 0 <= node_id < len(self._rack_by_node):
+                return self._rack_by_node[node_id]
+            raise SimulationError(f"node id {node_id} belongs to no rack")
+        return self.config.rack_of(node_id)
+
+    def rack_switch(self, node_id: int) -> RackSwitch:
+        """The :class:`RackSwitch` of a node's rack (topology must be active)."""
+        if not self.topology_active:
+            raise SimulationError(
+                "rack switches only exist under a non-flat topology")
+        return self.rack_switches[self._rack_by_node[node_id]]
+
+    def fabric_cross_fraction(self, node_id: int) -> float:
+        """Fraction of a node's fabric traffic that crosses its rack boundary.
+
+        Fabric flows are spread uniformly over the *other* nodes (the
+        fine-grained KV store's balanced shards), so the cross-rack share
+        is the fraction of remote nodes living outside the node's rack.
+        """
+        if self.topology_active:
+            return self._cross_fraction_by_node[node_id]
+        return 0.0
 
     def machine(self, node_id: int) -> Machine:
         """Look up a machine by node id.
@@ -181,6 +281,97 @@ class ClusterModel:
             raise SimulationError(f"unknown node id {node_id}") from exc
 
     # -- flows ---------------------------------------------------------------------
+    def _hold_path(self, plan) -> Generator:
+        """Process: hold a chain of channels FIFO; finish at the last release.
+
+        ``plan`` is a sequence of ``(channel, hold_seconds)`` pairs.  The
+        channels are acquired in order, with earlier channels staying held
+        while the flow queues for later ones (head-of-line blocking, the
+        same protocol point-to-point flows use at their two NICs).  Once
+        the final channel is granted every hold starts, and each channel
+        frees after its own ``hold_seconds`` -- a NIC holds for the flow's
+        bottleneck serialisation time, a rack switch only for the flow's
+        share of the aggregate pipe.
+
+        Deadlock safety: every caller must list channels in the global
+        acquisition order ``NIC uplink < rack uplink < rack downlink <
+        NIC downlink`` (the sender side climbs the tree, the receiver side
+        descends it).  Hold-and-wait cycles are impossible as long as all
+        holders respect that order.
+        """
+        env = self.env
+        releases = []
+        for channel, _ in plan:
+            release = yield from channel.request()
+            releases.append(release)
+        start = env._now
+        finish = start
+        for (channel, hold_seconds), release in zip(plan, releases):
+            channel_finish = start + hold_seconds
+            channel.release(release, channel_finish)
+            if channel_finish > finish:
+                finish = channel_finish
+        yield env.timeout_at(finish)
+
+    def _cross_rack_transfer(self, src: int, dst: int,
+                             src_nic: NetworkInterface,
+                             dst_nic: NetworkInterface,
+                             nbytes: float, tag: str,
+                             uplink_held: bool = False) -> Generator:
+        """Process: a point-to-point flow whose endpoints sit in different racks.
+
+        In addition to the two NICs, the flow serialises its bytes through
+        the source rack's aggregate uplink and the destination rack's
+        aggregate downlink, so concurrent cross-rack flows of one rack
+        contend for the scarce bisection bandwidth while intra-rack flows
+        do not.  With ``uplink_held`` the caller already owns the sender's
+        NIC uplink (a broadcast batch holding it across copies) and the
+        hold path starts at the rack switch.
+        """
+        src_switch = self.rack_switch(src)
+        dst_switch = self.rack_switch(dst)
+        bottleneck = min(src_nic.bandwidth_bps, dst_nic.bandwidth_bps,
+                         src_switch.bandwidth_bps, dst_switch.bandwidth_bps)
+        latency = max(src_nic.latency_seconds, dst_nic.latency_seconds)
+        flow_seconds = units.transfer_seconds(nbytes, bottleneck) + latency
+        plan = (
+            (src_switch.uplink, src_switch.wire_time(nbytes)),
+            (dst_switch.downlink, dst_switch.wire_time(nbytes)),
+            (dst_nic.downlink, flow_seconds),
+        )
+        if not uplink_held:
+            plan = ((src_nic.uplink, flow_seconds),) + plan
+        yield from self._hold_path(plan)
+        src_nic.traffic.record_sent(nbytes, tag)
+        src_switch.traffic.record_sent(nbytes, tag)
+        dst_switch.traffic.record_received(nbytes, tag)
+        dst_nic.traffic.record_received(nbytes, tag)
+
+    def _rack_fabric_flow(self, node: int, nic: NetworkInterface,
+                          outbound: bool, nbytes: float, cross_bytes: float,
+                          tag: str) -> Generator:
+        """Process: a fabric flow of a node in an oversubscribed rack.
+
+        The node's NIC carries the full payload; the rack switch carries
+        only the cross-rack share (``cross_bytes``), since fabric traffic
+        is spread uniformly and the intra-rack part never leaves the rack.
+        The flow completes when both serialisations have finished.
+        """
+        switch = self.rack_switch(node)
+        nic_seconds = nic.wire_time(nbytes) + nic.latency_seconds
+        rack_seconds = switch.wire_time(cross_bytes)
+        if outbound:  # climb the tree: NIC uplink before rack uplink
+            plan = ((nic.uplink, nic_seconds), (switch.uplink, rack_seconds))
+        else:  # descend it: rack downlink before NIC downlink
+            plan = ((switch.downlink, rack_seconds), (nic.downlink, nic_seconds))
+        yield from self._hold_path(plan)
+        if outbound:
+            nic.traffic.record_sent(nbytes, tag)
+            switch.traffic.record_sent(cross_bytes, tag)
+        else:
+            nic.traffic.record_received(nbytes, tag)
+            switch.traffic.record_received(cross_bytes, tag)
+
     def transfer(self, src: int, dst: int, nbytes: float, tag: str = "untagged"
                  ) -> Generator:
         """Process: move ``nbytes`` from ``src`` to ``dst``.
@@ -194,6 +385,11 @@ class ClusterModel:
         two-phase protocol the resource-based model used, with each phase
         collapsing to tail-clock arithmetic whenever its channel has no
         open hold.
+
+        Under a non-flat topology, flows that cross a rack boundary (or
+        touch the fabric from an oversubscribed rack) additionally
+        serialise through the shared rack switch channels; intra-rack
+        flows take the historical path untouched.
         """
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
@@ -203,6 +399,22 @@ class ClusterModel:
             return
         src_nic = None if src == FABRIC else self.machine(src).nic
         dst_nic = None if dst == FABRIC else self.machine(dst).nic
+
+        if self.topology_active:
+            if src_nic is not None and dst_nic is not None:
+                if self.rack_of(src) != self.rack_of(dst):
+                    yield from self._cross_rack_transfer(
+                        src, dst, src_nic, dst_nic, nbytes, tag)
+                    return
+            else:
+                node = src if src_nic is not None else dst
+                nic = src_nic if src_nic is not None else dst_nic
+                cross_bytes = nbytes * self.fabric_cross_fraction(node)
+                if cross_bytes > 0.0:
+                    yield from self._rack_fabric_flow(
+                        node, nic, src_nic is not None, nbytes, cross_bytes,
+                        tag)
+                    return
 
         bandwidth = min(
             nic.bandwidth_bps for nic in (src_nic, dst_nic) if nic is not None
@@ -326,6 +538,10 @@ class ClusterModel:
         process per destination.  Each copy still queues for its receiver's
         downlink while holding the uplink (head-of-line blocking, exactly
         as before).  Completes when the last copy has been delivered.
+
+        Under a non-flat topology, copies addressed outside the sender's
+        rack additionally serialise through the source rack's uplink and
+        the destination rack's downlink while the batch holds the NIC.
         """
         if nbytes_each < 0:
             raise SimulationError(f"negative transfer size: {nbytes_each}")
@@ -347,6 +563,13 @@ class ClusterModel:
         yield env.timeout(0.0)
         for dst in destinations:
             dst_nic = self.machine(dst).nic
+            if self.topology_active and self.rack_of(src) != self.rack_of(dst):
+                # Cross-rack copy: serialise through both rack switches
+                # (while this process keeps holding the batch uplink).
+                yield from self._cross_rack_transfer(
+                    src, dst, src_nic, dst_nic, nbytes_each, tag,
+                    uplink_held=True)
+                continue
             bandwidth = min(src_nic.bandwidth_bps, dst_nic.bandwidth_bps)
             latency = max(src_nic.latency_seconds, dst_nic.latency_seconds)
             duration = units.transfer_seconds(nbytes_each, bandwidth) + latency
@@ -385,8 +608,30 @@ class ClusterModel:
         if not node_ids or nbytes_each == 0:
             return Event(env).succeed()
         done = Event(env)
-        #: [flows not yet booked, latest finish seen so far]
-        pending = [len(node_ids), env._now]
+
+        # One booking per occupied channel: every node's NIC channel and --
+        # under a non-flat topology -- its rack switch channel, which
+        # carries the cross-rack share of the fabric bytes.  A flat
+        # topology schedules exactly the historical per-NIC thunks.
+        bookings: List[Tuple[TailChannel, float, TrafficAccount, float]] = []
+        for node in node_ids:
+            nic = self.machine(node).nic
+            channel = nic.uplink if outbound else nic.downlink
+            duration = (units.transfer_seconds(nbytes_each, nic.bandwidth_bps)
+                        + nic.latency_seconds)
+            bookings.append((channel, duration, nic.traffic, nbytes_each))
+            if self.topology_active:
+                cross_bytes = nbytes_each * self.fabric_cross_fraction(node)
+                if cross_bytes > 0.0:
+                    switch = self.rack_switch(node)
+                    rack_channel = (switch.uplink if outbound
+                                    else switch.downlink)
+                    bookings.append((rack_channel,
+                                     switch.wire_time(cross_bytes),
+                                     switch.traffic, cross_bytes))
+
+        #: [bookings not yet placed, latest finish seen so far]
+        pending = [len(bookings), env._now]
 
         def complete(finish: float) -> None:
             if finish > pending[1]:
@@ -395,11 +640,8 @@ class ClusterModel:
             if pending[0] == 0:
                 done.succeed_at(pending[1])
 
-        def booking_thunk(nic: NetworkInterface):
-            channel = nic.uplink if outbound else nic.downlink
-            duration = (units.transfer_seconds(nbytes_each, nic.bandwidth_bps)
-                        + nic.latency_seconds)
-
+        def booking_thunk(channel: TailChannel, duration: float,
+                          traffic: TrafficAccount, nbytes: float):
             def thunk() -> None:
                 previous = channel._release
                 if previous is None or previous.triggered:
@@ -416,14 +658,14 @@ class ClusterModel:
 
                     previous.add_waiter(on_grant)
                 if outbound:
-                    nic.traffic.record_sent(nbytes_each, tag)
+                    traffic.record_sent(nbytes, tag)
                 else:
-                    nic.traffic.record_received(nbytes_each, tag)
+                    traffic.record_received(nbytes, tag)
 
             return thunk
 
-        for node in node_ids:
-            env.schedule_thunk(booking_thunk(self.machine(node).nic))
+        for booking in bookings:
+            env.schedule_thunk(booking_thunk(*booking))
         return done
 
     def fabric_gather(self, node_ids: List[int], nbytes_each: float,
@@ -438,9 +680,18 @@ class ClusterModel:
 
     # -- accounting ------------------------------------------------------------------
     def reset_traffic(self) -> None:
-        """Clear all per-node traffic counters."""
+        """Clear all per-node (and per-rack) traffic counters."""
         for machine in self.machines.values():
             machine.nic.traffic.reset()
+        for switch in self.rack_switches:
+            switch.traffic.reset()
+
+    def cross_rack_bytes(self) -> float:
+        """Total bytes that left any rack through its oversubscribed uplink.
+
+        Zero for flat topologies (no rack switches are modelled there).
+        """
+        return sum(switch.traffic.bytes_sent for switch in self.rack_switches)
 
     def traffic_by_node(self) -> Dict[int, TrafficAccount]:
         """Per-node traffic accounts, keyed by node id."""

@@ -39,6 +39,7 @@ from repro import units
 from repro.cluster.machine import FABRIC
 from repro.core.cost_model import (
     CommScheme,
+    NetworkTopology,
     adam_combined_cost,
     ps_combined_cost,
     sfb_worker_cost,
@@ -135,6 +136,10 @@ class CommBackend(abc.ABC):
             layers; everything else falls back to PS.
         hybrid_candidate: participates in Algorithm 1's per-layer choice
             (the paper considers exact schemes only: PS and SFB).
+        topology_candidate: additionally joins the Algorithm-1 choice when
+            the network is rack-oversubscribed (the regime the scheme was
+            built for); never consulted on a flat network, so the paper's
+            decisions are untouched.
         hybrid_rank: tie-break for equal Algorithm-1 costs -- lower wins,
             which keeps the paper's "SFB on ties" rule.
         compression: payload shrink factor on dense PS-style transfers.
@@ -143,6 +148,7 @@ class CommBackend(abc.ABC):
     scheme: ClassVar[CommScheme]
     requires_factorization: ClassVar[bool] = False
     hybrid_candidate: ClassVar[bool] = False
+    topology_candidate: ClassVar[bool] = False
     hybrid_rank: ClassVar[int] = 0
     compression: ClassVar[float] = 1.0
     flow_plan: ClassVar[FlowPlan]
@@ -155,17 +161,63 @@ class CommBackend(abc.ABC):
     # -- Algorithm 1 ------------------------------------------------------------
     @abc.abstractmethod
     def cost(self, m: int, n: int, num_workers: int, num_servers: int,
-             batch_size: int, bandwidth_bps: Optional[float] = None) -> float:
+             batch_size: int, bandwidth_bps: Optional[float] = None,
+             topology: Optional[NetworkTopology] = None) -> float:
         """Table-1 cost: parameters a combined server/worker node moves.
 
         ``bandwidth_bps`` is accepted for cost models that are not purely
-        volumetric (none of the built-ins use it).
+        volumetric (none of the built-ins use it).  With a non-flat
+        ``topology`` the value includes the scheme's cross-rack premium:
+        ``max(flat_cost, rack_uplink_params * oversubscription / L)``
+        (see :class:`~repro.core.cost_model.NetworkTopology`); a flat or
+        absent topology returns the flat Table-1 cost bit-exactly.
         """
 
+    def rack_uplink_params(self, m: int, n: int, num_workers: int,
+                           num_servers: int, batch_size: int,
+                           topology: NetworkTopology) -> float:
+        """Parameters crossing the busiest rack's uplink per iteration (tx+rx).
+
+        The default models traffic spread uniformly over peers (true for
+        the PS, SFB and 1-bit schemes): each of the rack's ``L`` members
+        contributes its flat per-node cost scaled by the fraction of peers
+        outside the rack.  Schemes with non-uniform cross-rack patterns
+        (ring, hierarchical PS, Adam) override this with their exact split.
+        """
+        local = topology.nodes_per_rack(num_workers)
+        flat = self.cost(m, n, num_workers, num_servers, batch_size)
+        return local * flat * topology.cross_peer_fraction(num_workers)
+
+    def _topology_cost(self, flat: float, m: int, n: int, num_workers: int,
+                       num_servers: int, batch_size: int,
+                       topology: Optional[NetworkTopology]) -> float:
+        """Combine a flat Table-1 cost with the rack-uplink bottleneck term.
+
+        Returns ``flat`` itself (bit-exact) when the topology is flat or
+        absent, so default configurations reproduce the paper's numbers.
+        """
+        if topology is None or topology.is_flat or num_workers <= 1:
+            return flat
+        local = topology.nodes_per_rack(num_workers)
+        uplink = self.rack_uplink_params(m, n, num_workers, num_servers,
+                                         batch_size, topology)
+        return max(flat, uplink * topology.oversubscription / local)
+
     def wire_bytes(self, m: int, n: int, num_workers: int, num_servers: int,
-                   batch_size: int) -> float:
-        """Same as :meth:`cost` but in bytes on the wire."""
-        return self.cost(m, n, num_workers, num_servers, batch_size) * units.FLOAT32_BYTES
+                   batch_size: int,
+                   topology: Optional[NetworkTopology] = None) -> float:
+        """Same as :meth:`cost` but in bytes on the wire.
+
+        ``topology`` is only forwarded when set, so backends implementing
+        the flat Table-1 ``cost`` signature keep working everywhere a
+        topology cannot carry a premium.
+        """
+        if topology is None:
+            cost = self.cost(m, n, num_workers, num_servers, batch_size)
+        else:
+            cost = self.cost(m, n, num_workers, num_servers, batch_size,
+                             topology=topology)
+        return cost * units.FLOAT32_BYTES
 
     # -- functional trainer -----------------------------------------------------
     @abc.abstractmethod
@@ -229,6 +281,14 @@ def register_backend(backend: CommBackend) -> CommBackend:
     """Add a backend to the registry; rejects duplicate scheme names.
 
     Returns the backend so modules can ``BACKEND = register_backend(...)``.
+    Registering makes the scheme a valid trainer mode, simulator comm mode
+    and Algorithm-1 vocabulary entry everywhere at once:
+
+        >>> from repro.comm import backend as B
+        >>> B.get_backend("ring") is B.registered_backends()["ring"]
+        True
+        >>> sorted(B.registered_backends())
+        ['adam', 'hierps', 'onebit', 'ps', 'ring', 'sfb']
 
     Raises:
         ConfigurationError: if a backend with the same name is registered.
@@ -255,6 +315,16 @@ def unregister_backend(name: str) -> None:
 def get_backend(scheme: Any) -> CommBackend:
     """Resolve a scheme (enum member or wire name) to its backend.
 
+    Accepts either the :class:`CommScheme` member or its wire name:
+
+        >>> from repro.comm.backend import get_backend
+        >>> from repro.core.cost_model import CommScheme
+        >>> get_backend("sfb") is get_backend(CommScheme.SFB)
+        True
+        >>> get_backend("ps").cost(m=4096, n=4096, num_workers=8,
+        ...                        num_servers=8, batch_size=32)
+        58720256.0
+
     Raises:
         ConfigurationError: for unknown schemes.
     """
@@ -278,19 +348,52 @@ def hybrid_candidates() -> Tuple[CommBackend, ...]:
     return tuple(b for b in _REGISTRY.values() if b.hybrid_candidate)
 
 
+def topology_candidates() -> Tuple[CommBackend, ...]:
+    """Backends that join Algorithm 1 only on rack-oversubscribed networks."""
+    return tuple(b for b in _REGISTRY.values() if b.topology_candidate)
+
+
 def hybrid_choice(m: int, n: int, num_workers: int, num_servers: int,
-                  batch_size: int, sf_eligible: bool = True) -> CommScheme:
+                  batch_size: int, sf_eligible: bool = True,
+                  topology: Optional[NetworkTopology] = None) -> CommScheme:
     """Algorithm 1: the cheapest hybrid-candidate scheme for one layer.
 
     Factor-based candidates are skipped for non-factorisable layers and for
     single-worker clusters (one worker never communicates factors); ties go
     to the lowest ``hybrid_rank`` (SFB before PS, matching the paper).
+
+    With a non-flat ``topology`` every candidate's cost carries its
+    cross-rack premium and the :attr:`~CommBackend.topology_candidate`
+    backends (ring all-reduce, hierarchical PS) enter the comparison --
+    so the per-layer choice becomes rack-aware:
+
+        >>> from repro.comm.backend import hybrid_choice
+        >>> from repro.core.cost_model import NetworkTopology
+        >>> hybrid_choice(4096, 1000, num_workers=16, num_servers=16,
+        ...               batch_size=32).value
+        'sfb'
+        >>> racked = NetworkTopology(racks=4, oversubscription=4.0)
+        >>> hybrid_choice(4096, 1000, num_workers=16, num_servers=16,
+        ...               batch_size=32, topology=racked).value
+        'ring'
     """
+    candidates = hybrid_candidates()
+    if topology is not None and topology.is_flat:
+        # A flat topology carries no premium: treat it as absent, so
+        # backends implementing the flat Table-1 cost signature are
+        # still valid hybrid candidates.
+        topology = None
+    if topology is not None:
+        candidates += topology_candidates()
     best: Optional[Tuple[Tuple[float, int], CommScheme]] = None
-    for backend in hybrid_candidates():
+    for backend in candidates:
         if backend.requires_factorization and (not sf_eligible or num_workers <= 1):
             continue
-        cost = backend.cost(m, n, num_workers, num_servers, batch_size)
+        if topology is None:
+            cost = backend.cost(m, n, num_workers, num_servers, batch_size)
+        else:
+            cost = backend.cost(m, n, num_workers, num_servers, batch_size,
+                                topology=topology)
         key = (cost, backend.hybrid_rank)
         if best is None or key < best[0]:
             best = (key, backend.scheme)
@@ -417,8 +520,12 @@ class PSBackend(CommBackend):
     flow_plan = PSFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
-             bandwidth_bps=None):
-        return ps_combined_cost(m, n, num_workers, num_servers)
+             bandwidth_bps=None, topology=None):
+        flat = ps_combined_cost(m, n, num_workers, num_servers)
+        # Sharded traffic is spread uniformly over peers, so the default
+        # rack-uplink split applies.
+        return self._topology_cost(flat, m, n, num_workers, num_servers,
+                                   batch_size, topology)
 
     def build_substrate(self, initial_layers, ctx):
         from repro.comm.parameter_server import ShardedParameterServer
@@ -442,10 +549,12 @@ class OneBitBackend(PSBackend):
     flow_plan = PSFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
-             bandwidth_bps=None):
+             bandwidth_bps=None, topology=None):
         # 1-bit quantization shrinks the PS payload by ~32x in both
         # directions (scales are negligible at this granularity).
-        return ps_combined_cost(m, n, num_workers, num_servers) / self.compression
+        flat = ps_combined_cost(m, n, num_workers, num_servers) / self.compression
+        return self._topology_cost(flat, m, n, num_workers, num_servers,
+                                   batch_size, topology)
 
     def make_syncer(self, layer, substrate, resources, ctx):
         from repro.core.syncer import Syncer
@@ -463,8 +572,12 @@ class SFBBackend(CommBackend):
     flow_plan = SFBFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
-             bandwidth_bps=None):
-        return sfb_worker_cost(m, n, batch_size, num_workers)
+             bandwidth_bps=None, topology=None):
+        flat = sfb_worker_cost(m, n, batch_size, num_workers)
+        # Factor broadcasts address every peer directly, so the default
+        # uniform peer split is the exact cross-rack accounting.
+        return self._topology_cost(flat, m, n, num_workers, num_servers,
+                                   batch_size, topology)
 
     def build_substrate(self, initial_layers, ctx):
         from repro.comm.sfb import SufficientFactorBroadcaster
@@ -485,8 +598,18 @@ class AdamBackend(CommBackend):
     flow_plan = AdamFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
-             bandwidth_bps=None):
-        return adam_combined_cost(m, n, batch_size, num_workers)
+             bandwidth_bps=None, topology=None):
+        flat = adam_combined_cost(m, n, batch_size, num_workers)
+        return self._topology_cost(flat, m, n, num_workers, num_servers,
+                                   batch_size, topology)
+
+    def rack_uplink_params(self, m, n, num_workers, num_servers, batch_size,
+                           topology):
+        # The owning shard is the hotspot: its rack's uplink carries every
+        # out-of-rack worker's factors in and full matrices back out.
+        local = min(topology.nodes_per_rack(num_workers), num_workers)
+        remote = num_workers - local
+        return remote * (m * n + batch_size * (m + n))
 
     def build_substrate(self, initial_layers, ctx):
         from repro.comm.adam import AdamSFServer

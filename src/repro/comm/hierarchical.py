@@ -192,12 +192,26 @@ class HierPSFlowPlan(FlowPlan):
     def __init__(self, rack_size: int = DEFAULT_RACK_SIZE):
         self.rack_size = int(rack_size)
 
+    def _sim_rack_size(self, sim) -> int:
+        """The aggregation rack size used for one simulation.
+
+        On a rack-oversubscribed cluster the tree aggregates along the
+        *physical* racks (that is the whole point of the scheme); on the
+        flat default it keeps the backend's configured logical rack size.
+        """
+        config = sim.cluster_config
+        if not config.is_flat_topology:
+            return config.nodes_per_rack
+        return self.rack_size
+
     def _tree_state(self, sim, unit):
         state = sim.unit_state(unit)
         tree = state.extra.get("hierps")
         if tree is None:
-            racks = sim.cluster.racks(self.rack_size)
+            rack_size = self._sim_rack_size(sim)
+            racks = sim.cluster.racks(rack_size)
             tree = {
+                "rack_size": rack_size,
                 "racks": racks,
                 "rack_done": {rack: sim.env.countdown(len(members))
                               for rack, members in enumerate(racks)},
@@ -209,7 +223,7 @@ class HierPSFlowPlan(FlowPlan):
 
     def worker_sync(self, sim, worker, unit, scheme):
         state, tree = self._tree_state(sim, unit)
-        rack = worker // self.rack_size
+        rack = worker // tree["rack_size"]
         members = tree["racks"][rack]
         leader = members[0]
         dense_bytes = unit.param_bytes / sim.compression(scheme)
@@ -250,6 +264,10 @@ class HierPSBackend(CommBackend):
     """Rack-aggregated parameter server as a pluggable backend."""
 
     scheme = CommScheme.HIERPS
+    #: Joins Algorithm 1 only on oversubscribed networks: rack aggregation
+    #: shrinks cross-rack traffic from one flow per worker to one per rack.
+    topology_candidate = True
+    hybrid_rank = 3  # never steals a flat tie from SFB (0) or PS (1)
 
     def __init__(self, rack_size: int = DEFAULT_RACK_SIZE):
         if rack_size < 1:
@@ -257,19 +275,38 @@ class HierPSBackend(CommBackend):
         self.rack_size = int(rack_size)
         self.flow_plan = HierPSFlowPlan(rack_size)
 
+    def _cost_rack_size(self, num_workers: int, topology=None) -> int:
+        """Aggregation rack size: physical racks when oversubscribed."""
+        if topology is not None and not topology.is_flat:
+            return topology.nodes_per_rack(num_workers)
+        return self.rack_size
+
     def cost(self, m, n, num_workers, num_servers, batch_size,
-             bandwidth_bps=None):
+             bandwidth_bps=None, topology=None):
         """Transmit+receive volume at the busiest node of the tree.
 
         A rack leader exchanges the whole rack's gradients and parameters
         (``2 R M N``); the root owner exchanges one aggregate per rack
         (``2 ceil(P1/R) M N``).  The hotspot is whichever fan is wider.
+        On an oversubscribed cluster the tree follows the physical racks,
+        and the cross-rack premium applies only to the per-rack aggregates
+        (see :meth:`rack_uplink_params`).
         """
         if num_workers <= 1:
             return 0.0
-        local_fan = min(self.rack_size, num_workers)
-        num_racks = math.ceil(num_workers / self.rack_size)
-        return 2.0 * m * n * max(local_fan, num_racks)
+        rack_size = self._cost_rack_size(num_workers, topology)
+        local_fan = min(rack_size, num_workers)
+        num_racks = math.ceil(num_workers / rack_size)
+        flat = 2.0 * m * n * max(local_fan, num_racks)
+        return self._topology_cost(flat, m, n, num_workers, num_servers,
+                                   batch_size, topology)
+
+    def rack_uplink_params(self, m, n, num_workers, num_servers, batch_size,
+                           topology):
+        # Only the pre-reduced per-rack aggregates cross rack boundaries.
+        # The root owner's rack is the hotspot: every other rack's
+        # aggregate comes in and the updated parameters go back out.
+        return 2.0 * m * n * (topology.num_racks(num_workers) - 1)
 
     def build_substrate(self, initial_layers, ctx: TrainerContext):
         return HierarchicalParameterServer(

@@ -205,19 +205,35 @@ class RingBackend(CommBackend):
     """Chunked ring all-reduce as an Algorithm-1-comparable backend."""
 
     scheme = CommScheme.RING
+    #: Joins Algorithm 1 only on oversubscribed networks, where the ring's
+    #: single boundary hop per rack makes it far cheaper than peer fan-outs.
+    topology_candidate = True
+    hybrid_rank = 2  # never steals a flat tie from SFB (0) or PS (1)
     flow_plan = RingFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
-             bandwidth_bps=None):
+             bandwidth_bps=None, topology=None):
         """Transmit+receive volume per node: ``4 M N (P1-1)/P1`` parameters.
 
         Each direction moves ``2 (P1-1)/P1 * M N`` -- notably equal to the
         colocated sharded-PS combined cost when ``P2 == P1``, which is why
         the paper's PS-with-colocated-shards baseline is already
-        bandwidth-optimal for dense layers.
+        bandwidth-optimal for dense layers.  Under rack oversubscription
+        the ring shines: consecutive-id workers make every hop intra-rack
+        except one per rack, so a rack uplink carries a single node's
+        volume however many nodes share it.
         """
         if num_workers <= 1:
             return 0.0
+        flat = 4.0 * m * n * (num_workers - 1) / num_workers
+        return self._topology_cost(flat, m, n, num_workers, num_servers,
+                                   batch_size, topology)
+
+    def rack_uplink_params(self, m, n, num_workers, num_servers, batch_size,
+                           topology):
+        # One boundary flow leaves (and one enters) each rack per ring
+        # step: the uplink carries exactly one node's transmit volume,
+        # independent of how many nodes the rack aggregates.
         return 4.0 * m * n * (num_workers - 1) / num_workers
 
     def build_substrate(self, initial_layers, ctx: TrainerContext):

@@ -10,6 +10,7 @@ parameter server, exactly as in the paper's testbed ("every node also holding
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -82,6 +83,30 @@ TESLA_K80 = GpuModel(
 class ClusterConfig:
     """Describes a GPU cluster for both the simulator and the cost model.
 
+    The default network is *flat* (full bisection): every node can talk to
+    every other node at the full NIC rate, which is the paper's testbed
+    assumption.  Setting ``racks > 1`` together with ``oversubscription >
+    1`` models a rack-oversubscribed datacenter network instead: nodes are
+    grouped into ``racks`` contiguous-id racks, intra-rack traffic still
+    moves at NIC rate, but all traffic leaving (or entering) a rack shares
+    that rack's aggregate uplink, whose bandwidth is
+    ``node_bandwidth * nodes_per_rack / oversubscription``.
+
+    Example -- a flat 8-node cluster versus the same nodes in two racks
+    with 4:1 oversubscription:
+
+        >>> flat = ClusterConfig(num_workers=8, bandwidth_gbps=10.0)
+        >>> flat.is_flat_topology
+        True
+        >>> racked = flat.with_topology(racks=2, oversubscription=4.0)
+        >>> racked.is_flat_topology, racked.nodes_per_rack
+        (False, 4)
+        >>> racked.rack_of(0), racked.rack_of(5)
+        (0, 1)
+        >>> # Each rack's shared uplink carries 4 nodes at 1/4 the bandwidth:
+        >>> racked.rack_bisection_bps(4) == racked.effective_bandwidth_bps
+        True
+
     Attributes:
         num_workers: number of worker nodes (``P1`` in the paper).
         num_servers: number of parameter-server shards (``P2``).  In the
@@ -101,6 +126,14 @@ class ClusterConfig:
             default 0.55 is calibrated so the simulated Caffe+WFBP point for
             VGG19-22K on 32 nodes matches the paper's reported 21.5x; every
             other number in the evaluation emerges from the model.
+        racks: number of top-of-rack switches the nodes are spread over
+            (contiguous node-id blocks).  ``1`` (the default) keeps the
+            paper's flat full-bisection network.
+        oversubscription: ratio of a rack's aggregate NIC demand to its
+            uplink capacity (the datacenter "oversubscription factor").
+            ``1.0`` (the default) means full bisection -- the rack uplink
+            can never be a bottleneck, so the network behaves exactly like
+            the flat model.
     """
 
     num_workers: int
@@ -112,6 +145,8 @@ class ClusterConfig:
     kv_pair_bytes: int = 2 * units.MB
     latency_seconds: float = 50 * units.US
     network_efficiency: float = 0.55
+    racks: int = 1
+    oversubscription: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -140,6 +175,12 @@ class ClusterConfig:
             raise ConfigurationError(
                 f"network_efficiency must be in (0, 1], got {self.network_efficiency}"
             )
+        if self.racks < 1:
+            raise ConfigurationError(f"racks must be >= 1, got {self.racks}")
+        if self.oversubscription < 1.0:
+            raise ConfigurationError(
+                f"oversubscription must be >= 1.0, got {self.oversubscription}"
+            )
 
     @property
     def bandwidth_bps(self) -> float:
@@ -156,6 +197,54 @@ class ClusterConfig:
         """Total number of GPUs across the cluster."""
         return self.num_workers * self.gpus_per_node
 
+    # -- rack topology ---------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total machine count: workers plus dedicated server nodes."""
+        if self.colocate_servers:
+            return self.num_workers
+        return self.num_workers + self.num_servers
+
+    @property
+    def is_flat_topology(self) -> bool:
+        """Whether the network is indistinguishable from full bisection.
+
+        True for a single rack and for ``oversubscription == 1.0`` (a fully
+        provisioned rack uplink never throttles its members, so the rack
+        structure carries no performance signal either way).
+        """
+        return self.racks <= 1 or self.oversubscription <= 1.0
+
+    @property
+    def nodes_per_rack(self) -> int:
+        """Nodes under one top-of-rack switch (the last rack may be smaller)."""
+        return math.ceil(self.num_nodes / self.racks)
+
+    def rack_of(self, node_id: int) -> int:
+        """Rack index of a node (nodes fill racks in contiguous id blocks).
+
+        Raises:
+            ConfigurationError: if ``node_id`` is not a cluster node.
+        """
+        if not 0 <= node_id < self.num_nodes:
+            raise ConfigurationError(
+                f"node id {node_id} out of range [0, {self.num_nodes})"
+            )
+        return node_id // self.nodes_per_rack
+
+    def rack_bisection_bps(self, rack_nodes: int) -> float:
+        """Aggregate uplink goodput (bits/s) of a rack hosting ``rack_nodes``.
+
+        The rack's members could collectively inject ``rack_nodes *
+        effective_bandwidth_bps``; the oversubscribed uplink provides
+        ``1/oversubscription`` of that.
+        """
+        if rack_nodes < 1:
+            raise ConfigurationError(
+                f"rack_nodes must be >= 1, got {rack_nodes}"
+            )
+        return self.effective_bandwidth_bps * rack_nodes / self.oversubscription
+
     def with_workers(self, num_workers: int) -> "ClusterConfig":
         """Return a copy with a different worker count (servers follow if colocated)."""
         num_servers = num_workers if self.colocate_servers else self.num_servers
@@ -164,6 +253,11 @@ class ClusterConfig:
     def with_bandwidth(self, bandwidth_gbps: float) -> "ClusterConfig":
         """Return a copy with a different per-node bandwidth."""
         return replace(self, bandwidth_gbps=bandwidth_gbps)
+
+    def with_topology(self, racks: int,
+                      oversubscription: float) -> "ClusterConfig":
+        """Return a copy with a different rack topology."""
+        return replace(self, racks=racks, oversubscription=oversubscription)
 
 
 @dataclass(frozen=True)

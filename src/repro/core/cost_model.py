@@ -21,6 +21,7 @@ node; everything else goes through the parameter server.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -46,6 +47,107 @@ class CommScheme(str, enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """Rack shape of the network as the analytic cost model sees it.
+
+    Table 1 prices every transmitted parameter equally, which assumes full
+    bisection.  On a rack-oversubscribed network a parameter that crosses
+    the rack boundary competes for ``1/oversubscription`` of the bandwidth
+    its rack's members could inject, so the topology-aware cost of a scheme
+    is ``max(flat_cost, rack_uplink_params * oversubscription / L)`` --
+    whichever is slower of the busiest NIC and the busiest rack uplink
+    (``L`` = nodes per rack; dividing by ``L`` converts the rack-aggregate
+    volume into the same per-node-bandwidth time units as Table 1).
+
+    A flat topology (one rack, or ``oversubscription == 1``) makes the
+    uplink term a no-op, reproducing Table 1 exactly.
+
+    Attributes:
+        racks: number of top-of-rack switches.
+        oversubscription: the rack uplink's oversubscription factor.
+        rack_size: explicit nodes-per-rack override.  Set by
+            :meth:`from_cluster` so the cost model prices exactly the
+            rack partition the simulator builds -- they differ when PS
+            shards live on dedicated (non-colocated) nodes, which share
+            the racks with the workers.  ``None`` derives the size from
+            ``racks`` and the worker count alone.
+        num_nodes: total node count (workers plus dedicated servers).
+            Set by :meth:`from_cluster`; used by
+            :meth:`cross_peer_fraction` so traffic towards dedicated
+            server racks is priced as cross-rack.  ``None`` assumes the
+            colocated testbed (nodes == workers).
+    """
+
+    racks: int = 1
+    oversubscription: float = 1.0
+    rack_size: Optional[int] = None
+    num_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.racks < 1:
+            raise ConfigurationError(f"racks must be >= 1, got {self.racks}")
+        if self.oversubscription < 1.0:
+            raise ConfigurationError(
+                f"oversubscription must be >= 1.0, got {self.oversubscription}"
+            )
+        if self.rack_size is not None and self.rack_size < 1:
+            raise ConfigurationError(
+                f"rack_size must be >= 1, got {self.rack_size}")
+        if self.num_nodes is not None and self.num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {self.num_nodes}")
+
+    @classmethod
+    def from_cluster(cls, cluster: ClusterConfig) -> "NetworkTopology":
+        """The topology of a :class:`~repro.config.ClusterConfig`.
+
+        Captures the cluster's *physical* rack size and node count, so
+        worker-count-based cost queries agree with the simulator's node
+        partition even when dedicated server nodes extend the racks.
+        """
+        return cls(racks=cluster.racks,
+                   oversubscription=cluster.oversubscription,
+                   rack_size=cluster.nodes_per_rack,
+                   num_nodes=cluster.num_nodes)
+
+    @property
+    def is_flat(self) -> bool:
+        """Whether the topology is cost-equivalent to full bisection."""
+        return self.racks <= 1 or self.oversubscription <= 1.0
+
+    def nodes_per_rack(self, num_workers: int) -> int:
+        """Workers under one top-of-rack switch (contiguous-id blocks)."""
+        if num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {num_workers}")
+        if self.rack_size is not None:
+            return self.rack_size
+        return math.ceil(num_workers / self.racks)
+
+    def num_racks(self, num_workers: int) -> int:
+        """Occupied racks (at most ``racks``; fewer for small clusters)."""
+        return math.ceil(num_workers / self.nodes_per_rack(num_workers))
+
+    def cross_peer_fraction(self, num_workers: int) -> float:
+        """Fraction of a node's peers that live outside its rack.
+
+        The byte split used by schemes whose traffic is spread uniformly
+        over peers (PS shards, SFB broadcasts, Adam owners): of the
+        ``N - 1`` remote endpoints, ``L - 1`` share the rack.  ``N`` is
+        the *node* population -- for colocated clusters that equals the
+        worker count, but dedicated server nodes (:attr:`num_nodes` set
+        by :meth:`from_cluster`) extend it, so traffic towards racks
+        full of PS shards is priced as cross-rack just like the
+        simulator routes it.
+        """
+        total = self.num_nodes if self.num_nodes is not None else num_workers
+        if total <= 1 or num_workers < 1:
+            return 0.0
+        local = min(self.nodes_per_rack(num_workers), total)
+        return (total - local) / (total - 1)
 
 
 @dataclass(frozen=True)
@@ -146,13 +248,28 @@ def _validate_cluster(num_workers: int, num_servers: int) -> None:
 
 
 class CostModel:
-    """Evaluates Table 1 for concrete layers and cluster configurations."""
+    """Evaluates Table 1 for concrete layers and cluster configurations.
+
+    The cluster's rack topology is threaded into every backend cost query,
+    so on an oversubscribed cluster :meth:`best_scheme` and
+    :meth:`scheme_cost_params` automatically price cross-rack bytes at a
+    premium (and Algorithm 1's candidate set grows by the topology-aware
+    collectives); on the default flat cluster they reproduce Table 1
+    exactly.
+    """
 
     def __init__(self, cluster: ClusterConfig, batch_size: int):
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.cluster = cluster
         self.batch_size = int(batch_size)
+        # None on flat clusters (the convention decide_schemes also uses):
+        # backends are only handed a topology that actually carries a
+        # premium, so Table-1-signature cost models keep working anywhere
+        # the topology cannot matter.
+        topology = NetworkTopology.from_cluster(cluster)
+        self.topology: Optional[NetworkTopology] = (
+            None if topology.is_flat else topology)
 
     # -- per-layer ------------------------------------------------------------
     def estimate_layer(self, layer: LayerSpec) -> LayerCostEstimate:
@@ -188,7 +305,12 @@ class CostModel:
         return estimate
 
     def best_scheme(self, layer: LayerSpec) -> CommScheme:
-        """Algorithm 1: the cheapest hybrid-candidate backend for ``layer``."""
+        """Algorithm 1: the cheapest hybrid-candidate backend for ``layer``.
+
+        On a rack-oversubscribed cluster the comparison is topology-aware:
+        costs carry the cross-rack premium and the topology-candidate
+        backends (ring all-reduce, hierarchical PS) join the choice.
+        """
         # Imported lazily: repro.comm.backend depends on this module's
         # Table-1 formulas, so a module-level import would be circular.
         from repro.comm.backend import hybrid_choice
@@ -198,11 +320,15 @@ class CostModel:
         m, n = layer.fc_dims
         return hybrid_choice(m, n, self.cluster.num_workers,
                              self.cluster.num_servers, self.batch_size,
-                             sf_eligible=True)
+                             sf_eligible=True, topology=self.topology)
 
     # -- bytes-on-the-wire helpers ----------------------------------------------
     def scheme_cost_params(self, layer: LayerSpec, scheme: CommScheme) -> float:
-        """Parameter count a combined server/worker node moves for ``layer``."""
+        """Parameter count a combined server/worker node moves for ``layer``.
+
+        Topology-aware: on an oversubscribed cluster the value includes the
+        scheme's cross-rack premium (see :class:`NetworkTopology`).
+        """
         from repro.comm.backend import get_backend
 
         backend = get_backend(scheme)
@@ -215,8 +341,12 @@ class CostModel:
             m, n = layer.fc_dims
         else:
             m, n = 1, max(layer.param_count, 1)
+        if self.topology is None:
+            return backend.cost(m, n, self.cluster.num_workers,
+                                self.cluster.num_servers, self.batch_size)
         return backend.cost(m, n, self.cluster.num_workers,
-                            self.cluster.num_servers, self.batch_size)
+                            self.cluster.num_servers, self.batch_size,
+                            topology=self.topology)
 
     def scheme_cost_bytes(self, layer: LayerSpec, scheme: CommScheme) -> float:
         """Same as :meth:`scheme_cost_params` but in bytes."""

@@ -36,6 +36,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig_backends,
+    fig_topology,
     multigpu,
     sweep,
     table1,
@@ -100,6 +101,14 @@ def _run_fig_backends(quick: bool) -> str:
     return fig_backends.render(fig_backends.run_fig_backends(node_counts=nodes))
 
 
+def _run_fig_topology(quick: bool) -> str:
+    models = ("vgg19",) if quick else fig_topology.FIG_TOPOLOGY_MODELS
+    oversubs = ((1.0, 4.0, 8.0) if quick
+                else fig_topology.FIG_TOPOLOGY_OVERSUBSCRIPTION)
+    return fig_topology.render(fig_topology.run_fig_topology(
+        oversubscription=oversubs, models=models))
+
+
 def _run_multigpu(quick: bool) -> str:
     return multigpu.render(multigpu.run_multigpu())
 
@@ -124,6 +133,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig10": _run_fig10,
     "fig11": _run_fig11,
     "fig_backends": _run_fig_backends,
+    "fig_topology": _run_fig_topology,
     "multigpu": _run_multigpu,
     "ablation": _run_ablation,
     "fidelity": _run_fidelity,

@@ -13,10 +13,10 @@ valid trainer mode without any change here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.comm.backend import get_backend, hybrid_choice, registered_backends
-from repro.core.cost_model import CommScheme
+from repro.core.cost_model import CommScheme, NetworkTopology
 from repro.exceptions import ConfigurationError
 from repro.nn.layers.dense import Dense
 from repro.nn.network import Network
@@ -49,7 +49,9 @@ class SchemeAssignment:
 
 
 def assign_schemes(network: Network, mode: str, num_workers: int,
-                   num_servers: int, batch_size: int) -> SchemeAssignment:
+                   num_servers: int, batch_size: int,
+                   topology: Optional[NetworkTopology] = None
+                   ) -> SchemeAssignment:
     """Assign a communication scheme to every parameter layer.
 
     Args:
@@ -61,6 +63,8 @@ def assign_schemes(network: Network, mode: str, num_workers: int,
         num_workers: worker count (``P1``).
         num_servers: PS shard count (``P2``).
         batch_size: per-worker batch size (``K``).
+        topology: rack topology for rack-aware ``"hybrid"`` decisions
+            (``None`` or a flat topology keeps the paper's flat Algorithm 1).
 
     Raises:
         ConfigurationError: on an unknown mode or a degenerate cluster /
@@ -88,7 +92,7 @@ def assign_schemes(network: Network, mode: str, num_workers: int,
             if factorizable:
                 scheme = hybrid_choice(layer.in_features, layer.out_features,
                                        num_workers, num_servers, batch_size,
-                                       sf_eligible=True)
+                                       sf_eligible=True, topology=topology)
             else:
                 scheme = CommScheme.PS
         elif backend.requires_factorization and not factorizable:

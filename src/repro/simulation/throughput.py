@@ -35,7 +35,7 @@ from repro.comm.backend import (
     registry_generation,
 )
 from repro.config import ClusterConfig
-from repro.core.cost_model import CommScheme
+from repro.core.cost_model import CommScheme, NetworkTopology
 from repro.core.wfbp import ScheduleMode
 from repro.engines.base import CommMode, SystemConfig
 from repro.exceptions import SimulationError
@@ -135,13 +135,14 @@ _SCHEME_CACHE: Dict[Tuple, Dict[str, CommScheme]] = {}
 
 
 def _decide_scheme(unit: SyncUnit, comm: CommMode, batch_size: int,
-                   num_workers: int, num_servers: int) -> CommScheme:
+                   num_workers: int, num_servers: int,
+                   topology: Optional[NetworkTopology]) -> CommScheme:
     """Choose the communication scheme of one unit (Algorithm 1 for HYBRID)."""
     if comm is CommMode.HYBRID:
         if unit.sf_eligible and unit.fc_dims is not None:
             m, n = unit.fc_dims
             return hybrid_choice(m, n, num_workers, num_servers, batch_size,
-                                 sf_eligible=True)
+                                 sf_eligible=True, topology=topology)
         return CommScheme.PS
     backend = get_backend(comm.value)
     if backend.requires_factorization and not unit.sf_eligible:
@@ -150,19 +151,25 @@ def _decide_scheme(unit: SyncUnit, comm: CommMode, batch_size: int,
 
 
 def decide_schemes(workload: IterationWorkload, comm: CommMode,
-                   num_workers: int, num_servers: int) -> Dict[str, CommScheme]:
+                   num_workers: int, num_servers: int,
+                   topology: Optional[NetworkTopology] = None
+                   ) -> Dict[str, CommScheme]:
     """Per-unit scheme assignment, memoized by (workload, comm, cluster shape).
 
-    The key includes the backend-registry generation so a backend
-    registered after a sweep warmed the cache is not silently ignored.
-    The returned dict is shared between callers and must not be mutated.
+    With a non-flat ``topology`` the HYBRID decisions become rack-aware
+    (cross-rack premiums plus the topology-candidate collectives); a flat
+    or absent topology reproduces the paper's Algorithm-1 table.  The key
+    includes the backend-registry generation so a backend registered after
+    a sweep warmed the cache is not silently ignored.  The returned dict
+    is shared between callers and must not be mutated.
     """
-    key = (workload, comm, num_workers, num_servers, registry_generation())
+    key = (workload, comm, num_workers, num_servers, topology,
+           registry_generation())
     schemes = _SCHEME_CACHE.get(key)
     if schemes is None:
         schemes = {
             unit.name: _decide_scheme(unit, comm, workload.batch_size,
-                                      num_workers, num_servers)
+                                      num_workers, num_servers, topology)
             for unit in workload.units
         }
         _SCHEME_CACHE[key] = schemes
@@ -182,8 +189,10 @@ class IterationSimulator:
         self.num_workers = cluster.num_workers
         self.num_servers = cluster.num_servers
         self.server_nodes = self.cluster.server_ids
+        topology = NetworkTopology.from_cluster(cluster)
         self.schemes: Dict[str, CommScheme] = decide_schemes(
-            workload, system.comm, self.num_workers, self.num_servers)
+            workload, system.comm, self.num_workers, self.num_servers,
+            topology=None if topology.is_flat else topology)
         self.coarse_owner: Dict[str, int] = self._assign_coarse_owners()
         self._unit_state: Dict[str, _UnitSyncState] = {}
         self._backward_done: Dict[int, Event] = {}

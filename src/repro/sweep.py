@@ -51,6 +51,15 @@ _DEFAULT_JOBS: int = 1
 class SweepTask:
     """One independent configuration of a sweep.
 
+    A task is a *description* -- nothing runs until :func:`run_sweep`
+    executes it (possibly in a worker process, hence the picklability
+    requirement on ``fn``):
+
+        >>> from repro.sweep import SweepTask
+        >>> task = SweepTask(key=("pow", 10), fn=pow, args=(2, 10))
+        >>> task.run()
+        1024
+
     Attributes:
         key: hashable identifier of the configuration; results are merged
             by this key, so it must be unique within one sweep.
@@ -90,7 +99,18 @@ def set_default_jobs(jobs: Optional[int]) -> None:
 
 @contextmanager
 def use_jobs(jobs: Optional[int]) -> Iterator[int]:
-    """Temporarily set the default worker count (restored on exit)."""
+    """Temporarily set the default worker count (restored on exit).
+
+    The experiment runner wraps a whole report generation in this so one
+    ``--jobs`` flag reaches every nested sweep:
+
+        >>> from repro.sweep import default_jobs, use_jobs
+        >>> with use_jobs(4):
+        ...     default_jobs()
+        4
+        >>> default_jobs()
+        1
+    """
     global _DEFAULT_JOBS
     previous = _DEFAULT_JOBS
     set_default_jobs(jobs)
@@ -172,6 +192,16 @@ def _run_pool(tasks: Sequence[SweepTask], jobs: int) -> Dict[Hashable, Any]:
 def run_sweep(tasks: Sequence[SweepTask],
               jobs: Optional[int] = None) -> Dict[Hashable, Any]:
     """Execute every task and return ``{task.key: result}`` in task order.
+
+    The determinism contract: the result mapping is identical whatever
+    ``jobs`` is -- same keys, same values, same iteration order --
+
+        >>> from repro.sweep import SweepTask, run_sweep
+        >>> tasks = [SweepTask(key=n, fn=pow, args=(2, n)) for n in (3, 5, 8)]
+        >>> run_sweep(tasks)
+        {3: 8, 5: 32, 8: 256}
+        >>> run_sweep(tasks, jobs=4) == run_sweep(tasks, jobs=1)
+        True
 
     Args:
         tasks: the sweep's configurations; keys must be unique.

@@ -22,6 +22,12 @@ def googlenet_spec():
     return get_model_spec("googlenet")
 
 
+@pytest.fixture(scope="session")
+def tiny_model_spec():
+    """The smallest conv+FC model in the zoo (fast to simulate repeatedly)."""
+    return get_model_spec("cifar10-quick")
+
+
 @pytest.fixture
 def small_cluster():
     """An 8-worker, 8-shard cluster at 40 GbE."""

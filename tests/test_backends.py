@@ -64,7 +64,7 @@ class TestRegistry:
             flow_plan = FlowPlan()
 
             def cost(self, m, n, num_workers, num_servers, batch_size,
-                     bandwidth_bps=None):
+                     bandwidth_bps=None, topology=None):
                 return 0.0
 
             def build_substrate(self, initial_layers, ctx):
@@ -86,7 +86,7 @@ class TestRegistry:
                 return "pigeon"
 
             def cost(self, m, n, num_workers, num_servers, batch_size,
-                     bandwidth_bps=None):
+                     bandwidth_bps=None, topology=None):
                 return ps_combined_cost(m, n, num_workers, num_servers)
 
             def build_substrate(self, initial_layers, ctx):

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Check that intra-repo references in markdown files resolve.
+
+Two kinds of references are validated:
+
+* markdown links ``[text](target)`` whose target is not an external URL
+  or a pure ``#anchor`` -- the target path (anchor stripped) must exist
+  relative to the referencing file (or the repo root);
+* backticked file paths like ``src/repro/sim/core.py`` -- any backticked
+  token that contains a ``/`` and ends in a known source extension must
+  exist relative to the repo root (or under ``src/`` / ``src/repro/``,
+  so package-relative spellings like ``repro/comm/ring.py`` and
+  ``comm/ring.py`` keep working).
+
+Usage::
+
+    python tools/check_links.py README.md PERFORMANCE.md docs/*.md
+
+Exits non-zero and lists every broken reference if any fail.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) -- excluding images handled identically anyway.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: `path/to/file.ext` tokens inside backticks.
+BACKTICK_RE = re.compile(r"`([^`\s]+/[^`\s]+\.(?:py|md|json|yml|yaml|txt|toml))`")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def candidate_paths(base: Path, target: str):
+    """Places a relative reference may legitimately point to."""
+    yield (base.parent / target).resolve()
+    yield (REPO_ROOT / target).resolve()
+    yield (REPO_ROOT / "src" / target).resolve()
+    yield (REPO_ROOT / "src" / "repro" / target).resolve()
+
+
+def check_file(path: Path):
+    """Yield (line_number, reference) for every broken reference."""
+    text = path.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        references = []
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            references.append(target.split("#", 1)[0])
+        references.extend(BACKTICK_RE.findall(line))
+        for target in references:
+            if not target:
+                continue
+            if not any(p.exists() for p in candidate_paths(path, target)):
+                yield line_number, target
+
+
+def main(argv):
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    broken = 0
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"BROKEN {name}: file itself does not exist")
+            broken += 1
+            continue
+        checked += 1
+        for line_number, target in check_file(path):
+            print(f"BROKEN {name}:{line_number}: {target}")
+            broken += 1
+    if broken:
+        print(f"{broken} broken reference(s)")
+        return 1
+    print(f"all intra-repo references resolve ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
