@@ -3,6 +3,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism \
+	scale-smoke \
 	examples-smoke docs-check
 
 ## tier-1 test suite
@@ -23,6 +24,12 @@ determinism:
 ## quick figure sweeps through the parallel runner (one worker per core)
 sweep-quick:
 	PYTHONPATH=src python -m repro.experiments.runner --quick fig5 fig8 fidelity
+
+## 1k-node fluid what-if sweep inside a 10 s wall-clock budget (CI smoke)
+scale-smoke:
+	timeout 10 env PYTHONPATH=src python -m repro.experiments.runner \
+		--quick --jobs 1 fig_scale > /dev/null
+	@echo "1k-node fluid sweep finished inside the 10s budget"
 
 ## run all four examples/ scripts at reduced sizes (CI smoke)
 examples-smoke:
@@ -50,12 +57,14 @@ bench-smoke:
 bench:
 	$(PYTEST) -x -q
 	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
+		benchmarks/bench_fluid.py \
 		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json
 
 ## refresh benchmarks/baseline.json from a fresh run (after intentional changes)
 bench-update:
 	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
+		benchmarks/bench_fluid.py \
 		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json --update
 

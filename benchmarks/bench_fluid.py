@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the fluid-mode analytic simulator.
+
+Two measurements bracket the fluid engine's cost:
+
+* ``test_fluid_point`` -- one closed-form evaluation of a 1000-node
+  oversubscribed cluster (the aggregate tier: class clocks + per-rack
+  numpy loads), the unit of work behind every ``engine="fluid"`` sweep
+  point;
+* ``test_fluid_sweep_10k`` -- the headline interactive what-if: a full
+  bandwidth axis for all seven registered backends on a 10k-node
+  oversubscribed cluster, evaluated from a cold warm-start cache.  The
+  committed baseline gates the "< 1 s wall-clock" budget this PR's
+  performance target is stated against.
+
+The DES cannot be benchmarked at these sizes at all -- a single 10k-node
+iteration walk is minutes of event processing -- which is the point of the
+fluid tier; ``tests/test_fluid.py`` carries the accuracy cross-validation
+on DES-sized clusters instead.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.experiments.fig_backends import backend_systems
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation import fluid
+from repro.simulation.workload import build_workload
+
+VGG19 = get_model_spec("vgg19")
+WORKLOAD = build_workload(VGG19)
+SYSTEMS = backend_systems()
+
+SWEEP_BANDWIDTHS = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 56.0, 100.0)
+
+
+def _cluster(nodes: int) -> ClusterConfig:
+    return ClusterConfig(num_workers=nodes, bandwidth_gbps=40.0,
+                         racks=nodes // 40, oversubscription=4.0)
+
+
+def _fluid_point(nodes: int):
+    cluster = _cluster(nodes)
+    hybrid = SYSTEMS[2]  # HybComm: exercises the per-unit scheme mix
+    return fluid.FluidSimulator(WORKLOAD, cluster, hybrid).run()
+
+
+def _sweep_all_backends(nodes: int):
+    fluid._AXIS_CACHE.clear()  # measure the cold path, not a warm re-query
+    cluster = _cluster(nodes)
+    curves = [
+        fluid.sweep_axis(VGG19, system, cluster, SWEEP_BANDWIDTHS,
+                         workload=WORKLOAD)
+        for system in SYSTEMS
+    ]
+    return curves
+
+
+def test_fluid_point(benchmark):
+    """One 1000-node closed-form evaluation (aggregate tier)."""
+    result = benchmark(_fluid_point, 1000)
+    assert result.iteration_seconds > 0
+    benchmark.extra_info["nodes"] = 1000
+
+
+def test_fluid_sweep_10k(benchmark):
+    """Cold 10k-node bandwidth sweep across all seven backends."""
+    curves = benchmark(_sweep_all_backends, 10000)
+    assert len(curves) == len(SYSTEMS)
+    assert all(curve.shape == (len(SWEEP_BANDWIDTHS),) for curve in curves)
+    # The PR's stated budget: interactive what-if means the whole sweep
+    # lands in well under a second of wall-clock.
+    assert benchmark.stats.stats.mean < 1.0
+    benchmark.extra_info["points"] = len(SYSTEMS) * len(SWEEP_BANDWIDTHS)

@@ -633,3 +633,69 @@ ADAM_BACKEND = register_backend(AdamBackend())
 # module is the single entry point that guarantees the full registry.
 from repro.comm import hierarchical as _hierarchical  # noqa: E402,F401
 from repro.comm import ring as _ring  # noqa: E402,F401
+
+
+@dataclass(frozen=True)
+class FluidTerms:
+    """Per-unit byte terms of one synchronization, for closed-form engines.
+
+    The fluid simulator (:mod:`repro.simulation.fluid`) composes iteration
+    times out of per-unit payload sizes rather than walking flow events;
+    these are the Algorithm-1 cost terms of one unit reduced to the three
+    quantities the analytic laws need.  All fields are plain floats so an
+    axis sweep can broadcast them against numpy bandwidth vectors.
+
+    Attributes:
+        push_bytes: bytes each non-owner worker uploads.
+        pull_bytes: bytes each non-owner worker downloads.
+        symmetric_bytes: sent+received bytes at a typical (non-owner) node.
+        owner_bytes: extra sent+received bytes at the unit's owner/root
+            node on top of ``symmetric_bytes`` (0 for symmetric schemes).
+    """
+
+    push_bytes: float
+    pull_bytes: float
+    symmetric_bytes: float
+    owner_bytes: float
+
+
+def fluid_terms(scheme: CommScheme, unit, batch_size: int, num_workers: int,
+                num_servers: int, fine: bool = True,
+                colocated: bool = True) -> FluidTerms:
+    """Byte terms of synchronizing ``unit`` once under ``scheme``.
+
+    ``unit`` is any object with the :class:`repro.simulation.workload.SyncUnit`
+    payload interface (``param_bytes``, ``sufficient_factor_bytes``,
+    ``chunk_bytes``).  ``fine`` selects the fine-grained KV-sharded PS path
+    (Poseidon's default) over the coarse whole-unit owner fan.
+    """
+    n, s = num_workers, num_servers
+    c = get_backend(scheme).compression
+    dense = unit.param_bytes / c
+    if scheme is CommScheme.SFB:
+        sf = unit.sufficient_factor_bytes(batch_size)
+        each = (n - 1) * sf
+        return FluidTerms(sf, sf, 2.0 * each, 0.0)
+    if scheme is CommScheme.RING:
+        chunk = unit.chunk_bytes(n)
+        each = 2 * (n - 1) * chunk
+        return FluidTerms(chunk, chunk, 2.0 * each, 0.0)
+    if scheme is CommScheme.ADAM:
+        sf = unit.sufficient_factor_bytes(batch_size)
+        pull = unit.param_bytes
+        return FluidTerms(sf, pull, sf + pull, (n - 2) * (sf + pull))
+    if scheme is CommScheme.HIERPS:
+        # members see one up + one down copy; the root additionally
+        # exchanges with every other rack leader.
+        racks = max(1, -(-n // 4))
+        return FluidTerms(dense, dense, 2.0 * dense,
+                          2.0 * (racks - 1) * dense)
+    if fine:
+        # KV-sharded PS: every node is worker (push/pull its remote
+        # shards) and, when colocated, also server (gather/scatter).
+        remote_shards = s - (1 if colocated else 0)
+        remote_workers = n - (1 if colocated else 0)
+        push = dense * remote_shards / s
+        shard = dense * remote_workers / s
+        return FluidTerms(push, push, 2.0 * (push + shard), 0.0)
+    return FluidTerms(dense, dense, 2.0 * dense, 2.0 * (n - 2) * dense)

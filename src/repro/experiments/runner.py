@@ -36,6 +36,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig_backends,
+    fig_scale,
     fig_topology,
     multigpu,
     sweep,
@@ -43,6 +44,7 @@ from repro.experiments import (
     table3,
 )
 from repro.logging_util import enable_console_logging, get_logger
+from repro.simulation.fluid import ENGINES, use_engine
 
 LOGGER = get_logger(__name__)
 
@@ -101,6 +103,11 @@ def _run_fig_backends(quick: bool) -> str:
     return fig_backends.render(fig_backends.run_fig_backends(node_counts=nodes))
 
 
+def _run_fig_scale(quick: bool) -> str:
+    nodes = (1000,) if quick else fig_scale.FIG_SCALE_NODE_COUNTS
+    return fig_scale.render(fig_scale.run_fig_scale(node_counts=nodes))
+
+
 def _run_fig_topology(quick: bool) -> str:
     models = ("vgg19",) if quick else fig_topology.FIG_TOPOLOGY_MODELS
     oversubs = ((1.0, 4.0, 8.0) if quick
@@ -133,6 +140,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig10": _run_fig10,
     "fig11": _run_fig11,
     "fig_backends": _run_fig_backends,
+    "fig_scale": _run_fig_scale,
     "fig_topology": _run_fig_topology,
     "multigpu": _run_multigpu,
     "ablation": _run_ablation,
@@ -141,7 +149,8 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 
 
 def run_experiments(names: Optional[List[str]] = None, quick: bool = False,
-                    jobs: Optional[int] = None) -> str:
+                    jobs: Optional[int] = None,
+                    engine: Optional[str] = None) -> str:
     """Run the named experiments (all of them by default); returns the report.
 
     Args:
@@ -150,6 +159,10 @@ def run_experiments(names: Optional[List[str]] = None, quick: bool = False,
         jobs: sweep worker processes; ``None`` keeps the library default
             (sequential), ``0`` or negative means one per CPU core.  The
             report text is independent of this value.
+        engine: simulation engine for every figure sweep
+            (``"des"``/``"fluid"``/``"auto"``); ``None`` keeps the session
+            default (the DES), under which reports are byte-identical to
+            previous releases.
     """
     selected = names or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
@@ -157,11 +170,12 @@ def run_experiments(names: Optional[List[str]] = None, quick: bool = False,
         raise KeyError(f"unknown experiments {unknown}; available: {list(EXPERIMENTS)}")
     sections: List[str] = []
     with sweep.use_jobs(jobs if jobs is not None else sweep.default_jobs()):
-        for name in selected:
-            start = time.time()
-            rendering = EXPERIMENTS[name](quick)
-            LOGGER.info("%s finished in %.1fs", name, time.time() - start)
-            sections.append(f"=== {name} ===\n{rendering}")
+        with use_engine(engine if engine is not None else "des"):
+            for name in selected:
+                start = time.time()
+                rendering = EXPERIMENTS[name](quick)
+                LOGGER.info("%s finished in %.1fs", name, time.time() - start)
+                sections.append(f"=== {name} ===\n{rendering}")
     return "\n\n".join(sections)
 
 
@@ -176,6 +190,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=0, metavar="N",
                         help="sweep worker processes (default: one per CPU "
                              "core; 1 = sequential)")
+    parser.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="simulation engine for the figure sweeps "
+                             "(default: des; auto switches to the fluid "
+                             "engine on large clusters)")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the report to this file")
     args = parser.parse_args(argv)
@@ -183,7 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # repro.sweep owns the jobs policy: 0 or negative resolves to one
     # worker per CPU core inside use_jobs/resolve_jobs.
     report = run_experiments(args.experiments or None, quick=args.quick,
-                             jobs=args.jobs)
+                             jobs=args.jobs, engine=args.engine)
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -42,7 +42,8 @@ Combo = Tuple[ModelSpec, SystemConfig, float]
 
 def sweep_scaling_curves(combos: Sequence[Combo],
                          node_counts: Sequence[int],
-                         jobs: Optional[int] = None
+                         jobs: Optional[int] = None,
+                         engine: Optional[str] = None
                          ) -> Dict[Combo, ScalingCurve]:
     """Simulate every (combo, nodes) configuration in one flat sweep.
 
@@ -50,6 +51,8 @@ def sweep_scaling_curves(combos: Sequence[Combo],
         combos: the figure's series as (model, system, bandwidth) triples.
         node_counts: cluster sizes simulated for every combo.
         jobs: worker processes (``None`` defers to the module default).
+        engine: simulation engine (``"des"``/``"fluid"``/``"auto"``;
+            ``None`` defers to the session default).
 
     Returns:
         One :class:`ScalingCurve` per combo, keyed by the input triple and
@@ -58,7 +61,7 @@ def sweep_scaling_curves(combos: Sequence[Combo],
     tasks: List[SweepTask] = []
     for model, system, bandwidth in combos:
         tasks.extend(curve_tasks(model, system, node_counts,
-                                 bandwidth_gbps=bandwidth))
+                                 bandwidth_gbps=bandwidth, engine=engine))
     results = run_sweep(tasks, jobs=jobs)
     return {
         combo: curve_from_results(combo[0], combo[1], node_counts, combo[2],

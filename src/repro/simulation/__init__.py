@@ -10,6 +10,9 @@ descriptor into the quantities the paper's evaluation reports:
   simulation of one training iteration: GPU compute, per-layer
   synchronization under PS/SFB/Adam/1-bit with or without WFBP, per-node
   traffic and GPU stall accounting.
+* :mod:`repro.simulation.fluid` -- the fluid-mode analytic engine: the same
+  per-iteration quantity as the DES computed in closed form (plus vectorized
+  axis sweeps), for interactive what-if at 1k-10k nodes.
 * :mod:`repro.simulation.speedup` -- scaling sweeps (speedup vs. nodes,
   bandwidth sweeps).
 * :mod:`repro.simulation.convergence` -- statistical-performance models for
@@ -18,6 +21,15 @@ descriptor into the quantities the paper's evaluation reports:
 
 from repro.simulation.workload import IterationWorkload, SyncUnit, build_workload
 from repro.simulation.throughput import SimulationResult, simulate_system
+from repro.simulation.fluid import (
+    ENGINES,
+    FLUID_NODE_THRESHOLD,
+    FluidSimulator,
+    resolve_engine,
+    simulate_fluid,
+    sweep_axis,
+    use_engine,
+)
 from repro.simulation.speedup import (
     ScalingCurve,
     bandwidth_sweep,
@@ -36,6 +48,13 @@ __all__ = [
     "build_workload",
     "SimulationResult",
     "simulate_system",
+    "ENGINES",
+    "FLUID_NODE_THRESHOLD",
+    "FluidSimulator",
+    "resolve_engine",
+    "simulate_fluid",
+    "sweep_axis",
+    "use_engine",
     "ScalingCurve",
     "scaling_curve",
     "bandwidth_sweep",

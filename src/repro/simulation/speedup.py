@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 from repro.config import ClusterConfig
 from repro.engines.base import SystemConfig
 from repro.nn.spec import ModelSpec
+from repro.simulation.fluid import resolve_engine, session_engine
 from repro.simulation.throughput import SimulationResult, simulate_system
 from repro.simulation.workload import IterationWorkload, build_workload
 from repro.sweep import SweepTask, run_sweep
@@ -74,15 +75,15 @@ def simulate_point(model: ModelSpec, system: SystemConfig, nodes: int,
                    bandwidth_gbps: float = 40.0,
                    batch_size: Optional[int] = None,
                    base_cluster: Optional[ClusterConfig] = None,
-                   workload: Optional[IterationWorkload] = None
-                   ) -> SimulationResult:
+                   workload: Optional[IterationWorkload] = None,
+                   engine: Optional[str] = None) -> SimulationResult:
     """Simulate one sweep point (module-level, hence picklable)."""
     if base_cluster is not None:
         cluster = base_cluster.with_workers(nodes).with_bandwidth(bandwidth_gbps)
     else:
         cluster = ClusterConfig(num_workers=nodes, bandwidth_gbps=bandwidth_gbps)
     return simulate_system(model, system, cluster, batch_size=batch_size,
-                           workload=workload)
+                           workload=workload, engine=engine)
 
 
 def point_key(model: ModelSpec, system: SystemConfig, bandwidth_gbps: float,
@@ -95,8 +96,8 @@ def curve_tasks(model: ModelSpec, system: SystemConfig,
                 node_counts: Sequence[int],
                 bandwidth_gbps: float = 40.0,
                 batch_size: Optional[int] = None,
-                base_cluster: Optional[ClusterConfig] = None
-                ) -> List[SweepTask]:
+                base_cluster: Optional[ClusterConfig] = None,
+                engine: Optional[str] = None) -> List[SweepTask]:
     """Enumerate one scaling curve as independent sweep tasks.
 
     The iteration workload only depends on (model, batch size, GPU), so it
@@ -111,6 +112,11 @@ def curve_tasks(model: ModelSpec, system: SystemConfig,
         num_workers=1)
     workload = build_workload(model, batch_size=batch_size,
                               gpu=gpu_source.gpu)
+    # Bake the session default in at enumeration time: sweep tasks may run
+    # in worker processes where a use_engine() context would not be active.
+    engine = session_engine() if engine is None else engine
+    for nodes in node_counts:
+        resolve_engine(engine, int(nodes))  # validate the name eagerly
     return [
         SweepTask(
             key=point_key(model, system, bandwidth_gbps, nodes),
@@ -119,7 +125,8 @@ def curve_tasks(model: ModelSpec, system: SystemConfig,
             kwargs={"bandwidth_gbps": bandwidth_gbps,
                     "batch_size": batch_size,
                     "base_cluster": base_cluster,
-                    "workload": workload},
+                    "workload": workload,
+                    "engine": engine},
         )
         for nodes in node_counts
     ]
@@ -148,11 +155,12 @@ def scaling_curve(model: ModelSpec, system: SystemConfig,
                   bandwidth_gbps: float = 40.0,
                   batch_size: Optional[int] = None,
                   base_cluster: Optional[ClusterConfig] = None,
-                  jobs: Optional[int] = None) -> ScalingCurve:
+                  jobs: Optional[int] = None,
+                  engine: Optional[str] = None) -> ScalingCurve:
     """Simulate ``system`` training ``model`` across ``node_counts``."""
     tasks = curve_tasks(model, system, node_counts,
                         bandwidth_gbps=bandwidth_gbps, batch_size=batch_size,
-                        base_cluster=base_cluster)
+                        base_cluster=base_cluster, engine=engine)
     results = run_sweep(tasks, jobs=jobs)
     return curve_from_results(model, system, node_counts, bandwidth_gbps,
                               results)
@@ -162,7 +170,8 @@ def bandwidth_sweep(model: ModelSpec, system: SystemConfig,
                     bandwidths_gbps: Sequence[float],
                     node_counts: Sequence[int] = (1, 2, 4, 8, 16),
                     batch_size: Optional[int] = None,
-                    jobs: Optional[int] = None) -> Dict[float, ScalingCurve]:
+                    jobs: Optional[int] = None,
+                    engine: Optional[str] = None) -> Dict[float, ScalingCurve]:
     """Scaling curves of one system at several Ethernet bandwidths (Figure 8).
 
     All (bandwidth, nodes) configurations run in a single flat sweep.
@@ -172,7 +181,7 @@ def bandwidth_sweep(model: ModelSpec, system: SystemConfig,
         for bandwidth in bandwidths_gbps
         for task in curve_tasks(model, system, node_counts,
                                 bandwidth_gbps=bandwidth,
-                                batch_size=batch_size)
+                                batch_size=batch_size, engine=engine)
     ]
     results = run_sweep(tasks, jobs=jobs)
     return {
@@ -186,7 +195,8 @@ def compare_systems(model: ModelSpec, systems: Sequence[SystemConfig],
                     node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
                     bandwidth_gbps: float = 40.0,
                     batch_size: Optional[int] = None,
-                    jobs: Optional[int] = None) -> Dict[str, ScalingCurve]:
+                    jobs: Optional[int] = None,
+                    engine: Optional[str] = None) -> Dict[str, ScalingCurve]:
     """Scaling curves for several systems on the same model (Figures 5/6).
 
     All (system, nodes) configurations run in a single flat sweep.
@@ -196,7 +206,7 @@ def compare_systems(model: ModelSpec, systems: Sequence[SystemConfig],
         for system in systems
         for task in curve_tasks(model, system, node_counts,
                                 bandwidth_gbps=bandwidth_gbps,
-                                batch_size=batch_size)
+                                batch_size=batch_size, engine=engine)
     ]
     results = run_sweep(tasks, jobs=jobs)
     return {

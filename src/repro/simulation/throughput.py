@@ -340,9 +340,27 @@ class IterationSimulator:
 
 def simulate_system(model: ModelSpec, system: SystemConfig, cluster: ClusterConfig,
                     batch_size: Optional[int] = None,
-                    workload: Optional[IterationWorkload] = None) -> SimulationResult:
-    """Simulate one iteration of ``system`` training ``model`` on ``cluster``."""
+                    workload: Optional[IterationWorkload] = None,
+                    engine: Optional[str] = None) -> SimulationResult:
+    """Simulate one iteration of ``system`` training ``model`` on ``cluster``.
+
+    ``engine`` selects the evaluation strategy: ``"des"`` (the event-driven
+    simulator, the default), ``"fluid"`` (the closed-form analytic engine
+    of :mod:`repro.simulation.fluid`), or ``"auto"`` (fluid at or above
+    ``fluid.FLUID_NODE_THRESHOLD`` workers, DES below).  ``None`` defers to
+    the session default (:func:`repro.simulation.fluid.use_engine`).
+
+    Raises:
+        ConfigurationError: on an unrecognised engine name.
+    """
+    # Imported lazily: fluid imports this module for decide_schemes and
+    # the result type.
+    from repro.simulation import fluid as fluid_mod
+
+    resolved = fluid_mod.resolve_engine(engine, cluster.num_workers)
     workload = workload or build_workload(model, batch_size=batch_size,
                                           gpu=cluster.gpu)
+    if resolved == "fluid":
+        return fluid_mod.FluidSimulator(workload, cluster, system).run()
     simulator = IterationSimulator(workload, cluster, system)
     return simulator.run()
