@@ -3,7 +3,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism \
-	scale-smoke \
+	scale-smoke async-smoke \
 	examples-smoke docs-check
 
 ## tier-1 test suite
@@ -30,6 +30,15 @@ scale-smoke:
 	timeout 10 env PYTHONPATH=src python -m repro.experiments.runner \
 		--quick --jobs 1 fig_scale > /dev/null
 	@echo "1k-node fluid sweep finished inside the 10s budget"
+
+## beyond-BSP smoke: policy tests, then the fig_async sweep with its two
+## structural invariants checked (monotone staleness frontier, 1/H traffic)
+async-smoke:
+	$(PYTEST) tests/test_policy.py -q
+	PYTHONPATH=src python -m repro.experiments.runner --quick --jobs 1 \
+		fig_async > /tmp/fig_async_smoke.txt
+	@grep -q "Beyond-BSP frontier" /tmp/fig_async_smoke.txt
+	@echo "fig_async smoke report rendered"
 
 ## run all four examples/ scripts at reduced sizes (CI smoke)
 examples-smoke:

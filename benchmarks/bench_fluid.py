@@ -68,6 +68,9 @@ def test_fluid_sweep_10k(benchmark):
     assert len(curves) == len(SYSTEMS)
     assert all(curve.shape == (len(SWEEP_BANDWIDTHS),) for curve in curves)
     # The PR's stated budget: interactive what-if means the whole sweep
-    # lands in well under a second of wall-clock.
-    assert benchmark.stats.stats.mean < 1.0
+    # lands in well under a second of wall-clock.  stats is None under
+    # --benchmark-disable (the bench-smoke CI job), where only the
+    # shape assertions above apply.
+    if benchmark.stats is not None:
+        assert benchmark.stats.stats.mean < 1.0
     benchmark.extra_info["points"] = len(SYSTEMS) * len(SWEEP_BANDWIDTHS)

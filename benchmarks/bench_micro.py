@@ -141,6 +141,62 @@ def test_workload_derivation(benchmark, model):
     assert workload.num_units > 5
 
 
+def _trainer_run(policy):
+    from repro.config import TrainingConfig
+    from repro.data import make_linearly_separable, shard_dataset
+    from repro.nn.model_zoo import build_mlp_network
+    from repro.parallel import DistributedTrainer
+
+    train_x, train_y, _, _ = make_linearly_separable(
+        num_train=96, num_test=8, input_dim=16, num_classes=4, seed=1)
+    shards = shard_dataset(train_x, train_y, 3, seed=2)
+    config = TrainingConfig(batch_size=8, learning_rate=0.05, iterations=4,
+                            seed=5)
+
+    def factory():
+        return build_mlp_network(input_dim=16, hidden_dims=(32, 16),
+                                 num_classes=4, seed=21)
+
+    trainer = DistributedTrainer(factory, 3, shards, config, mode="ps",
+                                 deterministic=True, policy=policy)
+    return trainer.train(4).final_loss
+
+
+def test_trainer_iteration_bsp(benchmark):
+    """4 deterministic BSP iterations, 3 workers: the barrier reference.
+
+    Pairs with test_trainer_iteration_ssp_clock below: the two share the
+    exact setup and differ only in the synchronization gate, so their
+    ratio is the cost of the per-worker-clock machinery relative to the
+    plain barrier path (gated < 5% in benchmarks/baseline.json).
+    """
+    assert benchmark(_trainer_run, "bsp") > 0
+
+
+def test_trainer_iteration_ssp_clock(benchmark):
+    """Same run under ssp(4): SSPClock advance + staleness gate per step."""
+    assert benchmark(_trainer_run, "ssp-4") > 0
+
+
+def test_ssp_clock_advance_rate(benchmark):
+    """Raw advance()/gate throughput of the SSP clock, 4 workers round-robin.
+
+    Round-robin order keeps every worker within one clock of the minimum,
+    so no advance ever blocks: the number isolates the bookkeeping cost
+    (lock + dict bump + bound check) on the trainer's per-step hot path.
+    """
+    from repro.core.staleness import SSPClock
+
+    def rounds():
+        clock = SSPClock(4, staleness=2, default_timeout=1.0)
+        for _ in range(500):
+            for worker in range(4):
+                clock.advance(worker)
+        return clock.min_clock()
+
+    assert benchmark(rounds) == 500
+
+
 def test_backend_dispatch(benchmark):
     """Registry resolution + Algorithm-1 cost evaluation per layer.
 

@@ -1,0 +1,114 @@
+"""Periodic parameter averaging -- the wire substrate of local SGD.
+
+Local SGD workers take ``H`` purely local optimizer steps, then rendezvous
+to average their *parameters* (not gradients) across the cluster.  The
+:class:`ParameterAverager` is that rendezvous: a BSP-style board keyed by
+(layer, round) where every worker deposits its parameter arrays and blocks
+until the worker-id-ordered mean is available.
+
+Averaging rounds happen every ``H``-th iteration, so wire traffic drops by
+``H``x versus per-iteration gradient sync -- the byte accounting in
+:class:`repro.core.syncer.LocalSGDSyncer` reflects exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CommunicationError
+
+#: A layer's parameters: parameter name -> array.
+ArrayDict = Dict[str, np.ndarray]
+
+
+class _Round:
+    """One (layer, round) averaging rendezvous."""
+
+    __slots__ = ("contributions", "result", "readers")
+
+    def __init__(self) -> None:
+        self.contributions: Dict[int, ArrayDict] = {}
+        self.result: Optional[ArrayDict] = None
+        self.readers = 0
+
+
+class ParameterAverager:
+    """All-worker parameter averaging board, deterministic by construction.
+
+    Contributions are buffered per worker id and reduced in ascending
+    worker-id order once all ``num_workers`` have arrived (floating-point
+    addition is not associative; a fixed reduction order keeps consecutive
+    runs bit-identical regardless of thread scheduling).  The averaged
+    result is shared read-only between all workers of the round and the
+    round's state is garbage-collected once every worker has read it.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise CommunicationError(
+                f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self._rounds: Dict[Tuple[str, int], _Round] = {}
+        self._condition = threading.Condition()
+
+    def average(self, worker_id: int, layer: str, round_index: int,
+                params: ArrayDict,
+                timeout: Optional[float] = 60.0) -> ArrayDict:
+        """Deposit one worker's parameters; block for the cluster mean.
+
+        Args:
+            worker_id: contributing worker (each may contribute once per
+                round).
+            layer: layer name keying the board.
+            round_index: averaging round (monotonic per layer).
+            params: the worker's current parameter arrays (buffered by
+                reference; the worker blocks here until the mean is built,
+                so the arrays are not mutated concurrently).
+            timeout: deadlock guard for the all-worker wait.
+
+        Returns:
+            The worker-id-ordered mean of all contributions, shared
+            read-only across workers -- install via a copying setter such
+            as ``Layer.set_params`` and never mutate it.
+        """
+        key = (layer, int(round_index))
+        with self._condition:
+            board = self._rounds.get(key)
+            if board is None:
+                board = self._rounds[key] = _Round()
+            if worker_id in board.contributions:
+                raise CommunicationError(
+                    f"layer {layer!r} round {round_index}: worker "
+                    f"{worker_id} contributed twice")
+            board.contributions[worker_id] = params
+            if len(board.contributions) == self.num_workers:
+                board.result = self._reduce(board.contributions)
+                self._condition.notify_all()
+            elif not self._condition.wait_for(
+                    lambda: board.result is not None, timeout=timeout):
+                raise CommunicationError(
+                    f"parameter averaging of layer {layer!r} round "
+                    f"{round_index} timed out with "
+                    f"{len(board.contributions)}/{self.num_workers} workers")
+            result = board.result
+            board.readers += 1
+            if board.readers == self.num_workers:
+                del self._rounds[key]
+        return result
+
+    def _reduce(self, contributions: Dict[int, ArrayDict]) -> ArrayDict:
+        """Mean of the contributions, folded in ascending worker-id order."""
+        order = sorted(contributions)
+        total = {key: value.copy()
+                 for key, value in contributions[order[0]].items()}
+        for worker_id in order[1:]:
+            for key, value in contributions[worker_id].items():
+                np.add(total[key], value, out=total[key], casting="unsafe")
+        for value in total.values():
+            if np.issubdtype(value.dtype, np.floating):
+                value /= float(self.num_workers)
+            value.setflags(write=False)
+        return total

@@ -44,6 +44,7 @@ from repro.core.cost_model import (
     ps_combined_cost,
     sfb_worker_cost,
 )
+from repro.core.policy import BSP, SyncPolicy
 from repro.engines.base import Partitioning
 from repro.exceptions import ConfigurationError
 
@@ -67,6 +68,14 @@ class TrainerContext:
             from every substrate that aggregates floating point.
         optimizer_factory: builds one fresh optimiser instance per call; used
             by substrates that hold the authoritative parameter copy.
+        policy: the execution-semantics policy the trainer runs under; BSP
+            by default.  Substrates consult it to pick their consistency
+            mode (e.g. the PS applies pushes on arrival for relaxed
+            policies) and :meth:`CommBackend.create_syncer` uses it to
+            route local-SGD parameter averaging.
+        averager: shared :class:`~repro.comm.averaging.ParameterAverager`
+            for local-SGD policies (``None`` otherwise).
+        sync_timeout: deadlock guard plumbed into policy-driven waits.
     """
 
     num_workers: int
@@ -75,6 +84,9 @@ class TrainerContext:
     aggregation: str = "mean"
     deterministic: bool = False
     optimizer_factory: Optional[Callable[[], Any]] = None
+    policy: SyncPolicy = BSP
+    averager: Any = None
+    sync_timeout: Optional[float] = 60.0
 
     def make_optimizer(self) -> Any:
         if self.optimizer_factory is None:
@@ -143,6 +155,14 @@ class CommBackend(abc.ABC):
         hybrid_rank: tie-break for equal Algorithm-1 costs -- lower wins,
             which keeps the paper's "SFB on ties" rule.
         compression: payload shrink factor on dense PS-style transfers.
+        sync_semantics: execution-semantics capability declaration -- the
+            :class:`~repro.core.policy.SyncPolicy` kinds this substrate can
+            run.  Every backend supports ``bsp`` and ``local_sgd``
+            (parameter averaging rides any substrate); only backends whose
+            substrate tolerates workers running ahead of each other declare
+            ``ssp``/``async`` (the PS family does, the collective schemes'
+            all-worker rendezvous are inherent barriers).  Degenerate
+            policies (ssp(0), local_sgd(1)) validate as ``bsp``.
     """
 
     scheme: ClassVar[CommScheme]
@@ -151,6 +171,7 @@ class CommBackend(abc.ABC):
     topology_candidate: ClassVar[bool] = False
     hybrid_rank: ClassVar[int] = 0
     compression: ClassVar[float] = 1.0
+    sync_semantics: ClassVar[Tuple[str, ...]] = ("bsp", "local_sgd")
     flow_plan: ClassVar[FlowPlan]
 
     @property
@@ -227,8 +248,54 @@ class CommBackend(abc.ABC):
 
     @abc.abstractmethod
     def make_syncer(self, layer: Any, substrate: Any,
-                    resources: WorkerResources, ctx: TrainerContext) -> Any:
-        """Build the per-layer syncer one worker uses for ``layer``."""
+                    resources: WorkerResources, ctx: TrainerContext,
+                    policy: Optional[SyncPolicy] = None) -> Any:
+        """Build the per-layer syncer one worker uses for ``layer``.
+
+        ``policy`` defaults to ``ctx.policy``; implementations forward it
+        into the :class:`~repro.core.syncer.Syncer` so pulls and gates
+        follow the trainer's execution semantics.
+        """
+
+    def supports_policy(self, policy: SyncPolicy) -> bool:
+        """Whether this substrate can run under ``policy``.
+
+        Degenerate policies (ssp(0), local_sgd(1)) are BSP by construction
+        and validate against the ``bsp`` capability.
+        """
+        kind = "bsp" if policy.is_bsp_equivalent else policy.kind
+        return kind in self.sync_semantics
+
+    def create_syncer(self, layer: Any, substrate: Any,
+                      resources: WorkerResources, ctx: TrainerContext,
+                      policy: Optional[SyncPolicy] = None) -> Any:
+        """Policy-aware syncer factory: the trainer's single entry point.
+
+        Validates the policy against :attr:`sync_semantics`, routes
+        parameter-averaging policies (local SGD with H > 1) to the
+        substrate-agnostic :class:`~repro.core.syncer.LocalSGDSyncer`, and
+        otherwise delegates to the backend's :meth:`make_syncer`.
+        """
+        policy = ctx.policy if policy is None else policy
+        if not self.supports_policy(policy):
+            raise ConfigurationError(
+                f"backend {self.name!r} cannot run under policy {policy} "
+                f"(supported semantics: {self.sync_semantics})"
+            )
+        if policy.averages_parameters:
+            from repro.core.syncer import LocalSGDSyncer
+            if ctx.averager is None:
+                raise ConfigurationError(
+                    f"policy {policy} needs a ParameterAverager in the "
+                    f"TrainerContext"
+                )
+            return LocalSGDSyncer(resources.worker_id, layer, self.scheme,
+                                  averager=ctx.averager,
+                                  local_optimizer=resources.local_optimizer,
+                                  policy=policy,
+                                  sync_timeout=ctx.sync_timeout)
+        return self.make_syncer(layer, substrate, resources, ctx,
+                                policy=policy)
 
 
 def reduce_in_worker_order(contributions: Dict[int, ArrayDict],
@@ -517,6 +584,9 @@ class PSBackend(CommBackend):
     scheme = CommScheme.PS
     hybrid_candidate = True
     hybrid_rank = 1  # PS loses Algorithm-1 ties to SFB
+    # The server can apply pushes on arrival, so workers may legitimately
+    # run ahead of each other: the full consistency spectrum is available.
+    sync_semantics = ("bsp", "ssp", "async", "local_sgd")
     flow_plan = PSFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
@@ -529,15 +599,20 @@ class PSBackend(CommBackend):
 
     def build_substrate(self, initial_layers, ctx):
         from repro.comm.parameter_server import ShardedParameterServer
+        # Relaxed-consistency policies (ssp s>0, async) apply each push on
+        # arrival instead of waiting for the all-worker rendezvous.
+        updates = 1 if ctx.policy.relaxed_consistency else None
         return ShardedParameterServer(
             initial_layers, ctx.num_workers, optimizer=ctx.make_optimizer(),
             aggregation=ctx.aggregation, ordered=ctx.deterministic,
+            updates_per_version=updates,
         )
 
-    def make_syncer(self, layer, substrate, resources, ctx):
+    def make_syncer(self, layer, substrate, resources, ctx, policy=None):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, ps=substrate,
-                      aggregation=ctx.aggregation)
+                      aggregation=ctx.aggregation,
+                      policy=ctx.policy if policy is None else policy)
 
 
 class OneBitBackend(PSBackend):
@@ -556,10 +631,11 @@ class OneBitBackend(PSBackend):
         return self._topology_cost(flat, m, n, num_workers, num_servers,
                                    batch_size, topology)
 
-    def make_syncer(self, layer, substrate, resources, ctx):
+    def make_syncer(self, layer, substrate, resources, ctx, policy=None):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, ps=substrate,
-                      quantizer=resources.quantizer, aggregation=ctx.aggregation)
+                      quantizer=resources.quantizer, aggregation=ctx.aggregation,
+                      policy=ctx.policy if policy is None else policy)
 
 
 class SFBBackend(CommBackend):
@@ -583,11 +659,12 @@ class SFBBackend(CommBackend):
         from repro.comm.sfb import SufficientFactorBroadcaster
         return SufficientFactorBroadcaster(ctx.num_workers)
 
-    def make_syncer(self, layer, substrate, resources, ctx):
+    def make_syncer(self, layer, substrate, resources, ctx, policy=None):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, sfb=substrate,
                       local_optimizer=resources.local_optimizer,
-                      aggregation=ctx.aggregation)
+                      aggregation=ctx.aggregation,
+                      policy=ctx.policy if policy is None else policy)
 
 
 class AdamBackend(CommBackend):
@@ -618,10 +695,11 @@ class AdamBackend(CommBackend):
             aggregation=ctx.aggregation, ordered=ctx.deterministic,
         )
 
-    def make_syncer(self, layer, substrate, resources, ctx):
+    def make_syncer(self, layer, substrate, resources, ctx, policy=None):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, adam=substrate,
-                      aggregation=ctx.aggregation)
+                      aggregation=ctx.aggregation,
+                      policy=ctx.policy if policy is None else policy)
 
 
 PS_BACKEND = register_backend(PSBackend())

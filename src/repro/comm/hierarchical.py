@@ -152,10 +152,10 @@ class HierPSSyncer(Syncer):
     """Per-layer syncer pushing through the rack tree, pulling the root."""
 
     def __init__(self, worker_id: int, layer, hier: HierarchicalParameterServer,
-                 aggregation: str = "mean"):
+                 aggregation: str = "mean", policy=None):
         self.hier = hier
         super().__init__(worker_id, layer, CommScheme.HIERPS,
-                         aggregation=aggregation)
+                         aggregation=aggregation, policy=policy)
 
     def _validate_backends(self) -> None:
         if self.hier is None:
@@ -315,9 +315,10 @@ class HierPSBackend(CommBackend):
         )
 
     def make_syncer(self, layer, substrate, resources: WorkerResources,
-                    ctx: TrainerContext):
+                    ctx: TrainerContext, policy=None):
         return HierPSSyncer(resources.worker_id, layer, substrate,
-                            aggregation=ctx.aggregation)
+                            aggregation=ctx.aggregation,
+                            policy=ctx.policy if policy is None else policy)
 
 
 HIERPS_BACKEND = register_backend(HierPSBackend())

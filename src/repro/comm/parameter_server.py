@@ -68,18 +68,31 @@ class ShardedParameterServer:
             pushes first (floating-point addition is not associative).
             Arrival-order in-place accumulation (the default) avoids the
             buffering but lets thread scheduling perturb the last bits.
+        updates_per_version: pushes that trigger one optimiser step and
+            version bump.  ``None`` (the default) means ``num_workers`` --
+            the BSP rendezvous.  Relaxed-consistency policies (SSP with
+            s > 0, fully async) pass 1 so each worker's update is applied
+            as it arrives; the double-push guard is disabled since workers
+            legitimately run ahead of each other.
     """
 
     def __init__(self, initial_params: Dict[str, ArrayDict], num_workers: int,
                  optimizer: Optional[SGD] = None, aggregation: str = "mean",
-                 ordered: bool = False):
+                 ordered: bool = False,
+                 updates_per_version: Optional[int] = None):
         if num_workers < 1:
             raise CommunicationError(f"num_workers must be >= 1, got {num_workers}")
         if aggregation not in ("mean", "sum"):
             raise CommunicationError(
                 f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
             )
+        if updates_per_version is not None and updates_per_version < 1:
+            raise CommunicationError(
+                f"updates_per_version must be >= 1, got {updates_per_version}")
         self.num_workers = int(num_workers)
+        self.updates_per_version = (int(num_workers)
+                                    if updates_per_version is None
+                                    else int(updates_per_version))
         self.aggregation = aggregation
         self.ordered = bool(ordered)
         self.optimizer = optimizer or SGD(learning_rate=0.01)
@@ -138,12 +151,13 @@ class ShardedParameterServer:
                         f"layer {layer!r} parameter {key!r}: gradient shape "
                         f"{grad.shape} does not match parameter {slot.params[key].shape}"
                     )
-            if slot.pushes >= self.num_workers:
+            if slot.pushes >= self.updates_per_version:
                 raise CommunicationError(
                     f"layer {layer!r} received {slot.pushes + 1} pushes for "
-                    f"{self.num_workers} workers; a worker pushed twice in one iteration"
+                    f"{self.updates_per_version} expected per version; "
+                    f"a worker pushed twice in one iteration"
                 )
-            if self.ordered:
+            if self.ordered and self.updates_per_version == self.num_workers:
                 if worker_id in slot.contributions:
                     raise CommunicationError(
                         f"layer {layer!r}: worker {worker_id} pushed twice in "
@@ -162,8 +176,8 @@ class ShardedParameterServer:
                         np.copyto(acc, grad, casting="unsafe")
                         slot.touched.add(key)
             slot.pushes += 1
-            if slot.pushes == self.num_workers:
-                if self.ordered:
+            if slot.pushes == self.updates_per_version:
+                if slot.contributions:
                     self._reduce_ordered_locked(slot)
                 self._apply_locked(layer, slot)
         self.meter.record(push_bytes, "received", tag=f"push:{layer}")

@@ -145,10 +145,11 @@ class RingSyncer(Syncer):
     """
 
     def __init__(self, worker_id: int, layer, ring: RingAllReducer,
-                 local_optimizer, aggregation: str = "mean"):
+                 local_optimizer, aggregation: str = "mean", policy=None):
         self.ring = ring
         super().__init__(worker_id, layer, CommScheme.RING,
-                         local_optimizer=local_optimizer, aggregation=aggregation)
+                         local_optimizer=local_optimizer, aggregation=aggregation,
+                         policy=policy)
 
     def _validate_backends(self) -> None:
         if self.ring is None or self.local_optimizer is None:
@@ -240,9 +241,10 @@ class RingBackend(CommBackend):
         return RingAllReducer(ctx.num_workers)
 
     def make_syncer(self, layer, substrate, resources: WorkerResources,
-                    ctx: TrainerContext):
+                    ctx: TrainerContext, policy=None):
         return RingSyncer(resources.worker_id, layer, substrate,
-                          resources.local_optimizer, aggregation=ctx.aggregation)
+                          resources.local_optimizer, aggregation=ctx.aggregation,
+                          policy=ctx.policy if policy is None else policy)
 
 
 RING_BACKEND = register_backend(RingBackend())

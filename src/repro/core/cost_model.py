@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 from repro import units
 from repro.config import ClusterConfig
+from repro.core.policy import SyncPolicy
 from repro.exceptions import ConfigurationError
 from repro.nn.spec import LayerKind, LayerSpec
 
@@ -258,11 +259,18 @@ class CostModel:
     exactly.
     """
 
-    def __init__(self, cluster: ClusterConfig, batch_size: int):
+    def __init__(self, cluster: ClusterConfig, batch_size: int,
+                 policy=None):
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.cluster = cluster
         self.batch_size = int(batch_size)
+        #: Execution semantics the costs are amortized under.  Per-iteration
+        #: comm terms scale by the policy's effective sync frequency (1/H
+        #: for local SGD), so scheme rankings and byte budgets reflect what
+        #: actually crosses the wire per training step.  The default (BSP)
+        #: reproduces Table 1 exactly.
+        self.policy: SyncPolicy = SyncPolicy.parse(policy)
         # None on flat clusters (the convention decide_schemes also uses):
         # backends are only handed a topology that actually carries a
         # premium, so Table-1-signature cost models keep working anywhere
@@ -271,12 +279,23 @@ class CostModel:
         self.topology: Optional[NetworkTopology] = (
             None if topology.is_flat else topology)
 
+    def _sync_frequency(self, policy) -> float:
+        """Effective syncs per iteration of ``policy`` (or the model's own)."""
+        resolved = self.policy if policy is None else SyncPolicy.parse(policy)
+        return resolved.sync_frequency
+
     # -- per-layer ------------------------------------------------------------
-    def estimate_layer(self, layer: LayerSpec) -> LayerCostEstimate:
-        """Cost estimates (parameter counts) of one layer under all strategies."""
+    def estimate_layer(self, layer: LayerSpec,
+                       policy=None) -> LayerCostEstimate:
+        """Cost estimates (parameter counts) of one layer under all strategies.
+
+        ``policy`` overrides the model's execution semantics for this query;
+        local SGD scales every term by its ``1/H`` sync frequency.
+        """
         p1 = self.cluster.num_workers
         p2 = self.cluster.num_servers
         k = self.batch_size
+        freq = self._sync_frequency(policy)
         if layer.kind is LayerKind.FC:
             m, n = layer.fc_dims
         else:
@@ -286,31 +305,40 @@ class CostModel:
             m, n = 1, max(layer.param_count, 1)
         estimate = LayerCostEstimate(
             layer=layer.name,
-            ps_worker=ps_worker_cost(m, n),
-            ps_server=ps_server_cost(m, n, p1, p2),
-            ps_server_and_worker=ps_combined_cost(m, n, p1, p2),
+            ps_worker=freq * ps_worker_cost(m, n),
+            ps_server=freq * ps_server_cost(m, n, p1, p2),
+            ps_server_and_worker=freq * ps_combined_cost(m, n, p1, p2),
             sfb_worker=(
-                sfb_worker_cost(m, n, k, p1) if layer.sf_decomposable else None
+                freq * sfb_worker_cost(m, n, k, p1)
+                if layer.sf_decomposable else None
             ),
             adam_server_max=(
-                adam_server_cost(m, n, k, p1) if layer.sf_decomposable else None
+                freq * adam_server_cost(m, n, k, p1)
+                if layer.sf_decomposable else None
             ),
             adam_worker=(
-                adam_worker_cost(m, n, k) if layer.sf_decomposable else None
+                freq * adam_worker_cost(m, n, k)
+                if layer.sf_decomposable else None
             ),
             adam_server_and_worker=(
-                adam_combined_cost(m, n, k, p1) if layer.sf_decomposable else None
+                freq * adam_combined_cost(m, n, k, p1)
+                if layer.sf_decomposable else None
             ),
         )
         return estimate
 
-    def best_scheme(self, layer: LayerSpec) -> CommScheme:
+    def best_scheme(self, layer: LayerSpec, policy=None) -> CommScheme:
         """Algorithm 1: the cheapest hybrid-candidate backend for ``layer``.
 
         On a rack-oversubscribed cluster the comparison is topology-aware:
         costs carry the cross-rack premium and the topology-candidate
         backends (ring all-reduce, hierarchical PS) join the choice.
+
+        The sync-frequency factor of ``policy`` multiplies every candidate
+        alike, so the ranking itself is policy-invariant; the parameter is
+        accepted for interface symmetry with the cost queries.
         """
+        del policy  # uniform scale: cannot change the argmin
         # Imported lazily: repro.comm.backend depends on this module's
         # Table-1 formulas, so a module-level import would be circular.
         from repro.comm.backend import hybrid_choice
@@ -323,11 +351,14 @@ class CostModel:
                              sf_eligible=True, topology=self.topology)
 
     # -- bytes-on-the-wire helpers ----------------------------------------------
-    def scheme_cost_params(self, layer: LayerSpec, scheme: CommScheme) -> float:
+    def scheme_cost_params(self, layer: LayerSpec, scheme: CommScheme,
+                           policy=None) -> float:
         """Parameter count a combined server/worker node moves for ``layer``.
 
         Topology-aware: on an oversubscribed cluster the value includes the
-        scheme's cross-rack premium (see :class:`NetworkTopology`).
+        scheme's cross-rack premium (see :class:`NetworkTopology`).  Under a
+        local-SGD ``policy`` the per-iteration amount shrinks by the sync
+        frequency ``1/H``.
         """
         from repro.comm.backend import get_backend
 
@@ -341,13 +372,17 @@ class CostModel:
             m, n = layer.fc_dims
         else:
             m, n = 1, max(layer.param_count, 1)
+        freq = self._sync_frequency(policy)
         if self.topology is None:
-            return backend.cost(m, n, self.cluster.num_workers,
-                                self.cluster.num_servers, self.batch_size)
-        return backend.cost(m, n, self.cluster.num_workers,
-                            self.cluster.num_servers, self.batch_size,
-                            topology=self.topology)
+            return freq * backend.cost(m, n, self.cluster.num_workers,
+                                       self.cluster.num_servers,
+                                       self.batch_size)
+        return freq * backend.cost(m, n, self.cluster.num_workers,
+                                   self.cluster.num_servers, self.batch_size,
+                                   topology=self.topology)
 
-    def scheme_cost_bytes(self, layer: LayerSpec, scheme: CommScheme) -> float:
+    def scheme_cost_bytes(self, layer: LayerSpec, scheme: CommScheme,
+                          policy=None) -> float:
         """Same as :meth:`scheme_cost_params` but in bytes."""
-        return self.scheme_cost_params(layer, scheme) * units.FLOAT32_BYTES
+        return (self.scheme_cost_params(layer, scheme, policy=policy)
+                * units.FLOAT32_BYTES)

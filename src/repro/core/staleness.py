@@ -21,17 +21,34 @@ from typing import Dict, List, Optional
 
 from repro.exceptions import TrainingError
 
+#: Sentinel distinguishing "no timeout given" from an explicit ``None``
+#: (= wait forever) in :meth:`SSPClock.advance`.
+_USE_DEFAULT: Optional[float] = object()  # type: ignore[assignment]
+
 
 class SSPClock:
-    """A stale-synchronous-parallel clock shared by all workers."""
+    """A stale-synchronous-parallel clock shared by all workers.
 
-    def __init__(self, num_workers: int, staleness: int = 0):
+    Args:
+        num_workers: workers sharing the clock.
+        staleness: SSP bound ``s``; ``None`` disables the bound entirely
+            (fully asynchronous -- ``advance`` never blocks).
+        default_timeout: straggler guard used by :meth:`advance` when the
+            caller passes no explicit timeout.  The trainer plumbs its
+            ``sync_timeout`` here so a slow worker fails with the same
+            deadline as every other wait in the system (historically this
+            was hardcoded to 60 s regardless of the trainer setting).
+    """
+
+    def __init__(self, num_workers: int, staleness: Optional[int] = 0,
+                 default_timeout: Optional[float] = 60.0):
         if num_workers < 1:
             raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
-        if staleness < 0:
+        if staleness is not None and staleness < 0:
             raise TrainingError(f"staleness must be >= 0, got {staleness}")
         self.num_workers = int(num_workers)
-        self.staleness = int(staleness)
+        self.staleness = None if staleness is None else int(staleness)
+        self.default_timeout = default_timeout
         self._clocks: List[int] = [0] * self.num_workers
         self._condition = threading.Condition()
 
@@ -59,20 +76,30 @@ class SSPClock:
             return dict(enumerate(self._clocks))
 
     # -- protocol -------------------------------------------------------------------
-    def advance(self, worker_id: int, timeout: Optional[float] = 60.0) -> int:
+    def advance(self, worker_id: int,
+                timeout: Optional[float] = _USE_DEFAULT) -> int:
         """Finish one iteration: bump the worker's clock, then enforce the bound.
 
         Blocks while the worker is more than ``staleness`` clocks ahead of the
-        slowest worker.  Returns the worker's new clock value.
+        slowest worker (never, when the bound is ``None``).  Returns the
+        worker's new clock value.
+
+        Args:
+            timeout: straggler guard; omitted, the clock's
+                ``default_timeout`` applies (``None`` waits forever).
 
         Raises:
-            TrainingError: if the wait exceeds ``timeout`` (straggler guard).
+            TrainingError: if the wait exceeds the timeout.
         """
         self._check_worker(worker_id)
+        if timeout is _USE_DEFAULT:
+            timeout = self.default_timeout
         with self._condition:
             self._clocks[worker_id] += 1
             new_clock = self._clocks[worker_id]
             self._condition.notify_all()
+            if self.staleness is None:
+                return new_clock
 
             def _within_bound() -> bool:
                 return new_clock - min(self._clocks) <= self.staleness
@@ -88,6 +115,8 @@ class SSPClock:
     def can_proceed(self, worker_id: int) -> bool:
         """Whether the worker could start its next iteration without blocking."""
         self._check_worker(worker_id)
+        if self.staleness is None:
+            return True
         with self._condition:
             return (self._clocks[worker_id] + 1 - min(self._clocks)) <= self.staleness \
                 or self._clocks[worker_id] == min(self._clocks)

@@ -20,10 +20,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.comm.adam import AdamSFServer
+from repro.comm.averaging import ParameterAverager
 from repro.comm.parameter_server import ShardedParameterServer
 from repro.comm.quantization import OneBitQuantizer, dequantize_dict, quantized_nbytes
 from repro.comm.sfb import SufficientFactorBroadcaster
 from repro.core.cost_model import CommScheme
+from repro.core.policy import BSP, SyncPolicy
 from repro.exceptions import TrainingError
 from repro.nn.layers.base import Layer
 from repro.nn.layers.dense import Dense
@@ -54,7 +56,8 @@ class Syncer:
                  adam: Optional[AdamSFServer] = None,
                  local_optimizer: Optional[SGD] = None,
                  quantizer: Optional[OneBitQuantizer] = None,
-                 aggregation: str = "mean"):
+                 aggregation: str = "mean",
+                 policy: Optional[SyncPolicy] = None):
         self.worker_id = int(worker_id)
         self.layer = layer
         self.scheme = CommScheme(scheme)
@@ -64,9 +67,32 @@ class Syncer:
         self.local_optimizer = local_optimizer
         self.quantizer = quantizer
         self.aggregation = aggregation
+        self.policy = BSP if policy is None else policy
         self.stats = SyncStats()
         self._staged_grads: Optional[Dict[str, np.ndarray]] = None
         self._validate_backends()
+
+    def ready(self, worker_clock: int, min_clock: int) -> bool:
+        """Staleness gate: may this worker start its next iteration?
+
+        Delegates to the policy's SSP invariant -- a worker at
+        ``worker_clock`` may proceed only while it leads the slowest worker
+        (``min_clock``) by at most the policy's staleness bound.  BSP is the
+        bound-0 case; async always answers True.
+        """
+        return self.policy.ready(worker_clock, min_clock)
+
+    def _pull_min_version(self, iteration: int) -> int:
+        """Server version a pull must wait for under the current policy.
+
+        BSP-like policies demand the version that includes every worker's
+        ``iteration`` contribution.  Relaxed-consistency policies
+        (ssp(s>0), async) apply each push on arrival, so the puller's own
+        update is already in whatever version is current -- no wait.
+        """
+        if self.policy.relaxed_consistency:
+            return 0
+        return iteration + 1
 
     def _validate_backends(self) -> None:
         if self.scheme in (CommScheme.PS, CommScheme.ONEBIT) and self.ps is None:
@@ -147,7 +173,8 @@ class Syncer:
         # copy=False: set_params copies into the layer, so all workers can
         # share the server's per-version read-only snapshot.
         params = self.ps.pull(self.worker_id, self.layer.name,
-                              min_version=iteration + 1, copy=False)
+                              min_version=self._pull_min_version(iteration),
+                              copy=False)
         self.layer.set_params(params)
         self.stats.bytes_sent += sent
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
@@ -161,7 +188,8 @@ class Syncer:
         lossy_grads = dequantize_dict(quantized, dense)
         self.ps.push(self.worker_id, self.layer.name, lossy_grads, nbytes=wire_bytes)
         params = self.ps.pull(self.worker_id, self.layer.name,
-                              min_version=iteration + 1, copy=False)
+                              min_version=self._pull_min_version(iteration),
+                              copy=False)
         self.layer.set_params(params)
         self.stats.bytes_sent += wire_bytes
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
@@ -204,3 +232,64 @@ class Syncer:
         self.layer.set_params(params)
         self.stats.bytes_sent += sent
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
+
+
+class LocalSGDSyncer(Syncer):
+    """Local SGD over any substrate: local steps, periodic parameter averaging.
+
+    Every iteration applies the layer's gradients with the worker-local
+    optimizer (no communication at all); every ``H``-th iteration the
+    workers rendezvous on a :class:`~repro.comm.averaging.ParameterAverager`
+    and replace their parameters with the cluster mean.  Wire traffic is
+    therefore ``1/H`` of per-iteration gradient sync -- the byte counters
+    only move on averaging rounds.
+
+    The ``scheme`` is kept for reporting: it names the substrate whose
+    backend built this syncer (parameter averaging is substrate-agnostic,
+    so any backend can host it).
+    """
+
+    def __init__(self, worker_id: int, layer: Layer, scheme: CommScheme,
+                 averager: ParameterAverager, local_optimizer: SGD,
+                 policy: SyncPolicy,
+                 sync_timeout: Optional[float] = 60.0):
+        self.averager = averager
+        self.sync_timeout = sync_timeout
+        super().__init__(worker_id, layer, scheme,
+                         local_optimizer=local_optimizer, policy=policy)
+
+    def _validate_backends(self) -> None:
+        if self.averager is None:
+            raise TrainingError(
+                f"syncer for {self.layer.name!r}: local SGD needs a "
+                f"parameter averager")
+        if self.local_optimizer is None:
+            raise TrainingError(
+                f"syncer for {self.layer.name!r}: local SGD needs a "
+                f"worker-local optimizer")
+        if self.policy.kind != "local_sgd":
+            raise TrainingError(
+                f"syncer for {self.layer.name!r}: LocalSGDSyncer requires a "
+                f"local_sgd policy, got {self.policy}")
+
+    def _scheme_handler(self):
+        return self._sync_local
+
+    def _sync_local(self, iteration: int) -> None:
+        assert self._staged_grads is not None
+        for key, grad in self._staged_grads.items():
+            self.local_optimizer.apply(
+                f"{self.layer.name}/{key}", self.layer.params[key], grad)
+        period = self.policy.sync_period
+        if (iteration + 1) % period != 0:
+            return
+        round_index = (iteration + 1) // period - 1
+        deposit_bytes = sum(int(p.nbytes) for p in self.layer.params.values())
+        # The averager buffers by reference; this worker blocks inside
+        # average() until the mean exists, so the live arrays are safe.
+        mean = self.averager.average(self.worker_id, self.layer.name,
+                                     round_index, self.layer.params,
+                                     timeout=self.sync_timeout)
+        self.layer.set_params(mean)
+        self.stats.bytes_sent += deposit_bytes
+        self.stats.bytes_received += sum(int(p.nbytes) for p in mean.values())

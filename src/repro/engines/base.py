@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro import units
 from repro.core.wfbp import ScheduleMode
@@ -57,6 +58,11 @@ class SystemConfig:
             which is why its single-node throughput is below plain Caffe).
         host_copy_bandwidth_bps: effective bandwidth of non-overlapped
             staging copies.
+        staleness: execution-semantics axis: SSP staleness bound ``s``
+            (0 = BSP, the default for every paper configuration); ``None``
+            means fully asynchronous (no bound at all).
+        sync_period: local-SGD period ``H`` -- sync traffic every H-th
+            iteration (1 = per-iteration sync, the default).
     """
 
     name: str
@@ -67,6 +73,8 @@ class SystemConfig:
     overlap_pull: bool = True
     overlap_host_copy: bool = True
     host_copy_bandwidth_bps: float = 16 * units.GBIT
+    staleness: Optional[int] = 0
+    sync_period: int = 1
 
     def renamed(self, name: str) -> "SystemConfig":
         """Copy of this system under a different display name."""
@@ -83,3 +91,17 @@ class SystemConfig:
     def with_partitioning(self, partitioning: Partitioning) -> "SystemConfig":
         """Copy of this system using a different PS partitioning."""
         return replace(self, partitioning=partitioning)
+
+    def with_policy(self, policy) -> "SystemConfig":
+        """Copy of this system under a :class:`repro.core.policy.SyncPolicy`.
+
+        Maps the policy onto the simulator's two execution-semantics axes:
+        ``bsp`` -> (0, 1), ``ssp(s)`` -> (s, 1), ``async`` -> (None, 1) and
+        ``local_sgd(H)`` -> (0, H).  Accepts a policy object or any spec
+        string :meth:`SyncPolicy.parse` understands.
+        """
+        from repro.core.policy import SyncPolicy
+
+        parsed = SyncPolicy.parse(policy)
+        return replace(self, staleness=parsed.bound,
+                       sync_period=parsed.sync_period)

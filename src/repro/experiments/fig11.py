@@ -18,7 +18,7 @@ helper reports the simulated throughput speedups of the CNTK-1bit baseline
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import ClusterConfig, TrainingConfig
 from repro.core.wfbp import ScheduleMode
@@ -30,8 +30,15 @@ from repro.nn.model_zoo import (
     build_cifar_quick_small_network,
 )
 from repro.nn.model_zoo import get_model_spec
+from repro.core.policy import SyncPolicy
 from repro.parallel import DistributedTrainer, TrainingHistory
 from repro.simulation.speedup import scaling_curve
+
+#: The paper's Figure 11 pair: exact hybrid sync vs. 1-bit quantization.
+DEFAULT_FIG11_SYSTEMS: Tuple[Tuple[str, str], ...] = (
+    ("Poseidon", "hybrid"),
+    ("Poseidon-1bit", "onebit"),
+)
 
 
 @dataclass
@@ -64,7 +71,9 @@ def run_fig11(iterations: int = 150, num_workers: int = 4, batch_size: int = 16,
               image_size: int = 12, learning_rate: float = 0.1,
               noise_scale: float = 2.0, seed: int = 0,
               full_size_model: bool = False,
-              deterministic: bool = True) -> Fig11Result:
+              deterministic: bool = True,
+              systems: Sequence[Tuple[str, str]] = DEFAULT_FIG11_SYSTEMS,
+              policy: Union[SyncPolicy, str, None] = "bsp") -> Fig11Result:
     """Train the CIFAR-quick model with exact sync and with 1-bit quantization.
 
     The defaults are a deterministic configuration (seed 0) on which the
@@ -92,6 +101,15 @@ def run_fig11(iterations: int = 150, num_workers: int = 4, batch_size: int = 16,
             reduction + fixed syncer-drain order), so consecutive fig11 runs
             -- including the Poseidon-1bit rows, whose error-feedback state
             historically drifted with thread timing -- render identically.
+        systems: the compared runs as ``(label, mode)`` pairs; ``mode`` is
+            any registered backend name (``ring``, ``hierps``, ...), so the
+            harness can put every substrate through the same convergence
+            measurement.  The default is the paper's exact-vs-1-bit pair.
+        policy: synchronization policy applied to every run (``"bsp"``,
+            ``"ssp-2"``, ``"async"``, ``"local-4"``, a
+            :class:`~repro.core.policy.SyncPolicy`, ...), making staleness
+            and sync period convergence axes.  The default (BSP) reproduces
+            the historical figure bit-for-bit.
     """
     dataset = make_cifar10_like(num_train=num_train, num_test=num_test,
                                 image_size=image_size, noise_scale=noise_scale,
@@ -108,7 +126,7 @@ def run_fig11(iterations: int = 150, num_workers: int = 4, batch_size: int = 16,
         return build_cifar_quick_small_network(seed=seed, image_size=image_size)
 
     result = Fig11Result(iterations=iterations, num_workers=num_workers)
-    for label, mode in (("Poseidon", "hybrid"), ("Poseidon-1bit", "onebit")):
+    for label, mode in systems:
         trainer = DistributedTrainer(
             network_factory=factory,
             num_workers=num_workers,
@@ -119,8 +137,34 @@ def run_fig11(iterations: int = 150, num_workers: int = 4, batch_size: int = 16,
             test_data=test_data,
             eval_every=eval_every,
             deterministic=deterministic,
+            policy=policy,
         )
         result.histories[label] = trainer.train(iterations)
+    return result
+
+
+def policy_convergence(mode: str = "ps",
+                       policies: Sequence[str] = ("bsp", "ssp-2", "async",
+                                                  "local-2", "local-4"),
+                       iterations: int = 150,
+                       label: Optional[str] = None,
+                       **kwargs) -> Fig11Result:
+    """Convergence of one backend across synchronization policies.
+
+    Trains the fig11 workload once per policy on the same backend (any
+    registered name) and returns the histories keyed ``"<mode> <policy>"``,
+    so staleness bound and local-SGD period become convergence axes next to
+    the scheme axis.  Extra keyword arguments forward to :func:`run_fig11`.
+    """
+    prefix = mode if label is None else label
+    result = Fig11Result(iterations=iterations,
+                         num_workers=kwargs.get("num_workers", 4))
+    for spec in policies:
+        policy = SyncPolicy.parse(spec)
+        sub = run_fig11(iterations=iterations,
+                        systems=((f"{prefix} {policy}", mode),),
+                        policy=policy, **kwargs)
+        result.histories.update(sub.histories)
     return result
 
 

@@ -1,0 +1,186 @@
+"""Beyond-BSP frontier: throughput vs. staleness per communication backend.
+
+The paper trains under BSP throughout; this experiment maps what the
+execution-semantics axis buys on top of it.  For every backend it sweeps the
+synchronization policy -- BSP, SSP at increasing staleness bounds, fully
+asynchronous, and local SGD at increasing sync periods -- across bandwidths
+and node counts, reusing the :mod:`repro.sweep` parallel runner.  Two
+structural facts should be visible in any engine (DES or fluid):
+
+- throughput is monotone along the staleness axis (a weaker consistency
+  gate can only shorten the critical path), saturating once communication
+  hides entirely under compute;
+- local SGD's per-iteration wire volume scales as ``1/H`` with the sync
+  period, since the substrate only carries traffic every H-th step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policy import SyncPolicy
+from repro.core.wfbp import ScheduleMode
+from repro.engines.base import CommMode, Partitioning, SystemConfig
+from repro.experiments.report import format_series
+from repro.experiments.sweep import sweep_scaling_curves
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.speedup import ScalingCurve
+
+#: Policies swept, in frontier order: the staleness axis (BSP = s 0 up to
+#: fully async), then the local-SGD period axis.
+FIG_ASYNC_POLICIES: Tuple[str, ...] = (
+    "bsp", "ssp-1", "ssp-2", "ssp-4", "async",
+    "local-2", "local-4", "local-8",
+)
+
+#: Backends compared.  The default set covers the three substrate families
+#: (sharded PS, quantized PS, server-free collective); any registered
+#: backend name can be passed instead.
+FIG_ASYNC_SCHEMES: Tuple[Tuple[CommMode, str], ...] = (
+    (CommMode.PS, "PS"),
+    (CommMode.ONEBIT, "1-bit PS"),
+    (CommMode.RING, "Ring-AllReduce"),
+)
+
+#: Bandwidths swept (GbE): a constrained link where relaxed consistency
+#: pays, and a comfortable one where everything saturates.
+FIG_ASYNC_BANDWIDTHS: Tuple[float, ...] = (1.0, 10.0)
+
+#: Node counts on the x-axis.
+FIG_ASYNC_NODE_COUNTS: Tuple[int, ...] = (8, 16)
+
+#: Model swept: FC-heavy, so the policy choice actually moves bytes.
+FIG_ASYNC_MODEL = "vgg19"
+
+#: Staleness axis labels (prefix of FIG_ASYNC_POLICIES) used for the
+#: monotone-frontier view; the local-SGD entries form the 1/H traffic view.
+_STALENESS_AXIS: Tuple[str, ...] = ("bsp", "ssp-1", "ssp-2", "ssp-4", "async")
+
+
+def policy_systems(schemes: Sequence[Tuple[CommMode, str]] = FIG_ASYNC_SCHEMES,
+                   policies: Sequence[str] = FIG_ASYNC_POLICIES
+                   ) -> Tuple[SystemConfig, ...]:
+    """One system per (backend, policy) pair, Poseidon client throughout.
+
+    System names are unique per pair (``"PS ssp(2)"``) because the sweep
+    layer keys results by system name.
+    """
+    systems: List[SystemConfig] = []
+    for comm, label in schemes:
+        for spec in policies:
+            policy = SyncPolicy.parse(spec)
+            systems.append(SystemConfig(
+                name=f"{label} {policy}",
+                engine="poseidon",
+                schedule=ScheduleMode.WFBP,
+                partitioning=Partitioning.FINE,
+                comm=comm,
+                overlap_pull=True,
+                overlap_host_copy=True,
+            ).with_policy(policy))
+    return tuple(systems)
+
+
+@dataclass
+class AsyncSweepResult:
+    """Curves keyed by scheme label -> policy spec -> bandwidth."""
+
+    node_counts: Sequence[int]
+    bandwidths: Sequence[float]
+    policies: Sequence[str]
+    curves: Dict[str, Dict[str, Dict[float, ScalingCurve]]] = field(
+        default_factory=dict)
+
+    def curve(self, scheme: str, policy: str,
+              bandwidth_gbps: float) -> ScalingCurve:
+        """Curve of one (scheme, policy, bandwidth) combination."""
+        return self.curves[scheme][policy][bandwidth_gbps]
+
+    def throughput(self, scheme: str, policy: str, bandwidth_gbps: float,
+                   nodes: int) -> float:
+        """Images/s at one sweep point."""
+        curve = self.curve(scheme, policy, bandwidth_gbps)
+        result = curve.results[curve.node_counts.index(nodes)]
+        return result.throughput_images_per_sec
+
+    def traffic_gbits(self, scheme: str, policy: str, bandwidth_gbps: float,
+                      nodes: int) -> float:
+        """Mean per-node traffic (gigabits/iteration) at one sweep point."""
+        curve = self.curve(scheme, policy, bandwidth_gbps)
+        result = curve.results[curve.node_counts.index(nodes)]
+        return result.mean_traffic_gbits
+
+    def staleness_frontier(self, scheme: str, bandwidth_gbps: float,
+                           nodes: int) -> List[Tuple[str, float]]:
+        """Throughput along the staleness axis (bsp, ssp..., async)."""
+        axis = [spec for spec in _STALENESS_AXIS if spec in self.policies]
+        return [(spec, self.throughput(scheme, spec, bandwidth_gbps, nodes))
+                for spec in axis]
+
+    @property
+    def scheme_names(self) -> List[str]:
+        """Compared scheme labels, in presentation order."""
+        return list(self.curves)
+
+
+def run_fig_async(node_counts: Sequence[int] = FIG_ASYNC_NODE_COUNTS,
+                  bandwidths: Sequence[float] = FIG_ASYNC_BANDWIDTHS,
+                  schemes: Sequence[Tuple[CommMode, str]] = FIG_ASYNC_SCHEMES,
+                  policies: Sequence[str] = FIG_ASYNC_POLICIES,
+                  model: str = FIG_ASYNC_MODEL,
+                  jobs: Optional[int] = None) -> AsyncSweepResult:
+    """Simulate every (backend, policy, bandwidth, nodes) config in one sweep."""
+    spec = get_model_spec(model)
+    systems = policy_systems(schemes, policies)
+    combos = [(spec, system, float(bandwidth))
+              for system in systems
+              for bandwidth in bandwidths]
+    curves = sweep_scaling_curves(combos, node_counts, jobs=jobs)
+    result = AsyncSweepResult(node_counts=tuple(node_counts),
+                              bandwidths=tuple(bandwidths),
+                              policies=tuple(policies))
+    for comm, label in schemes:
+        by_policy: Dict[str, Dict[float, ScalingCurve]] = {}
+        for policy_spec in policies:
+            name = f"{label} {SyncPolicy.parse(policy_spec)}"
+            system = next(s for s in systems if s.name == name)
+            by_policy[policy_spec] = {
+                bandwidth: curves[(spec, system, float(bandwidth))]
+                for bandwidth in bandwidths
+            }
+        result.curves[label] = by_policy
+    return result
+
+
+def render(result: AsyncSweepResult) -> str:
+    """Frontier and traffic views, one series per (scheme, bandwidth)."""
+    lines: List[str] = [
+        "Beyond-BSP frontier: throughput vs. staleness and sync period"
+    ]
+    nodes = max(result.node_counts)
+    lines.append(f"  throughput (images/s) at {nodes} nodes, by policy:")
+    for scheme in result.scheme_names:
+        for bandwidth in result.bandwidths:
+            specs = list(result.policies)
+            values = [result.throughput(scheme, spec, bandwidth, nodes)
+                      for spec in specs]
+            label = f"{scheme:16s} {bandwidth:4.0f} GbE"
+            lines.append("    " + format_series(label, specs, values))
+    lines.append(f"  mean per-node traffic (gigabits/iter) at {nodes} nodes:")
+    for scheme in result.scheme_names:
+        bandwidth = result.bandwidths[0]
+        specs = list(result.policies)
+        values = [result.traffic_gbits(scheme, spec, bandwidth, nodes)
+                  for spec in specs]
+        lines.append("    " + format_series(f"{scheme:16s}", specs, values,
+                                            y_format="{:.3f}"))
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig_async()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

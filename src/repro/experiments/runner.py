@@ -35,6 +35,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11,
+    fig_async,
     fig_backends,
     fig_scale,
     fig_topology,
@@ -98,6 +99,14 @@ def _run_fig11(quick: bool) -> str:
     return "\n".join(lines)
 
 
+def _run_fig_async(quick: bool) -> str:
+    nodes = (8,) if quick else fig_async.FIG_ASYNC_NODE_COUNTS
+    policies = (("bsp", "ssp-2", "async", "local-4") if quick
+                else fig_async.FIG_ASYNC_POLICIES)
+    return fig_async.render(fig_async.run_fig_async(node_counts=nodes,
+                                                    policies=policies))
+
+
 def _run_fig_backends(quick: bool) -> str:
     nodes = (2, 8, 32) if quick else fig_backends.FIG_BACKENDS_NODE_COUNTS
     return fig_backends.render(fig_backends.run_fig_backends(node_counts=nodes))
@@ -139,6 +148,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig9": _run_fig9,
     "fig10": _run_fig10,
     "fig11": _run_fig11,
+    "fig_async": _run_fig_async,
     "fig_backends": _run_fig_backends,
     "fig_scale": _run_fig_scale,
     "fig_topology": _run_fig_topology,

@@ -2,24 +2,38 @@
 
 One thread per worker runs the loop of Algorithm 2: forward pass, backward
 pass with a per-layer hook that schedules the layer's syncer job on the
-worker's WFBP thread pool, then a wait for all syncers and a BSP barrier
-before the next iteration.  Gradients flow through the functional substrates
-of :mod:`repro.comm` exactly as they would over the network.
+worker's WFBP thread pool, then a wait for all syncers and a policy-driven
+end-of-step gate.  Gradients flow through the functional substrates of
+:mod:`repro.comm` exactly as they would over the network.
+
+The gate is where execution semantics live
+(:class:`~repro.core.policy.SyncPolicy`): BSP (and its degenerate
+equivalents ssp(0) / local_sgd(1)) rendezvous at the classic barrier;
+SSP with s > 0 advances a per-worker :class:`~repro.core.staleness.SSPClock`
+that only blocks a worker more than ``s`` iterations ahead of the slowest;
+async never blocks; local SGD with H > 1 has no per-iteration gate at all --
+the H-periodic parameter-averaging round is its rendezvous.  Under
+``deterministic=True`` the relaxed policies (ssp s>0, async) run a
+serialized round-robin schedule, so their thread interleaving is
+reproducible run-to-run.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.comm.averaging import ParameterAverager
 from repro.comm.backend import TrainerContext, WorkerResources, get_backend
 from repro.comm.quantization import OneBitQuantizer
 from repro.config import TrainingConfig
 from repro.core.consistency import BSPController
 from repro.core.cost_model import CommScheme
+from repro.core.policy import SyncPolicy
+from repro.core.staleness import SSPClock
 from repro.core.syncer import Syncer
 from repro.core.wfbp import DeterministicScheduler, ScheduleMode, WFBPScheduler
 from repro.data.samplers import BatchSampler
@@ -44,6 +58,7 @@ class TrainingHistory:
     iterations: int = 0
     mode: str = ""
     num_workers: int = 0
+    policy: str = "bsp"
 
     @property
     def total_bytes(self) -> int:
@@ -95,11 +110,21 @@ class DistributedTrainer:
             ``(iteration, worker) -> batch`` callable (used by equivalence
             tests).
         aggregation: ``"mean"`` or ``"sum"`` gradient aggregation.
-        sync_timeout: per-operation timeout guarding against deadlocks.
+        sync_timeout: per-operation timeout guarding against deadlocks;
+            plumbed into every policy wait (syncer drains, BSP barrier,
+            SSP clock advances, averaging rounds).
         deterministic: make the run bit-reproducible: syncer jobs drain in
-            submission order (:class:`DeterministicScheduler`) and every
+            submission order (:class:`DeterministicScheduler`), every
             aggregation substrate reduces gradients in worker-id order
-            instead of thread-arrival order.
+            instead of thread-arrival order, and relaxed-consistency
+            policies (ssp s>0, async) run a serialized round-robin
+            schedule instead of free-running threads.
+        policy: execution semantics -- a :class:`SyncPolicy` or its string
+            form (``"bsp"``, ``"ssp(2)"``, ``"async"``, ``"local_sgd(4)"``).
+            Every backend named by ``mode`` must declare support for the
+            policy's kind in its ``sync_semantics``.  The degenerate
+            policies ssp(0) and local_sgd(1) run the exact BSP path, so
+            they are bit-identical to ``"bsp"`` under ``deterministic``.
     """
 
     def __init__(self,
@@ -115,7 +140,8 @@ class DistributedTrainer:
                  batch_provider: Optional[BatchProvider] = None,
                  aggregation: str = "mean",
                  sync_timeout: float = 60.0,
-                 deterministic: bool = False):
+                 deterministic: bool = False,
+                 policy: Union[SyncPolicy, str, None] = "bsp"):
         if num_workers < 1:
             raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
         if train_shards is None and batch_provider is None:
@@ -134,6 +160,7 @@ class DistributedTrainer:
         self.aggregation = aggregation
         self.sync_timeout = float(sync_timeout)
         self.deterministic = bool(deterministic)
+        self.policy = SyncPolicy.parse(policy)
         self._external_provider = batch_provider
         self._train_shards = train_shards
 
@@ -142,6 +169,25 @@ class DistributedTrainer:
         reference = self._replicas[0]
         self.assignment: SchemeAssignment = assign_schemes(
             reference, mode, self.num_workers, self.num_servers, training.batch_size)
+
+        # Every substrate in play must be able to run the policy.
+        for scheme in sorted({s for s in self.assignment.schemes.values()},
+                             key=lambda s: s.value):
+            if not get_backend(scheme).supports_policy(self.policy):
+                raise TrainingError(
+                    f"backend {scheme.value!r} cannot run under policy "
+                    f"{self.policy} (supported semantics: "
+                    f"{get_backend(scheme).sync_semantics})"
+                )
+
+        # Policy state: the shared parameter averager (local SGD) and the
+        # per-worker SSP clock (ssp s>0, async -- where the bound is None).
+        self._averager = (ParameterAverager(self.num_workers)
+                          if self.policy.averages_parameters else None)
+        self.clock: Optional[SSPClock] = None
+        if self.policy.relaxed_consistency:
+            self.clock = SSPClock(self.num_workers, staleness=self.policy.bound,
+                                  default_timeout=self.sync_timeout)
 
         # Global state holders: one substrate per scheme present in the
         # assignment, built by that scheme's registered backend.
@@ -152,6 +198,9 @@ class DistributedTrainer:
             aggregation=aggregation,
             deterministic=self.deterministic,
             optimizer_factory=self._make_optimizer,
+            policy=self.policy,
+            averager=self._averager,
+            sync_timeout=self.sync_timeout,
         )
         initial_state = reference.get_state()
         layers_by_scheme: Dict[CommScheme, Dict[str, Dict[str, np.ndarray]]] = {}
@@ -209,7 +258,7 @@ class DistributedTrainer:
         for _, layer in network.parameter_layers():
             scheme = self.assignment.scheme_for(layer.name)
             backend = get_backend(scheme)
-            syncers[layer.name] = backend.make_syncer(
+            syncers[layer.name] = backend.create_syncer(
                 layer, self._substrates[scheme], resources,
                 self._backend_context)
         if self.deterministic and self.schedule is ScheduleMode.WFBP:
@@ -242,25 +291,32 @@ class DistributedTrainer:
         """Run the distributed training loop and return its history."""
         iterations = iterations if iterations is not None else self.training.iterations
         history = TrainingHistory(
-            mode=self.mode, num_workers=self.num_workers, iterations=iterations)
+            mode=self.mode, num_workers=self.num_workers, iterations=iterations,
+            policy=str(self.policy))
         if iterations == 0:
             return history
         per_worker_losses: List[List[float]] = [[] for _ in range(self.num_workers)]
         eval_records: List[Tuple[int, float]] = []
 
-        threads = [
-            threading.Thread(
-                target=self._worker_loop,
-                args=(worker_id, iterations, per_worker_losses, eval_records),
-                name=f"worker-{worker_id}",
-                daemon=True,
-            )
-            for worker_id in range(self.num_workers)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        if self.deterministic and self.policy.relaxed_consistency:
+            # Relaxed policies are nondeterministic precisely because their
+            # workers interleave freely; a serialized round-robin schedule
+            # is the reproducible representative of that interleaving.
+            self._serialized_loop(iterations, per_worker_losses, eval_records)
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(worker_id, iterations, per_worker_losses, eval_records),
+                    name=f"worker-{worker_id}",
+                    daemon=True,
+                )
+                for worker_id in range(self.num_workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         if self._errors:
             raise TrainingError(f"distributed training failed: {self._errors[0]}") \
                 from self._errors[0]
@@ -283,36 +339,82 @@ class DistributedTrainer:
         runtime = self._workers[worker_id]
         try:
             for step in range(iterations):
-                self.bsp.reset_worker(worker_id)
-                images, labels = self._batch(step, worker_id)
-
-                def hook(_index: int, layer) -> None:
-                    if not layer.has_parameters:
-                        return
-                    syncer = runtime.syncers[layer.name]
-
-                    def job(syncer=syncer, layer_name=layer.name) -> None:
-                        syncer.sync(step)
-                        self.bsp.mark_done(worker_id, layer_name)
-
-                    runtime.scheduler.schedule(job)
-
-                loss = runtime.network.train_step(images, labels, hook=hook)
-                runtime.scheduler.wait_all(timeout=self.sync_timeout)
-                self.bsp.wait_worker(worker_id, timeout=self.sync_timeout)
-                per_worker_losses[worker_id].append(loss)
-
-                if (self.eval_every and self.test_data is not None and worker_id == 0
-                        and (step + 1) % self.eval_every == 0):
-                    _, error = runtime.network.evaluate(*self.test_data)
-                    eval_records.append((step + 1, error))
-
-                self.bsp.barrier(worker_id, timeout=self.sync_timeout)
+                self._worker_step(worker_id, step, per_worker_losses,
+                                  eval_records)
+                self._end_of_step(worker_id)
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
             with self._error_lock:
                 self._errors.append(exc)
         finally:
             runtime.scheduler.shutdown()
+
+    def _serialized_loop(self, iterations: int,
+                         per_worker_losses: List[List[float]],
+                         eval_records: List[Tuple[int, float]]) -> None:
+        """Deterministic driver for relaxed policies: round-robin steps.
+
+        Worker 0 runs step ``t``, then worker 1, ... -- one fixed
+        serialization of the asynchronous schedule.  Each worker's clock
+        still advances through the policy gate, so the SSP invariant is
+        exercised (and never blocks: the round-robin lag is at most 1).
+        """
+        try:
+            for step in range(iterations):
+                for worker_id in range(self.num_workers):
+                    self._worker_step(worker_id, step, per_worker_losses,
+                                      eval_records)
+                    self._end_of_step(worker_id)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            with self._error_lock:
+                self._errors.append(exc)
+        finally:
+            for runtime in self._workers:
+                runtime.scheduler.shutdown()
+
+    def _worker_step(self, worker_id: int, step: int,
+                     per_worker_losses: List[List[float]],
+                     eval_records: List[Tuple[int, float]]) -> None:
+        """One iteration of Algorithm 2 at one worker (no end-of-step gate)."""
+        runtime = self._workers[worker_id]
+        self.bsp.reset_worker(worker_id)
+        images, labels = self._batch(step, worker_id)
+
+        def hook(_index: int, layer) -> None:
+            if not layer.has_parameters:
+                return
+            syncer = runtime.syncers[layer.name]
+
+            def job(syncer=syncer, layer_name=layer.name) -> None:
+                syncer.sync(step)
+                self.bsp.mark_done(worker_id, layer_name)
+
+            runtime.scheduler.schedule(job)
+
+        loss = runtime.network.train_step(images, labels, hook=hook)
+        runtime.scheduler.wait_all(timeout=self.sync_timeout)
+        self.bsp.wait_worker(worker_id, timeout=self.sync_timeout)
+        per_worker_losses[worker_id].append(loss)
+
+        if (self.eval_every and self.test_data is not None and worker_id == 0
+                and (step + 1) % self.eval_every == 0):
+            _, error = runtime.network.evaluate(*self.test_data)
+            eval_records.append((step + 1, error))
+
+    def _end_of_step(self, worker_id: int) -> None:
+        """The policy gate that replaced the unconditional BSP barrier.
+
+        BSP and its degenerate equivalents (ssp(0), local_sgd(1)) keep the
+        classic barrier -- the exact pre-policy code path, so they stay
+        bit-identical to it.  Relaxed policies advance the per-worker SSP
+        clock, which blocks only a worker more than ``s`` iterations ahead
+        of the slowest (never, for async).  Local SGD with H > 1 has no
+        per-iteration gate: its H-periodic averaging round is the
+        rendezvous.
+        """
+        if self.clock is not None:
+            self.clock.advance(worker_id)
+        elif not self.policy.averages_parameters:
+            self.bsp.barrier(worker_id, timeout=self.sync_timeout)
 
     # -- post-training access -------------------------------------------------------
     def replica(self, worker_id: int) -> Network:

@@ -266,6 +266,10 @@ class FluidSimulator:
             for node in range(n):
                 totals[node] += terms.symmetric_bytes
             totals[owner] += terms.owner_bytes
+        if self.system.sync_period > 1:
+            # Local SGD syncs every H-th round: per-iteration wire volume
+            # amortizes to 1/H of the BSP figure.
+            totals = [t / self.system.sync_period for t in totals]
         return totals
 
     def iteration_seconds(self, bandwidth_bps=None):
@@ -309,7 +313,38 @@ class FluidSimulator:
         result = compute_end
         for completion in self._completions:
             result = np.maximum(result, completion)
-        return result
+        return self._apply_policy(result, compute_end)
+
+    def _apply_policy(self, total, compute):
+        """Rescale one BSP iteration for the system's execution semantics.
+
+        Under the defaults (``staleness == 0``, ``sync_period == 1``) the
+        BSP figure passes through untouched (byte-identical sweeps).  For
+        relaxed policies the transform works on the *exposed* (non-hidden)
+        communication time per round:
+
+        - local SGD amortizes the sync over ``sync_period`` rounds, so the
+          exposed share shrinks by ``1/H``;
+        - SSP hides the remaining exposure under up to ``staleness``
+          subsequent compute rounds;
+        - fully asynchronous execution (``staleness is None``) is the
+          staleness limit: per-round time is the larger of compute and the
+          NIC-serialized exposure.
+
+        Every relaxed figure is floored at the exposed time itself -- the
+        NIC must still serialize the sync bytes, however deep the
+        pipeline -- which also makes throughput monotone in the staleness
+        bound and continuous at ``s == 0``.
+        """
+        staleness = self.system.staleness
+        period = self.system.sync_period
+        if staleness == 0 and period == 1:
+            return total
+        exposed = (total - compute) / period
+        if staleness is None:
+            return np.maximum(compute, exposed)
+        hidden = compute + np.maximum(0.0, exposed - staleness * compute)
+        return np.maximum(hidden, exposed)
 
     # -- phase heap ----------------------------------------------------------
     # Phases are booked at their DES request times (push at the unit's
@@ -898,7 +933,7 @@ def sweep_axis(model: ModelSpec, system: SystemConfig,
     # a flat cluster's state for an oversubscribed one.
     key = (workload, system.name, system.comm, cluster.num_workers,
            cluster.num_servers, cluster.racks, cluster.oversubscription,
-           int(background_jobs))
+           int(background_jobs), system.staleness, system.sync_period)
     simulator = _AXIS_CACHE.get(key)
     if simulator is None:
         simulator = FluidSimulator(workload, cluster, system,

@@ -127,6 +127,39 @@ class _UnitSyncState:
             self._send_started_fired = True
 
 
+#: Sync-round horizon of the relaxed-policy DES path (see ``_run_policy``).
+_POLICY_WINDOWS = 8
+
+
+class _RoundView:
+    """Per-round facade over an :class:`IterationSimulator`.
+
+    The relaxed-policy path simulates several consecutive rounds in one DES
+    environment; flow plans are round-agnostic (they address shared state
+    through ``sim.unit_state`` / ``sim.backward_done``), so each round hands
+    them a view that resolves those two accessors to round-local state and
+    delegates everything else to the real simulator.
+    """
+
+    __slots__ = ("_sim", "round_index", "_round_unit_state",
+                 "_round_backward_done")
+
+    def __init__(self, sim: "IterationSimulator", round_index: int):
+        self._sim = sim
+        self.round_index = round_index
+        self._round_unit_state: Dict[str, _UnitSyncState] = {}
+        self._round_backward_done: Dict[int, Event] = {}
+
+    def unit_state(self, unit: SyncUnit) -> _UnitSyncState:
+        return self._round_unit_state[unit.name]
+
+    def backward_done(self, worker: int) -> Event:
+        return self._round_backward_done[worker]
+
+    def __getattr__(self, name: str):
+        return getattr(self._sim, name)
+
+
 #: Memoized scheme assignments: Algorithm 1 only looks at the workload's
 #: units, the comm mode and the cluster shape, none of which vary across the
 #: bandwidth/node sweep points of one figure, so the decision table is shared
@@ -236,9 +269,23 @@ class IterationSimulator:
 
     # -- simulation ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Simulate one iteration and return its statistics."""
+        """Simulate the system and return per-iteration statistics.
+
+        Under the default execution semantics (``staleness == 0`` and
+        ``sync_period == 1``) this runs the single-iteration BSP simulation
+        unchanged.  Relaxed policies (SSP, async, local SGD) instead
+        simulate several consecutive rounds in one environment -- workers
+        advance their own clocks, gated only by the policy's staleness
+        bound -- and report amortized per-iteration figures.
+        """
         if self._iteration_seconds is not None:
             raise SimulationError("IterationSimulator instances are single-use")
+        if self.system.staleness == 0 and self.system.sync_period == 1:
+            return self._run_bsp()
+        return self._run_policy()
+
+    def _run_bsp(self) -> SimulationResult:
+        """Simulate one globally synchronous (BSP) iteration."""
         for unit in self.workload.units:
             self._unit_state[unit.name] = _UnitSyncState(self.env, self.num_workers)
         for worker in range(self.num_workers):
@@ -269,6 +316,89 @@ class IterationSimulator:
         gpu_busy_fraction = (sum(busy) / len(busy)) / iteration_seconds if busy else 0.0
         traffic = [
             self.cluster.machine(node).nic.traffic.total_bytes
+            for node in sorted(self.cluster.machines)
+        ]
+        return SimulationResult(
+            model_name=self.workload.model_name,
+            system_name=self.system.name,
+            num_workers=self.num_workers,
+            bandwidth_gbps=self.cluster_config.bandwidth_gbps,
+            batch_size=self.workload.batch_size,
+            iteration_seconds=iteration_seconds,
+            single_node_seconds=self.workload.single_node_seconds,
+            compute_seconds=self.workload.compute_seconds,
+            gpu_busy_fraction=min(1.0, gpu_busy_fraction),
+            per_node_traffic_bytes=traffic,
+            scheme_by_unit={name: scheme.value for name, scheme in self.schemes.items()},
+        )
+
+    def _run_policy(self) -> SimulationResult:
+        """Simulate a multi-round relaxed-consistency (SSP/async/local SGD) run.
+
+        ``rounds`` consecutive training steps share one DES environment.
+        Communication happens only on sync rounds (every ``sync_period``-th
+        step); a worker entering step ``r`` waits -- unless fully async --
+        until its sync of the latest sync round at or before ``r - 1 -
+        staleness`` has completed, which is exactly the SSP bound: no
+        worker computes on state more than ``staleness`` clocks behind the
+        slowest sync it depends on.  Reported figures (iteration time,
+        per-node traffic) are the makespan and byte totals amortized over
+        the simulated rounds, so local SGD's wire volume scales as ``1/H``
+        and SSP's pipelining of communication under later rounds' compute
+        shows up as reduced per-iteration time.
+        """
+        staleness = self.system.staleness
+        period = self.system.sync_period
+        # Enough rounds to reach pipeline steady state.  The horizon is the
+        # SAME for every relaxed policy (only the gate strength differs):
+        # with per-policy horizons the warmup/drain rounds would amortize
+        # differently and mask the staleness effect, breaking the expected
+        # monotone throughput-vs-staleness ordering.  It must exceed the
+        # deepest staleness bound swept, so bounded policies with a larger
+        # ``s`` are gated on strictly fewer rounds.
+        windows = (max(_POLICY_WINDOWS, staleness + 2)
+                   if staleness is not None else _POLICY_WINDOWS)
+        rounds = period * windows
+        sync_rounds = [r for r in range(rounds) if (r + 1) % period == 0]
+        views: Dict[int, _RoundView] = {}
+        for r in sync_rounds:
+            view = _RoundView(self, r)
+            for unit in self.workload.units:
+                view._round_unit_state[unit.name] = _UnitSyncState(
+                    self.env, self.num_workers)
+            for worker in range(self.num_workers):
+                view._round_backward_done[worker] = self.env.event()
+            views[r] = view
+        self._sync_done = {
+            (worker, r): self.env.countdown(self.workload.num_units)
+            for worker in range(self.num_workers) for r in sync_rounds
+        }
+
+        worker_processes = [
+            self.env.process(self._policy_worker_process(
+                worker, rounds, sync_rounds, views))
+            for worker in range(self.num_workers)
+        ]
+        for r in sync_rounds:
+            for unit in self.workload.units:
+                scheme = self.schemes[unit.name]
+                plan = get_backend(scheme).flow_plan
+                if plan.needs_server_process(self, unit, scheme):
+                    self.env.process(plan.server_process(views[r], unit, scheme))
+
+        self.env.run()
+        for process in worker_processes:
+            if process.ok is False:
+                raise process.value
+        makespan = max(process.value for process in worker_processes)
+        iteration_seconds = makespan / rounds
+        self._iteration_seconds = iteration_seconds
+
+        busy = [machine.gpu.busy_seconds for machine in
+                (self.cluster.machine(w) for w in range(self.num_workers))]
+        gpu_busy_fraction = (sum(busy) / len(busy)) / makespan if busy else 0.0
+        traffic = [
+            self.cluster.machine(node).nic.traffic.total_bytes / rounds
             for node in sorted(self.cluster.machines)
         ]
         return SimulationResult(
@@ -323,7 +453,63 @@ class IterationSimulator:
             yield sync_barrier
         return self.env.now - start
 
-    def _unit_sync(self, worker: int, unit: SyncUnit):
+    def _policy_worker_process(self, worker: int, rounds: int,
+                               sync_rounds: List[int],
+                               views: Dict[int, "_RoundView"]):
+        machine = self.cluster.machine(worker)
+        gpu = machine.gpu
+        start = self.env.now
+        staleness = self.system.staleness
+        for r in range(rounds):
+            # SSP staleness gate: before computing round r, the sync of the
+            # latest sync round at or before r - 1 - s must have landed.
+            # Fully asynchronous workers (staleness None) never wait.
+            if self.num_workers > 1 and staleness is not None:
+                horizon = r - 1 - staleness
+                gate = None
+                for g in reversed(sync_rounds):
+                    if g <= horizon:
+                        gate = g
+                        break
+                if gate is not None:
+                    yield self._sync_done[(worker, gate)]
+
+            if not self.system.overlap_host_copy:
+                staging_seconds = units.transfer_seconds(
+                    2 * self.workload.total_param_bytes,
+                    self.system.host_copy_bandwidth_bps,
+                )
+                yield from gpu.compute(staging_seconds)
+            yield from gpu.compute(self.workload.forward_seconds)
+
+            is_sync = (r + 1) % self.system.sync_period == 0
+            view = views.get(r)
+            sync_barrier = self._sync_done[(worker, r)] if is_sync else None
+            pending_sequential = []
+            for unit in reversed(self.workload.units):
+                yield from gpu.compute(unit.backward_seconds)
+                if not is_sync:
+                    continue
+                if self.system.schedule is ScheduleMode.WFBP:
+                    sync_barrier.arrive_on(self.env.process(
+                        self._unit_sync(worker, unit, view=view)))
+                else:
+                    pending_sequential.append(unit)
+            if self.workload.tail_backward_seconds > 0:
+                yield from gpu.compute(self.workload.tail_backward_seconds)
+            if is_sync:
+                view._round_backward_done[worker].succeed()
+                for unit in pending_sequential:
+                    sync_barrier.arrive_on(self.env.process(
+                        self._unit_sync(worker, unit, view=view)))
+        # Drain: the makespan must cover the final sync round's traffic,
+        # otherwise relaxed policies would report communication as free.
+        if self.num_workers > 1 and sync_rounds:
+            yield self._sync_done[(worker, sync_rounds[-1])]
+        return self.env.now - start
+
+    def _unit_sync(self, worker: int, unit: SyncUnit,
+                   view: Optional["_RoundView"] = None):
         """Synchronize one unit at one worker under its assigned scheme."""
         if self.num_workers == 1:
             return
@@ -335,7 +521,8 @@ class IterationSimulator:
                 local_bytes, self.cluster_config.gpu.pcie_bandwidth_bps))
         scheme = self.schemes[unit.name]
         plan = get_backend(scheme).flow_plan
-        yield from plan.worker_sync(self, worker, unit, scheme)
+        yield from plan.worker_sync(self if view is None else view,
+                                    worker, unit, scheme)
 
 
 def simulate_system(model: ModelSpec, system: SystemConfig, cluster: ClusterConfig,

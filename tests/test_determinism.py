@@ -115,10 +115,10 @@ class TestTrainerBitReproducibility:
 
         return factory, shards, config
 
-    def run_once(self, setup, mode):
+    def run_once(self, setup, mode, policy=None):
         factory, shards, config = setup
         trainer = DistributedTrainer(factory, 3, shards, config, mode=mode,
-                                     deterministic=True)
+                                     deterministic=True, policy=policy)
         history = trainer.train(5)
         return history.losses, trainer.replica(0).get_state()
 
@@ -131,6 +131,37 @@ class TestTrainerBitReproducibility:
         for layer, params in state_a.items():
             for key, value in params.items():
                 np.testing.assert_array_equal(value, state_b[layer][key])
+
+    @pytest.mark.parametrize("mode,policy", [
+        ("ps", "ssp-2"),
+        ("ps", "async"),
+        ("ps", "local-2"),
+        ("onebit", "ssp-1"),
+        ("onebit", "async"),
+        ("ring", "local-2"),
+        ("hierps", "local-4"),
+        ("hybrid", "local-2"),
+        ("sfb", "local-2"),
+        ("adam", "local-2"),
+    ])
+    def test_every_policy_is_bit_identical_across_runs(self, setup, mode,
+                                                       policy):
+        losses_a, state_a = self.run_once(setup, mode, policy=policy)
+        losses_b, state_b = self.run_once(setup, mode, policy=policy)
+        assert losses_a == losses_b
+        for layer, params in state_a.items():
+            for key, value in params.items():
+                np.testing.assert_array_equal(value, state_b[layer][key])
+
+    @pytest.mark.parametrize("mode", ["ps", "sfb", "ring", "hybrid"])
+    @pytest.mark.parametrize("degenerate", ["ssp(0)", "local_sgd(1)"])
+    def test_degenerate_policies_match_bsp(self, setup, mode, degenerate):
+        losses_bsp, state_bsp = self.run_once(setup, mode)
+        losses, state = self.run_once(setup, mode, policy=degenerate)
+        assert losses == losses_bsp
+        for layer, params in state_bsp.items():
+            for key, value in params.items():
+                np.testing.assert_array_equal(value, state[layer][key])
 
 
 class TestFig11Regression:
