@@ -3,7 +3,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism \
-	scale-smoke async-smoke \
+	scale-smoke async-smoke chaos-smoke \
 	examples-smoke docs-check
 
 ## tier-1 test suite
@@ -39,6 +39,16 @@ async-smoke:
 		fig_async > /tmp/fig_async_smoke.txt
 	@grep -q "Beyond-BSP frontier" /tmp/fig_async_smoke.txt
 	@echo "fig_async smoke report rendered"
+
+## fault-tolerance smoke: chaos + checkpoint round-trip tests, then the
+## fig_faults sweep (monotone cost-vs-MTBF frontier, straggler masking)
+chaos-smoke:
+	$(PYTEST) tests/test_chaos.py tests/test_faults.py \
+		tests/test_substrate_checkpoint.py -q
+	PYTHONPATH=src python -m repro.experiments.runner --quick --jobs 1 \
+		fig_faults > /tmp/fig_faults_smoke.txt
+	@grep -q "Fault frontier" /tmp/fig_faults_smoke.txt
+	@echo "fig_faults smoke report rendered"
 
 ## run all four examples/ scripts at reduced sizes (CI smoke)
 examples-smoke:

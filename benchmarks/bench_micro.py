@@ -141,7 +141,7 @@ def test_workload_derivation(benchmark, model):
     assert workload.num_units > 5
 
 
-def _trainer_run(policy):
+def _trainer_run(policy, **fault_kwargs):
     from repro.config import TrainingConfig
     from repro.data import make_linearly_separable, shard_dataset
     from repro.nn.model_zoo import build_mlp_network
@@ -158,7 +158,8 @@ def _trainer_run(policy):
                                  num_classes=4, seed=21)
 
     trainer = DistributedTrainer(factory, 3, shards, config, mode="ps",
-                                 deterministic=True, policy=policy)
+                                 deterministic=True, policy=policy,
+                                 **fault_kwargs)
     return trainer.train(4).final_loss
 
 
@@ -176,6 +177,53 @@ def test_trainer_iteration_bsp(benchmark):
 def test_trainer_iteration_ssp_clock(benchmark):
     """Same run under ssp(4): SSPClock advance + staleness gate per step."""
     assert benchmark(_trainer_run, "ssp-4") > 0
+
+
+def test_trainer_iteration_nofault(benchmark):
+    """Same BSP run with the fault-injection machinery armed but idle.
+
+    An empty FaultPlan attaches the injector hooks (begin_step +
+    before_sync on every layer), the heartbeat detector and the retry
+    wrapper to the identical run as test_trainer_iteration_bsp, so the
+    ratio of the two means is the fault-free overhead of the hooks on
+    the hot path (gated < 5% in benchmarks/baseline.json).  Checkpoint
+    cost is measured separately by test_trainer_checkpoint below.
+    """
+    from repro.core.faults import FaultPlan
+
+    assert benchmark(_trainer_run, "bsp", fault_plan=FaultPlan()) > 0
+
+
+def test_trainer_checkpoint(benchmark):
+    """One full consistent-cut checkpoint of the 3-worker MLP trainer.
+
+    Deep-copies every replica's state, per-worker optimizer / sampler
+    state and the PS snapshot (including server-side momentum): the cost
+    a run pays once per checkpoint_interval iterations, amortized to
+    near-zero at realistic intervals.
+    """
+    from repro.config import TrainingConfig
+    from repro.data import make_linearly_separable, shard_dataset
+    from repro.nn.model_zoo import build_mlp_network
+    from repro.parallel import DistributedTrainer
+
+    train_x, train_y, _, _ = make_linearly_separable(
+        num_train=96, num_test=8, input_dim=16, num_classes=4, seed=1)
+    shards = shard_dataset(train_x, train_y, 3, seed=2)
+    config = TrainingConfig(batch_size=8, learning_rate=0.05, iterations=4,
+                            seed=5)
+    trainer = DistributedTrainer(
+        lambda: build_mlp_network(input_dim=16, hidden_dims=(32, 16),
+                                  num_classes=4, seed=21),
+        3, shards, config, mode="ps", deterministic=True,
+        recovery="restart", checkpoint_interval=2)
+
+    def checkpoint():
+        trainer._take_checkpoint(0)
+        return trainer._checkpoint.step
+
+    assert checkpoint() == 0
+    benchmark(checkpoint)
 
 
 def test_ssp_clock_advance_rate(benchmark):

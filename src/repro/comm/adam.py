@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.comm.message import ByteMeter
-from repro.exceptions import CommunicationError
+from repro.exceptions import CommunicationError, SyncTimeout, WorkerFailure
 from repro.nn.optim import SGD
 from repro.nn.sufficient_factors import SufficientFactors
 
@@ -56,6 +56,7 @@ class AdamSFServer:
         self.optimizer = optimizer or SGD(learning_rate=0.01)
         self._slots = {name: _AdamSlot(params) for name, params in initial_params.items()}
         self.meter = ByteMeter()
+        self._abort_reason: Optional[BaseException] = None
 
     def _slot(self, layer: str) -> _AdamSlot:
         try:
@@ -95,14 +96,88 @@ class AdamSFServer:
         slot = self._slot(layer)
         with slot.condition:
             if not slot.condition.wait_for(
-                    lambda: slot.version >= min_version, timeout=timeout):
-                raise CommunicationError(
+                    lambda: (slot.version >= min_version
+                             or self._abort_reason is not None),
+                    timeout=timeout):
+                raise SyncTimeout(
                     f"pull of {layer!r} timed out waiting for version {min_version}"
                 )
+            if self._abort_reason is not None and slot.version < min_version:
+                raise self._wrap_abort(layer)
             params = {key: value.copy() for key, value in slot.params.items()}
         nbytes = sum(int(v.nbytes) for v in params.values())
         self.meter.record(nbytes, "sent", tag=f"adam-pull:{layer}")
         return params
+
+    # -- fault tolerance ----------------------------------------------------------------
+    def checkpoint(self, include_optimizer: bool = True
+                   ) -> Dict[str, ArrayDict]:
+        """Deep-copy snapshot of parameters, versions and optimiser state.
+
+        Unlike the plain PS (whose snapshot schema predates fault
+        tolerance), the Adam server includes its optimiser state by
+        default: its momentum velocities live server-side, so an exact
+        restart is impossible without them.
+        """
+        snapshot: Dict[str, ArrayDict] = {}
+        for name, slot in self._slots.items():
+            with slot.condition:
+                snapshot[name] = {key: value.copy()
+                                  for key, value in slot.params.items()}
+                snapshot[name]["__version__"] = np.array(slot.version)
+        if include_optimizer:
+            snapshot["__optimizer__"] = self.optimizer.get_state()
+        return snapshot
+
+    def restore(self, snapshot: Dict[str, ArrayDict]) -> None:
+        """Restore from a :meth:`checkpoint` snapshot; clears pending pushes.
+
+        Raises:
+            CommunicationError: on unknown layers or mismatched shapes.
+        """
+        optimizer_state = snapshot.get("__optimizer__")
+        if optimizer_state is not None:
+            self.optimizer.set_state(optimizer_state)
+        for name, params in snapshot.items():
+            if name == "__optimizer__":
+                continue
+            slot = self._slot(name)
+            with slot.condition:
+                for key, value in params.items():
+                    if key == "__version__":
+                        slot.version = int(value)
+                        continue
+                    if key not in slot.params:
+                        raise CommunicationError(
+                            f"snapshot has unknown parameter {name}/{key}")
+                    if value.shape != slot.params[key].shape:
+                        raise CommunicationError(
+                            f"snapshot shape mismatch for {name}/{key}: "
+                            f"{value.shape} vs {slot.params[key].shape}")
+                    np.copyto(slot.params[key], value)
+                slot.pending.clear()
+                slot.condition.notify_all()
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every blocked ``pull_matrix`` with a failure."""
+        self._abort_reason = exc
+        for slot in self._slots.values():
+            with slot.condition:
+                slot.condition.notify_all()
+
+    def clear_abort(self) -> None:
+        """Re-arm the server after recovery handled the abort."""
+        self._abort_reason = None
+
+    def _wrap_abort(self, layer: str) -> BaseException:
+        reason = self._abort_reason
+        if isinstance(reason, WorkerFailure):
+            return WorkerFailure(
+                f"Adam server aborted (layer {layer!r}): {reason}",
+                worker_id=reason.worker_id, iteration=reason.iteration,
+                cascade=True)
+        return CommunicationError(
+            f"Adam server aborted (layer {layer!r}): {reason}")
 
     def _apply_locked(self, layer: str, slot: _AdamSlot) -> None:
         weight_total = None

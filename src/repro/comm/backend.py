@@ -163,6 +163,13 @@ class CommBackend(abc.ABC):
             ``ssp``/``async`` (the PS family does, the collective schemes'
             all-worker rendezvous are inherent barriers).  Degenerate
             policies (ssp(0), local_sgd(1)) validate as ``bsp``.
+        fault_modes: crash-recovery capability declaration -- the trainer
+            recovery modes this substrate can serve.  Every backend
+            supports ``restart`` (restore a checkpoint and replay);
+            only substrates whose aggregation can renormalize to a
+            ``P-1`` mean mid-run declare ``drop`` (the PS family does;
+            collectives' fixed all-worker membership cannot shrink, so
+            the trainer rejects drop mode for them at construction).
     """
 
     scheme: ClassVar[CommScheme]
@@ -172,6 +179,7 @@ class CommBackend(abc.ABC):
     hybrid_rank: ClassVar[int] = 0
     compression: ClassVar[float] = 1.0
     sync_semantics: ClassVar[Tuple[str, ...]] = ("bsp", "local_sgd")
+    fault_modes: ClassVar[Tuple[str, ...]] = ("restart",)
     flow_plan: ClassVar[FlowPlan]
 
     @property
@@ -265,6 +273,20 @@ class CommBackend(abc.ABC):
         """
         kind = "bsp" if policy.is_bsp_equivalent else policy.kind
         return kind in self.sync_semantics
+
+    def supports_fault_mode(self, mode: str) -> bool:
+        """Whether this substrate can serve a trainer recovery mode.
+
+        ``"none"`` (no recovery) is always valid; other modes validate
+        against :attr:`fault_modes`:
+
+            >>> from repro.comm.backend import get_backend
+            >>> get_backend("ps").supports_fault_mode("drop")
+            True
+            >>> get_backend("ring").supports_fault_mode("drop")
+            False
+        """
+        return mode == "none" or mode in self.fault_modes
 
     def create_syncer(self, layer: Any, substrate: Any,
                       resources: WorkerResources, ctx: TrainerContext,
@@ -587,6 +609,9 @@ class PSBackend(CommBackend):
     # The server can apply pushes on arrival, so workers may legitimately
     # run ahead of each other: the full consistency spectrum is available.
     sync_semantics = ("bsp", "ssp", "async", "local_sgd")
+    # The server's mean is a running count over live workers, so it can
+    # renormalize to P-1 when a dead worker is dropped mid-run.
+    fault_modes = ("restart", "drop")
     flow_plan = PSFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
@@ -612,7 +637,8 @@ class PSBackend(CommBackend):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, ps=substrate,
                       aggregation=ctx.aggregation,
-                      policy=ctx.policy if policy is None else policy)
+                      policy=ctx.policy if policy is None else policy,
+                      sync_timeout=ctx.sync_timeout)
 
 
 class OneBitBackend(PSBackend):
@@ -635,7 +661,8 @@ class OneBitBackend(PSBackend):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, ps=substrate,
                       quantizer=resources.quantizer, aggregation=ctx.aggregation,
-                      policy=ctx.policy if policy is None else policy)
+                      policy=ctx.policy if policy is None else policy,
+                      sync_timeout=ctx.sync_timeout)
 
 
 class SFBBackend(CommBackend):
@@ -664,7 +691,8 @@ class SFBBackend(CommBackend):
         return Syncer(resources.worker_id, layer, self.scheme, sfb=substrate,
                       local_optimizer=resources.local_optimizer,
                       aggregation=ctx.aggregation,
-                      policy=ctx.policy if policy is None else policy)
+                      policy=ctx.policy if policy is None else policy,
+                      sync_timeout=ctx.sync_timeout)
 
 
 class AdamBackend(CommBackend):
@@ -699,7 +727,8 @@ class AdamBackend(CommBackend):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, adam=substrate,
                       aggregation=ctx.aggregation,
-                      policy=ctx.policy if policy is None else policy)
+                      policy=ctx.policy if policy is None else policy,
+                      sync_timeout=ctx.sync_timeout)
 
 
 PS_BACKEND = register_backend(PSBackend())

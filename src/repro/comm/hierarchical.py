@@ -141,6 +141,25 @@ class HierarchicalParameterServer:
         """Copy of the root's current global parameters of ``layer``."""
         return self.root.global_params(layer)
 
+    # -- fault tolerance ----------------------------------------------------------
+    def checkpoint(self, include_optimizer: bool = False) -> Dict[str, ArrayDict]:
+        """Snapshot the root's global state (rack buffers never persist)."""
+        return self.root.checkpoint(include_optimizer=include_optimizer)
+
+    def restore(self, snapshot: Dict[str, ArrayDict]) -> None:
+        """Restore the root and discard partially-aggregated rack buffers."""
+        with self._lock:
+            self._pending.clear()
+        self.root.restore(snapshot)
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every blocked root ``pull`` with a failure."""
+        self.root.abort(exc)
+
+    def clear_abort(self) -> None:
+        """Re-arm the tree after recovery handled the abort."""
+        self.root.clear_abort()
+
     # -- reduction ----------------------------------------------------------------
     def _reduce_rack(self, pending: Dict[int, ArrayDict]) -> ArrayDict:
         """Sum one rack's contributions in worker-id order (pre-scaled mean)."""
@@ -152,10 +171,12 @@ class HierPSSyncer(Syncer):
     """Per-layer syncer pushing through the rack tree, pulling the root."""
 
     def __init__(self, worker_id: int, layer, hier: HierarchicalParameterServer,
-                 aggregation: str = "mean", policy=None):
+                 aggregation: str = "mean", policy=None,
+                 sync_timeout: Optional[float] = 30.0):
         self.hier = hier
         super().__init__(worker_id, layer, CommScheme.HIERPS,
-                         aggregation=aggregation, policy=policy)
+                         aggregation=aggregation, policy=policy,
+                         sync_timeout=sync_timeout)
 
     def _validate_backends(self) -> None:
         if self.hier is None:
@@ -171,7 +192,8 @@ class HierPSSyncer(Syncer):
         assert self._staged_grads is not None
         sent = self.hier.push(self.worker_id, self.layer.name, self._staged_grads)
         params = self.hier.pull(self.worker_id, self.layer.name,
-                                min_version=iteration + 1)
+                                min_version=iteration + 1,
+                                timeout=self.sync_timeout)
         self.layer.set_params(params)
         self.stats.bytes_sent += sent
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
@@ -318,7 +340,8 @@ class HierPSBackend(CommBackend):
                     ctx: TrainerContext, policy=None):
         return HierPSSyncer(resources.worker_id, layer, substrate,
                             aggregation=ctx.aggregation,
-                            policy=ctx.policy if policy is None else policy)
+                            policy=ctx.policy if policy is None else policy,
+                            sync_timeout=ctx.sync_timeout)
 
 
 HIERPS_BACKEND = register_backend(HierPSBackend())

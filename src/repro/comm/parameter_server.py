@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.comm.message import ByteMeter
-from repro.exceptions import CommunicationError
+from repro.exceptions import CommunicationError, SyncTimeout, WorkerFailure
 from repro.nn.optim import SGD
 
 #: A layer's parameters or gradients: parameter name -> array.
@@ -101,6 +101,8 @@ class ShardedParameterServer:
         }
         self.meter = ByteMeter()
         self._apply_hooks: List[Callable[[str, ArrayDict], None]] = []
+        self._abort_reason: Optional[BaseException] = None
+        self._dropped: set = set()
 
     # -- introspection -----------------------------------------------------------
     @property
@@ -141,6 +143,12 @@ class ShardedParameterServer:
         push_bytes = int(nbytes) if nbytes is not None else sum(
             int(g.nbytes) for g in grads.values())
         with slot.condition:
+            if self._abort_reason is not None:
+                raise self._wrap_abort(layer)
+            if worker_id in self._dropped:
+                raise WorkerFailure(
+                    f"dropped worker {worker_id} pushed to layer {layer!r}",
+                    worker_id=worker_id, cascade=True)
             for key, grad in grads.items():
                 if key not in slot.params:
                     raise CommunicationError(
@@ -201,11 +209,15 @@ class ShardedParameterServer:
         slot = self._slot(layer)
         with slot.condition:
             if not slot.condition.wait_for(
-                    lambda: slot.version >= min_version, timeout=timeout):
-                raise CommunicationError(
+                    lambda: (slot.version >= min_version
+                             or self._abort_reason is not None),
+                    timeout=timeout):
+                raise SyncTimeout(
                     f"pull of layer {layer!r} timed out waiting for version "
                     f"{min_version} (current {slot.version})"
                 )
+            if self._abort_reason is not None and slot.version < min_version:
+                raise self._wrap_abort(layer)
             if copy:
                 params = {key: value.copy() for key, value in slot.params.items()}
             else:
@@ -221,18 +233,24 @@ class ShardedParameterServer:
         return params
 
     # -- fault tolerance ----------------------------------------------------------------
-    def checkpoint(self) -> Dict[str, Dict[str, np.ndarray]]:
+    def checkpoint(self, include_optimizer: bool = False
+                   ) -> Dict[str, Dict[str, np.ndarray]]:
         """Snapshot the global parameter state (plus per-layer versions).
 
         The paper's KV store "will regularly checkpoint current parameter
         states for fault tolerance" (Section 4.1); this returns a deep copy
-        that :meth:`restore` accepts.
+        that :meth:`restore` accepts.  With ``include_optimizer=True`` the
+        server-side optimiser state (momentum velocities) is captured under
+        a top-level ``"__optimizer__"`` key, which exact crash recovery
+        needs whenever the optimiser is stateful.
         """
         snapshot: Dict[str, Dict[str, np.ndarray]] = {}
         for name, slot in self._slots.items():
             with slot.condition:
                 snapshot[name] = {key: value.copy() for key, value in slot.params.items()}
                 snapshot[name]["__version__"] = np.array(slot.version)
+        if include_optimizer:
+            snapshot["__optimizer__"] = self.optimizer.get_state()
         return snapshot
 
     def restore(self, snapshot: Dict[str, Dict[str, np.ndarray]]) -> None:
@@ -242,6 +260,11 @@ class ShardedParameterServer:
             CommunicationError: if the snapshot covers unknown layers or has
                 mismatched shapes.
         """
+        optimizer_state = snapshot.get("__optimizer__")
+        if optimizer_state is not None:
+            self.optimizer.set_state(optimizer_state)
+            snapshot = {name: params for name, params in snapshot.items()
+                        if name != "__optimizer__"}
         for name, params in snapshot.items():
             slot = self._slot(name)
             with slot.condition:
@@ -263,6 +286,56 @@ class ShardedParameterServer:
                 slot.snapshot = None
                 slot.snapshot_version = -1
                 slot.condition.notify_all()
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Drop a dead worker: renormalize aggregation to a P-1 mean.
+
+        Any in-flight contribution buffered for the dead worker is
+        discarded; if the survivors have already all pushed the pending
+        iteration, aggregation triggers immediately so nobody waits for
+        the ghost.  The BSP rendezvous count shrinks with the membership
+        (``updates_per_version`` tracks ``num_workers`` when they were
+        equal), so subsequent means divide by the surviving worker count.
+        """
+        if worker_id in self._dropped:
+            return
+        shrink_rendezvous = self.updates_per_version == self.num_workers
+        if self.num_workers <= 1:
+            raise CommunicationError("cannot drop the last remaining worker")
+        self._dropped.add(worker_id)
+        self.num_workers -= 1
+        if shrink_rendezvous:
+            self.updates_per_version = self.num_workers
+        for layer, slot in self._slots.items():
+            with slot.condition:
+                if worker_id in slot.contributions:
+                    del slot.contributions[worker_id]
+                    slot.pushes -= 1
+                if 0 < slot.pushes >= self.updates_per_version:
+                    if slot.contributions:
+                        self._reduce_ordered_locked(slot)
+                    self._apply_locked(layer, slot)
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every blocked ``pull`` with a failure (dead-peer fan-out)."""
+        self._abort_reason = exc
+        for slot in self._slots.values():
+            with slot.condition:
+                slot.condition.notify_all()
+
+    def clear_abort(self) -> None:
+        """Re-arm the server after recovery handled the abort."""
+        self._abort_reason = None
+
+    def _wrap_abort(self, layer: str) -> BaseException:
+        reason = self._abort_reason
+        if isinstance(reason, WorkerFailure):
+            return WorkerFailure(
+                f"parameter server aborted (layer {layer!r}): {reason}",
+                worker_id=reason.worker_id, iteration=reason.iteration,
+                cascade=True)
+        return CommunicationError(
+            f"parameter server aborted (layer {layer!r}): {reason}")
 
     # -- aggregation -------------------------------------------------------------------
     def _reduce_ordered_locked(self, slot: _LayerSlot) -> None:

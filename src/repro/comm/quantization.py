@@ -116,6 +116,15 @@ class OneBitQuantizer:
         """Drop all residual state."""
         self._residuals.clear()
 
+    def get_state(self) -> Dict[str, np.ndarray]:
+        """Deep copy of the error-feedback residuals (for checkpointing)."""
+        return {key: residual.copy() for key, residual in self._residuals.items()}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore residuals from a :meth:`get_state` snapshot."""
+        self._residuals = {key: np.array(residual, copy=True)
+                           for key, residual in state.items()}
+
 
 def dequantize_dict(quantized: Dict[str, QuantizedGradient],
                     dense: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:

@@ -34,7 +34,12 @@ from repro.comm.backend import (
 from repro.comm.message import ByteMeter
 from repro.core.cost_model import CommScheme
 from repro.core.syncer import Syncer
-from repro.exceptions import CommunicationError, TrainingError
+from repro.exceptions import (
+    CommunicationError,
+    SyncTimeout,
+    TrainingError,
+    WorkerFailure,
+)
 
 #: A layer's parameters or gradients: parameter name -> array.
 ArrayDict = Dict[str, np.ndarray]
@@ -61,6 +66,7 @@ class RingAllReducer:
         self._collected: Dict[Tuple[str, int], Set[int]] = {}
         self._condition = threading.Condition()
         self.meter = ByteMeter()
+        self._abort_reason: Optional[BaseException] = None
 
     def wire_bytes(self, dense_bytes: int) -> int:
         """Ring traffic one worker sends (= receives) for a dense payload."""
@@ -105,13 +111,17 @@ class RingAllReducer:
             self._condition.notify_all()
             if not self._condition.wait_for(
                     lambda: len(self._board.get(key, ())) >= self.num_workers
-                    or key in self._reduced,
+                    or key in self._reduced
+                    or self._abort_reason is not None,
                     timeout=timeout):
                 have = len(self._board.get(key, {}))
-                raise CommunicationError(
+                raise SyncTimeout(
                     f"ring all-reduce of {layer!r}@{iteration} timed out with "
                     f"{have}/{self.num_workers} contributions"
                 )
+            if (self._abort_reason is not None and key not in self._reduced
+                    and len(self._board.get(key, ())) < self.num_workers):
+                raise self._wrap_abort(layer, iteration)
             reduced = self._reduced.get(key)
             if reduced is None:
                 reduced = self._reduce_locked(key, aggregation)
@@ -126,6 +136,41 @@ class RingAllReducer:
         self.meter.record(wire, "sent", tag=f"ring:{layer}")
         self.meter.record(wire, "received", tag=f"ring:{layer}")
         return reduced, wire, wire
+
+    # -- fault tolerance ----------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """The collective carries no state across iterations; nothing to save."""
+        return {}
+
+    def restore(self, snapshot: dict) -> None:
+        """Clear all in-flight board state (restart recovery)."""
+        with self._condition:
+            self._board.clear()
+            self._reduced.clear()
+            self._collected.clear()
+            self._abort_reason = None
+            self._condition.notify_all()
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every blocked ``allreduce`` with a failure."""
+        with self._condition:
+            self._abort_reason = exc
+            self._condition.notify_all()
+
+    def clear_abort(self) -> None:
+        """Re-arm the collective after recovery handled the abort."""
+        with self._condition:
+            self._abort_reason = None
+
+    def _wrap_abort(self, layer: str, iteration: int) -> BaseException:
+        reason = self._abort_reason
+        if isinstance(reason, WorkerFailure):
+            return WorkerFailure(
+                f"ring all-reduce of {layer!r}@{iteration} aborted: {reason}",
+                worker_id=reason.worker_id, iteration=reason.iteration,
+                cascade=True)
+        return CommunicationError(
+            f"ring all-reduce of {layer!r}@{iteration} aborted: {reason}")
 
     def _reduce_locked(self, key: Tuple[str, int], aggregation: str) -> ArrayDict:
         """Reduce all contributions of ``key`` in worker-id order (lock held)."""
@@ -145,11 +190,12 @@ class RingSyncer(Syncer):
     """
 
     def __init__(self, worker_id: int, layer, ring: RingAllReducer,
-                 local_optimizer, aggregation: str = "mean", policy=None):
+                 local_optimizer, aggregation: str = "mean", policy=None,
+                 sync_timeout: Optional[float] = 30.0):
         self.ring = ring
         super().__init__(worker_id, layer, CommScheme.RING,
                          local_optimizer=local_optimizer, aggregation=aggregation,
-                         policy=policy)
+                         policy=policy, sync_timeout=sync_timeout)
 
     def _validate_backends(self) -> None:
         if self.ring is None or self.local_optimizer is None:
@@ -165,7 +211,7 @@ class RingSyncer(Syncer):
         assert self._staged_grads is not None
         reduced, sent, received = self.ring.allreduce(
             self.worker_id, self.layer.name, iteration, self._staged_grads,
-            aggregation=self.aggregation)
+            aggregation=self.aggregation, timeout=self.sync_timeout)
         for key, grad in reduced.items():
             self.local_optimizer.apply(
                 f"{self.layer.name}/{key}", self.layer.params[key], grad)
@@ -244,7 +290,8 @@ class RingBackend(CommBackend):
                     ctx: TrainerContext, policy=None):
         return RingSyncer(resources.worker_id, layer, substrate,
                           resources.local_optimizer, aggregation=ctx.aggregation,
-                          policy=ctx.policy if policy is None else policy)
+                          policy=ctx.policy if policy is None else policy,
+                          sync_timeout=ctx.sync_timeout)
 
 
 RING_BACKEND = register_backend(RingBackend())

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.comm.message import ByteMeter
-from repro.exceptions import CommunicationError
+from repro.exceptions import CommunicationError, SyncTimeout, WorkerFailure
 from repro.nn.sufficient_factors import SufficientFactors, batch_reconstruct
 
 #: Extra (non-factorisable) arrays sent alongside the factors, e.g. the bias
@@ -41,6 +41,7 @@ class SufficientFactorBroadcaster:
         self._collected: Dict[Tuple[str, int], set] = {}
         self._condition = threading.Condition()
         self.meter = ByteMeter()
+        self._abort_reason: Optional[BaseException] = None
 
     def publish(self, worker_id: int, layer: str, iteration: int,
                 factors: SufficientFactors, extras: Optional[ExtraDict] = None) -> int:
@@ -90,14 +91,18 @@ class SufficientFactorBroadcaster:
         key = (layer, int(iteration))
         with self._condition:
             def _complete() -> bool:
-                return len(self._board.get(key, {})) >= self.num_workers
+                return (self._abort_reason is not None
+                        or len(self._board.get(key, {})) >= self.num_workers)
 
             if not self._condition.wait_for(_complete, timeout=timeout):
                 have = len(self._board.get(key, {}))
-                raise CommunicationError(
+                raise SyncTimeout(
                     f"collect of {layer!r}@{iteration} timed out with "
                     f"{have}/{self.num_workers} contributions"
                 )
+            if (self._abort_reason is not None
+                    and len(self._board.get(key, {})) < self.num_workers):
+                raise self._wrap_abort(layer, iteration)
             entry = self._board[key]
             result = [(wid, factors, extras)
                       for wid, (factors, extras) in sorted(entry.items())]
@@ -112,6 +117,40 @@ class SufficientFactorBroadcaster:
         )
         self.meter.record(received, "received", tag=f"sfb:{layer}")
         return result
+
+    # -- fault tolerance ----------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """The board carries no state across BSP iterations; nothing to save."""
+        return {}
+
+    def restore(self, snapshot: dict) -> None:
+        """Clear all in-flight board state (restart recovery)."""
+        with self._condition:
+            self._board.clear()
+            self._collected.clear()
+            self._abort_reason = None
+            self._condition.notify_all()
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every blocked ``collect`` with a failure."""
+        with self._condition:
+            self._abort_reason = exc
+            self._condition.notify_all()
+
+    def clear_abort(self) -> None:
+        """Re-arm the board after recovery handled the abort."""
+        with self._condition:
+            self._abort_reason = None
+
+    def _wrap_abort(self, layer: str, iteration: int) -> BaseException:
+        reason = self._abort_reason
+        if isinstance(reason, WorkerFailure):
+            return WorkerFailure(
+                f"SFB collect of {layer!r}@{iteration} aborted: {reason}",
+                worker_id=reason.worker_id, iteration=reason.iteration,
+                cascade=True)
+        return CommunicationError(
+            f"SFB collect of {layer!r}@{iteration} aborted: {reason}")
 
     def garbage_collect(self, before_iteration: int) -> int:
         """Drop board entries older than ``before_iteration``; returns count dropped."""

@@ -11,15 +11,22 @@ equals the number of workers (that half lives in
 
 :class:`BSPController` is the client-side half used by the functional
 trainer; it is thread-safe because syncer jobs complete on worker-local
-thread pools.
+thread pools.  The barrier is a condition-variable generation barrier
+rather than :class:`threading.Barrier` so that fault tolerance can reach
+it: the party count shrinks when a dead worker is dropped
+(:meth:`remove_worker`), a supervisor can :meth:`abort` it to wake blocked
+survivors immediately instead of letting them time out, and the last
+arriver can run a callback while every other worker is still parked inside
+the barrier -- a consistent cut, which is exactly when the trainer
+snapshots a checkpoint.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from repro.exceptions import TrainingError
+from repro.exceptions import SyncTimeout, TrainingError, WorkerFailure
 
 
 class BSPController:
@@ -37,7 +44,18 @@ class BSPController:
         ]
         self._locks = [threading.Lock() for _ in range(self.num_workers)]
         self._events = [threading.Event() for _ in range(self.num_workers)]
-        self._barrier = threading.Barrier(self.num_workers)
+        # Generation barrier state: _parties shrinks as workers are removed.
+        self._barrier_lock = threading.Lock()
+        self._barrier_cond = threading.Condition(self._barrier_lock)
+        self._parties = self.num_workers
+        self._arrived = 0
+        self._generation = 0
+        self._removed: Set[int] = set()
+        self._abort_reason: Optional[BaseException] = None
+        #: Callback the last arriver runs inside the barrier (all other
+        #: workers parked): the trainer's checkpoint hook.  Exceptions
+        #: propagate to the last arriver only.
+        self.on_release: Optional[Callable[[], None]] = None
         self.iterations_completed = 0
 
     # -- per-worker sync vector -----------------------------------------------------
@@ -70,22 +88,116 @@ class BSPController:
         """Block until every syncer of this worker finished the iteration.
 
         Raises:
-            TrainingError: on timeout, listing the stuck syncers.
+            SyncTimeout: on timeout, listing the stuck syncers.
         """
         if not self._events[worker_id].wait(timeout=timeout):
-            raise TrainingError(
+            raise SyncTimeout(
                 f"worker {worker_id} timed out waiting for syncers: "
                 f"{self.pending(worker_id)}"
             )
 
     # -- global barrier -------------------------------------------------------------
     def barrier(self, worker_id: int, timeout: Optional[float] = 60.0) -> None:
-        """Cross-worker iteration barrier (the bulk-synchronous step boundary)."""
-        try:
-            index = self._barrier.wait(timeout=timeout)
-        except threading.BrokenBarrierError as exc:
-            raise TrainingError(
-                f"BSP barrier broken while worker {worker_id} was waiting"
-            ) from exc
-        if index == 0:
-            self.iterations_completed += 1
+        """Cross-worker iteration barrier (the bulk-synchronous step boundary).
+
+        The last arriver runs :attr:`on_release` (if set) while all other
+        parties are still blocked, then releases the generation.  Raises
+        :class:`SyncTimeout` on timeout and :class:`WorkerFailure` if the
+        barrier was aborted or this worker was removed.
+        """
+        with self._barrier_cond:
+            if self._abort_reason is not None:
+                raise self._wrap_abort(worker_id)
+            if worker_id in self._removed:
+                raise WorkerFailure(
+                    f"worker {worker_id} reached the BSP barrier after being "
+                    f"dropped", worker_id=worker_id, cascade=True)
+            self._arrived += 1
+            generation = self._generation
+            if self._arrived >= self._parties:
+                self._release_locked()
+                return
+            deadline = (None if timeout is None
+                        else threading.TIMEOUT_MAX if timeout < 0
+                        else timeout)
+            released = self._barrier_cond.wait_for(
+                lambda: (self._generation != generation
+                         or self._abort_reason is not None),
+                timeout=deadline)
+            if self._abort_reason is not None and self._generation == generation:
+                raise self._wrap_abort(worker_id)
+            if not released:
+                self._arrived = max(0, self._arrived - 1)
+                raise SyncTimeout(
+                    f"BSP barrier timed out at worker {worker_id} "
+                    f"({self._arrived}/{self._parties} arrived)")
+
+    def _release_locked(self) -> None:
+        """Release the current generation (caller holds the barrier lock)."""
+        callback = self.on_release
+        error: Optional[BaseException] = None
+        if callback is not None:
+            try:
+                callback()
+            except BaseException as exc:  # surfaced at the last arriver
+                error = exc
+        self.iterations_completed += 1
+        self._generation += 1
+        self._arrived = 0
+        self._barrier_cond.notify_all()
+        if error is not None:
+            raise error
+
+    # -- fault-tolerance hooks ------------------------------------------------------
+    def remove_worker(self, worker_id: int) -> None:
+        """Drop a dead worker from the barrier (drop-dead-worker mode).
+
+        Shrinks the party count; if the survivors have already all
+        arrived, the generation is released immediately so nobody waits
+        for the ghost.
+        """
+        with self._barrier_cond:
+            if worker_id in self._removed:
+                return
+            self._removed.add(worker_id)
+            self._parties -= 1
+            if self._parties < 1:
+                raise TrainingError("cannot drop the last remaining worker")
+            if self._arrived >= self._parties:
+                self._release_locked()
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every blocked barrier waiter with a failure."""
+        with self._barrier_cond:
+            self._abort_reason = exc
+            self._barrier_cond.notify_all()
+
+    def clear_abort(self) -> None:
+        """Re-arm the barrier after recovery handled the abort."""
+        with self._barrier_cond:
+            self._abort_reason = None
+
+    def reset(self) -> None:
+        """Restore full membership and a clean generation (restart mode)."""
+        with self._barrier_cond:
+            self._abort_reason = None
+            self._removed.clear()
+            self._parties = self.num_workers
+            self._arrived = 0
+            self._generation += 1
+            self._barrier_cond.notify_all()
+        for worker_id in range(self.num_workers):
+            with self._locks[worker_id]:
+                for name in self.syncer_names:
+                    self._vectors[worker_id][name] = False
+                self._events[worker_id].clear()
+
+    def _wrap_abort(self, worker_id: int) -> BaseException:
+        reason = self._abort_reason
+        if isinstance(reason, WorkerFailure):
+            return WorkerFailure(
+                f"BSP barrier aborted at worker {worker_id}: {reason}",
+                worker_id=reason.worker_id, iteration=reason.iteration,
+                cascade=True)
+        return TrainingError(
+            f"BSP barrier aborted at worker {worker_id}: {reason}")

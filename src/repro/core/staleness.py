@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional
 
-from repro.exceptions import TrainingError
+from repro.exceptions import SyncTimeout, TrainingError, WorkerFailure
 
 #: Sentinel distinguishing "no timeout given" from an explicit ``None``
 #: (= wait forever) in :meth:`SSPClock.advance`.
@@ -51,6 +51,8 @@ class SSPClock:
         self.default_timeout = default_timeout
         self._clocks: List[int] = [0] * self.num_workers
         self._condition = threading.Condition()
+        self._removed: set = set()
+        self._abort_reason: Optional[BaseException] = None
 
     # -- inspection ---------------------------------------------------------------
     def clock(self, worker_id: int) -> int:
@@ -60,15 +62,15 @@ class SSPClock:
             return self._clocks[worker_id]
 
     def min_clock(self) -> int:
-        """Clock of the slowest worker (the 'global' clock)."""
+        """Clock of the slowest live worker (the 'global' clock)."""
         with self._condition:
-            return min(self._clocks)
+            return self._min_locked()
 
     def lag(self, worker_id: int) -> int:
         """How far ahead of the slowest worker this worker currently is."""
         self._check_worker(worker_id)
         with self._condition:
-            return self._clocks[worker_id] - min(self._clocks)
+            return self._clocks[worker_id] - self._min_locked()
 
     def snapshot(self) -> Dict[int, int]:
         """Copy of every worker's clock."""
@@ -95,6 +97,8 @@ class SSPClock:
         if timeout is _USE_DEFAULT:
             timeout = self.default_timeout
         with self._condition:
+            if self._abort_reason is not None:
+                raise self._wrap_abort(worker_id)
             self._clocks[worker_id] += 1
             new_clock = self._clocks[worker_id]
             self._condition.notify_all()
@@ -102,14 +106,17 @@ class SSPClock:
                 return new_clock
 
             def _within_bound() -> bool:
-                return new_clock - min(self._clocks) <= self.staleness
+                return (self._abort_reason is not None
+                        or new_clock - self._min_locked() <= self.staleness)
 
             if not self._condition.wait_for(_within_bound, timeout=timeout):
-                raise TrainingError(
+                raise SyncTimeout(
                     f"worker {worker_id} blocked at clock {new_clock}: slowest "
-                    f"worker is at {min(self._clocks)} with staleness bound "
+                    f"worker is at {self._min_locked()} with staleness bound "
                     f"{self.staleness}"
                 )
+            if self._abort_reason is not None:
+                raise self._wrap_abort(worker_id)
         return new_clock
 
     def can_proceed(self, worker_id: int) -> bool:
@@ -118,8 +125,60 @@ class SSPClock:
         if self.staleness is None:
             return True
         with self._condition:
-            return (self._clocks[worker_id] + 1 - min(self._clocks)) <= self.staleness \
-                or self._clocks[worker_id] == min(self._clocks)
+            minimum = self._min_locked()
+            return (self._clocks[worker_id] + 1 - minimum) <= self.staleness \
+                or self._clocks[worker_id] == minimum
+
+    # -- fault-tolerance hooks -------------------------------------------------------
+    def remove_worker(self, worker_id: int) -> None:
+        """Exclude a dead worker from the staleness bound (drop mode).
+
+        The dead worker's frozen clock no longer counts toward the
+        minimum, so survivors never stall waiting for a ghost.
+        """
+        self._check_worker(worker_id)
+        with self._condition:
+            self._removed.add(worker_id)
+            if len(self._removed) >= self.num_workers:
+                raise TrainingError("cannot drop the last remaining worker")
+            self._condition.notify_all()
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every blocked ``advance`` with a failure."""
+        with self._condition:
+            self._abort_reason = exc
+            self._condition.notify_all()
+
+    def clear_abort(self) -> None:
+        """Re-arm the clock after recovery handled the abort."""
+        with self._condition:
+            self._abort_reason = None
+
+    def restore(self, clocks: Dict[int, int]) -> None:
+        """Restore clocks from a :meth:`snapshot` (restart recovery)."""
+        with self._condition:
+            for worker_id, value in clocks.items():
+                self._check_worker(worker_id)
+                self._clocks[worker_id] = int(value)
+            self._removed.clear()
+            self._abort_reason = None
+            self._condition.notify_all()
+
+    def _min_locked(self) -> int:
+        if not self._removed:
+            return min(self._clocks)
+        live = [clock for worker, clock in enumerate(self._clocks)
+                if worker not in self._removed]
+        return min(live) if live else min(self._clocks)
+
+    def _wrap_abort(self, worker_id: int) -> BaseException:
+        reason = self._abort_reason
+        if isinstance(reason, WorkerFailure):
+            return WorkerFailure(
+                f"SSP clock aborted at worker {worker_id}: {reason}",
+                worker_id=reason.worker_id, iteration=reason.iteration,
+                cascade=True)
+        return TrainingError(f"SSP clock aborted at worker {worker_id}: {reason}")
 
     def _check_worker(self, worker_id: int) -> None:
         if not 0 <= worker_id < self.num_workers:
@@ -171,7 +230,7 @@ class StalenessBoundedQueue:
                 return self._latest_version >= requested_version - self.staleness
 
             if not self._condition.wait_for(_fresh_enough, timeout=timeout):
-                raise TrainingError(
+                raise SyncTimeout(
                     f"read at version {requested_version} timed out; newest "
                     f"applied update is {self._latest_version} with staleness "
                     f"bound {self.staleness}"

@@ -57,7 +57,8 @@ class Syncer:
                  local_optimizer: Optional[SGD] = None,
                  quantizer: Optional[OneBitQuantizer] = None,
                  aggregation: str = "mean",
-                 policy: Optional[SyncPolicy] = None):
+                 policy: Optional[SyncPolicy] = None,
+                 sync_timeout: Optional[float] = 30.0):
         self.worker_id = int(worker_id)
         self.layer = layer
         self.scheme = CommScheme(scheme)
@@ -68,6 +69,11 @@ class Syncer:
         self.quantizer = quantizer
         self.aggregation = aggregation
         self.policy = BSP if policy is None else policy
+        #: Deadline for every blocking wait on this syncer's sync path; the
+        #: trainer plumbs its ``sync_timeout`` here so a dead peer fails
+        #: the run with :class:`~repro.exceptions.SyncTimeout` instead of
+        #: hanging on a substrate's historical hardcoded default.
+        self.sync_timeout = sync_timeout
         self.stats = SyncStats()
         self._staged_grads: Optional[Dict[str, np.ndarray]] = None
         self._validate_backends()
@@ -174,7 +180,7 @@ class Syncer:
         # share the server's per-version read-only snapshot.
         params = self.ps.pull(self.worker_id, self.layer.name,
                               min_version=self._pull_min_version(iteration),
-                              copy=False)
+                              timeout=self.sync_timeout, copy=False)
         self.layer.set_params(params)
         self.stats.bytes_sent += sent
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
@@ -189,7 +195,7 @@ class Syncer:
         self.ps.push(self.worker_id, self.layer.name, lossy_grads, nbytes=wire_bytes)
         params = self.ps.pull(self.worker_id, self.layer.name,
                               min_version=self._pull_min_version(iteration),
-                              copy=False)
+                              timeout=self.sync_timeout, copy=False)
         self.layer.set_params(params)
         self.stats.bytes_sent += wire_bytes
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
@@ -203,7 +209,8 @@ class Syncer:
         extras = {"bias": dense_layer.grads["bias"]}
         sent = self.sfb.publish(self.worker_id, self.layer.name, iteration, factors,
                                 extras=extras)
-        contributions = self.sfb.collect(self.worker_id, self.layer.name, iteration)
+        contributions = self.sfb.collect(self.worker_id, self.layer.name,
+                                         iteration, timeout=self.sync_timeout)
         weight_grad, extra_grads = self.sfb.aggregate(
             contributions, aggregation=self.aggregation)
         self.local_optimizer.apply(
@@ -228,7 +235,8 @@ class Syncer:
         sent = self.adam.push_factors(self.worker_id, self.layer.name, factors,
                                       extras=extras)
         params = self.adam.pull_matrix(self.worker_id, self.layer.name,
-                                       min_version=iteration + 1)
+                                       min_version=iteration + 1,
+                                       timeout=self.sync_timeout)
         self.layer.set_params(params)
         self.stats.bytes_sent += sent
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
@@ -254,9 +262,9 @@ class LocalSGDSyncer(Syncer):
                  policy: SyncPolicy,
                  sync_timeout: Optional[float] = 60.0):
         self.averager = averager
-        self.sync_timeout = sync_timeout
         super().__init__(worker_id, layer, scheme,
-                         local_optimizer=local_optimizer, policy=policy)
+                         local_optimizer=local_optimizer, policy=policy,
+                         sync_timeout=sync_timeout)
 
     def _validate_backends(self) -> None:
         if self.averager is None:

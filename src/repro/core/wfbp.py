@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import enum
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, List, Optional
 
-from repro.exceptions import TrainingError
+from repro.exceptions import SyncTimeout, TrainingError, WorkerFailure
 
 
 class ScheduleMode(str, enum.Enum):
@@ -75,8 +76,12 @@ class WFBPScheduler:
         """Block until every scheduled job has finished; returns their results.
 
         Raises:
-            TrainingError: if any job raised, with the original exception
-                chained.
+            WorkerFailure: unwrapped, if a job observed a worker failure
+                (recovery dispatches on the typed exception).
+            SyncTimeout: if a job did not finish within ``timeout`` (a
+                suspected dead peer) or timed out internally.
+            TrainingError: if a job raised any other exception, with the
+                original chained.
         """
         results: List[Any] = []
         if self.mode is ScheduleMode.SEQUENTIAL:
@@ -88,6 +93,14 @@ class WFBPScheduler:
         for future in futures:
             try:
                 results.append(future.result(timeout=timeout))
+            except (WorkerFailure, SyncTimeout):
+                # Typed failures carry recovery-relevant identity; the
+                # trainer's supervision logic dispatches on them directly.
+                raise
+            except FutureTimeoutError as exc:
+                raise SyncTimeout(
+                    f"syncer job did not finish within {timeout}s "
+                    f"(suspected dead peer)") from exc
             except Exception as exc:  # noqa: BLE001 - rethrown with context
                 raise TrainingError(f"syncer job failed: {exc}") from exc
         return results

@@ -54,3 +54,19 @@ class BatchSampler:
         """Yield ``count`` consecutive mini-batches."""
         for _ in range(count):
             yield self.next_batch()
+
+    def get_state(self) -> dict:
+        """Snapshot the full sampling state (for exact crash recovery)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "order": self._order.copy(),
+            "cursor": self._cursor,
+            "epoch": self.epoch,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore from a :meth:`get_state` snapshot; replay is bit-exact."""
+        self._rng.bit_generator.state = state["rng"]
+        self._order = np.array(state["order"], copy=True)
+        self._cursor = int(state["cursor"])
+        self.epoch = int(state["epoch"])

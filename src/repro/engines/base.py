@@ -63,6 +63,18 @@ class SystemConfig:
             means fully asynchronous (no bound at all).
         sync_period: local-SGD period ``H`` -- sync traffic every H-th
             iteration (1 = per-iteration sync, the default).
+        straggler_fraction: fraction of workers running slow each
+            iteration (quantized to whole workers: ``ceil(f*P)/P``); 0
+            (the default) models a healthy cluster.
+        straggler_factor: compute slowdown multiplier of a straggling
+            worker (1.0 = no slowdown).
+        mtbf_seconds: cluster mean-time-between-failures driving the
+            checkpoint/restart overhead model; ``None`` (default) means
+            failures never happen.
+        checkpoint_interval_seconds: seconds between checkpoints; ``None``
+            picks the Young--Daly optimum ``sqrt(2*C*M)`` when an MTBF is
+            set.
+        checkpoint_cost_seconds: seconds one checkpoint costs (``C``).
     """
 
     name: str
@@ -75,6 +87,11 @@ class SystemConfig:
     host_copy_bandwidth_bps: float = 16 * units.GBIT
     staleness: Optional[int] = 0
     sync_period: int = 1
+    straggler_fraction: float = 0.0
+    straggler_factor: float = 1.0
+    mtbf_seconds: Optional[float] = None
+    checkpoint_interval_seconds: Optional[float] = None
+    checkpoint_cost_seconds: float = 0.0
 
     def renamed(self, name: str) -> "SystemConfig":
         """Copy of this system under a different display name."""
@@ -105,3 +122,20 @@ class SystemConfig:
         parsed = SyncPolicy.parse(policy)
         return replace(self, staleness=parsed.bound,
                        sync_period=parsed.sync_period)
+
+    def with_faults(self, straggler_fraction: float = 0.0,
+                    straggler_factor: float = 1.0,
+                    mtbf_seconds: Optional[float] = None,
+                    checkpoint_interval_seconds: Optional[float] = None,
+                    checkpoint_cost_seconds: float = 0.0) -> "SystemConfig":
+        """Copy of this system under a fault environment.
+
+        The axes feed both engines: the DES injects per-worker compute
+        slowdowns and the fluid engine uses the closed-form straggler and
+        Young--Daly checkpoint models of :mod:`repro.core.faults`.
+        """
+        return replace(self, straggler_fraction=straggler_fraction,
+                       straggler_factor=straggler_factor,
+                       mtbf_seconds=mtbf_seconds,
+                       checkpoint_interval_seconds=checkpoint_interval_seconds,
+                       checkpoint_cost_seconds=checkpoint_cost_seconds)

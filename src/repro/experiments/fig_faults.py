@@ -1,0 +1,268 @@
+"""Fault frontier: checkpoint cost vs. MTBF, and straggler masking by policy.
+
+The paper's KV store "will regularly checkpoint current parameter states
+for fault tolerance"; this experiment quantifies what that machinery costs
+and when relaxed execution semantics pay off under degraded clusters.  Two
+views share one sweep:
+
+- **cost-vs-MTBF frontier** (per backend, BSP): the expected iteration-time
+  overhead of checkpoint/restart running, at a fixed checkpoint interval
+  and at the Young--Daly optimum ``sqrt(2*C*M)``.  Overhead must fall
+  monotonically as the cluster gets healthier (MTBF grows), and the
+  Young--Daly interval must never lose to a fixed one.
+- **straggler masking** (PS backend, policy axis): iteration-time inflation
+  when a fraction of workers runs slow.  A BSP barrier pays the slowest
+  worker's full excess every iteration; ssp(s) hides stragglers that are
+  under ``s`` clocks behind; fully asynchronous execution pays only the
+  mean excess.
+
+Engine agreement: the checkpoint/restart axis uses the identical closed
+form in both engines (exact agreement by construction); on the straggler
+axis the fluid engine's first-order model is an upper bound of the DES --
+it ignores the extra communication overlap a slowed worker gains -- and
+the two agree within ~30% on <= 32-node configurations (pinned by the
+chaos tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.faults import fault_overhead_factor, young_daly_interval
+from repro.core.policy import SyncPolicy
+from repro.core.wfbp import ScheduleMode
+from repro.engines.base import CommMode, Partitioning, SystemConfig
+from repro.experiments.report import format_series
+from repro.experiments.sweep import sweep_scaling_curves
+from repro.nn.model_zoo import get_model_spec
+from repro.simulation.speedup import ScalingCurve
+
+#: Backends on the cost-vs-MTBF frontier (the three substrate families).
+FIG_FAULTS_SCHEMES: Tuple[Tuple[CommMode, str], ...] = (
+    (CommMode.PS, "PS"),
+    (CommMode.ONEBIT, "1-bit PS"),
+    (CommMode.RING, "Ring-AllReduce"),
+)
+
+#: MTBF axis (seconds), flaky to healthy.  ``None`` = failures never happen
+#: (the fault-free baseline every overhead is measured against).
+FIG_FAULTS_MTBFS: Tuple[Optional[float], ...] = (
+    None, 86_400.0, 21_600.0, 3_600.0, 900.0)
+
+#: Checkpoint intervals (seconds); ``None`` = the Young--Daly optimum.
+FIG_FAULTS_INTERVALS: Tuple[Optional[float], ...] = (None, 120.0)
+
+#: Seconds one checkpoint costs (a full parameter snapshot to stable
+#: storage; order of a VGG19 parameter set over a 10 GbE store link).
+FIG_FAULTS_CHECKPOINT_COST: float = 5.0
+
+#: Straggler severities swept: (fraction of workers slowed, slowdown factor).
+FIG_FAULTS_STRAGGLERS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 1.0), (0.125, 2.0), (0.25, 4.0))
+
+#: Policies on the masking view: the consistency gate is what determines
+#: how much of a straggler's excess the cluster pays.
+FIG_FAULTS_POLICIES: Tuple[str, ...] = ("bsp", "ssp-2", "async", "local-4")
+
+#: Node counts on the x-axis (kept <= 32: the engine-agreement envelope).
+FIG_FAULTS_NODE_COUNTS: Tuple[int, ...] = (8, 16)
+
+#: Bandwidth of every configuration (GbE).
+FIG_FAULTS_BANDWIDTH: float = 10.0
+
+#: Model swept: FC-heavy, so backend choice moves bytes too.
+FIG_FAULTS_MODEL = "vgg19"
+
+
+def _fmt_mtbf(mtbf: Optional[float]) -> str:
+    return "inf" if mtbf is None else f"{mtbf:g}s"
+
+
+def _fmt_interval(interval: Optional[float]) -> str:
+    return "yd" if interval is None else f"{interval:g}s"
+
+
+def _base_system(name: str, comm: CommMode) -> SystemConfig:
+    return SystemConfig(
+        name=name,
+        engine="poseidon",
+        schedule=ScheduleMode.WFBP,
+        partitioning=Partitioning.FINE,
+        comm=comm,
+        overlap_pull=True,
+        overlap_host_copy=True,
+    )
+
+
+def frontier_systems(schemes: Sequence[Tuple[CommMode, str]] = FIG_FAULTS_SCHEMES,
+                     mtbfs: Sequence[Optional[float]] = FIG_FAULTS_MTBFS,
+                     intervals: Sequence[Optional[float]] = FIG_FAULTS_INTERVALS,
+                     checkpoint_cost: float = FIG_FAULTS_CHECKPOINT_COST
+                     ) -> Tuple[SystemConfig, ...]:
+    """One BSP system per (backend, MTBF, checkpoint interval) point."""
+    systems: List[SystemConfig] = []
+    for comm, label in schemes:
+        for mtbf in mtbfs:
+            for interval in intervals:
+                name = (f"{label} mtbf={_fmt_mtbf(mtbf)} "
+                        f"ckpt={_fmt_interval(interval)}")
+                systems.append(_base_system(name, comm).with_faults(
+                    mtbf_seconds=mtbf,
+                    checkpoint_interval_seconds=interval,
+                    checkpoint_cost_seconds=checkpoint_cost))
+    return tuple(systems)
+
+
+def masking_systems(policies: Sequence[str] = FIG_FAULTS_POLICIES,
+                    stragglers: Sequence[Tuple[float, float]] = FIG_FAULTS_STRAGGLERS
+                    ) -> Tuple[SystemConfig, ...]:
+    """One PS system per (policy, straggler severity) point."""
+    systems: List[SystemConfig] = []
+    for spec in policies:
+        policy = SyncPolicy.parse(spec)
+        for fraction, factor in stragglers:
+            name = f"PS {policy} slow={fraction:g}x{factor:g}"
+            systems.append(_base_system(name, CommMode.PS)
+                           .with_policy(policy)
+                           .with_faults(straggler_fraction=fraction,
+                                        straggler_factor=factor))
+    return tuple(systems)
+
+
+@dataclass
+class FaultSweepResult:
+    """Both views of the fault sweep, keyed back by their sweep axes."""
+
+    node_counts: Sequence[int]
+    mtbfs: Sequence[Optional[float]]
+    intervals: Sequence[Optional[float]]
+    stragglers: Sequence[Tuple[float, float]]
+    policies: Sequence[str]
+    checkpoint_cost: float = FIG_FAULTS_CHECKPOINT_COST
+    #: scheme label -> (mtbf, interval) -> curve
+    frontier: Dict[str, Dict[Tuple[Optional[float], Optional[float]],
+                             ScalingCurve]] = field(default_factory=dict)
+    #: policy spec -> (fraction, factor) -> curve
+    masking: Dict[str, Dict[Tuple[float, float], ScalingCurve]] = field(
+        default_factory=dict)
+
+    def _at(self, curve: ScalingCurve, nodes: int) -> float:
+        return curve.results[curve.node_counts.index(nodes)].iteration_seconds
+
+    def overhead(self, scheme: str, mtbf: Optional[float],
+                 interval: Optional[float], nodes: int) -> float:
+        """Iteration-time factor vs. the scheme's fault-free baseline."""
+        baseline = self._at(self.frontier[scheme][(None, self.intervals[0])],
+                            nodes)
+        return self._at(self.frontier[scheme][(mtbf, interval)],
+                        nodes) / baseline
+
+    def mtbf_frontier(self, scheme: str, interval: Optional[float],
+                      nodes: int) -> List[Tuple[Optional[float], float]]:
+        """(MTBF, overhead factor) pairs, flakiest cluster first."""
+        axis = sorted((m for m in self.mtbfs if m is not None))
+        return [(mtbf, self.overhead(scheme, mtbf, interval, nodes))
+                for mtbf in axis]
+
+    def straggler_slowdown(self, policy: str,
+                           straggler: Tuple[float, float],
+                           nodes: int) -> float:
+        """Iteration-time inflation of one policy under one severity."""
+        baseline = self._at(self.masking[policy][self.stragglers[0]], nodes)
+        return self._at(self.masking[policy][straggler], nodes) / baseline
+
+    @property
+    def scheme_names(self) -> List[str]:
+        """Frontier scheme labels, in presentation order."""
+        return list(self.frontier)
+
+
+def run_fig_faults(node_counts: Sequence[int] = FIG_FAULTS_NODE_COUNTS,
+                   schemes: Sequence[Tuple[CommMode, str]] = FIG_FAULTS_SCHEMES,
+                   mtbfs: Sequence[Optional[float]] = FIG_FAULTS_MTBFS,
+                   intervals: Sequence[Optional[float]] = FIG_FAULTS_INTERVALS,
+                   stragglers: Sequence[Tuple[float, float]] = FIG_FAULTS_STRAGGLERS,
+                   policies: Sequence[str] = FIG_FAULTS_POLICIES,
+                   model: str = FIG_FAULTS_MODEL,
+                   bandwidth: float = FIG_FAULTS_BANDWIDTH,
+                   jobs: Optional[int] = None) -> FaultSweepResult:
+    """Simulate both fault views in one flat sweep."""
+    spec = get_model_spec(model)
+    frontier = frontier_systems(schemes, mtbfs, intervals)
+    masking = masking_systems(policies, stragglers)
+    combos = [(spec, system, float(bandwidth))
+              for system in frontier + masking]
+    curves = sweep_scaling_curves(combos, node_counts, jobs=jobs)
+    result = FaultSweepResult(node_counts=tuple(node_counts),
+                              mtbfs=tuple(mtbfs), intervals=tuple(intervals),
+                              stragglers=tuple(stragglers),
+                              policies=tuple(policies))
+    for comm, label in schemes:
+        by_point: Dict[Tuple[Optional[float], Optional[float]],
+                       ScalingCurve] = {}
+        for mtbf in mtbfs:
+            for interval in intervals:
+                name = (f"{label} mtbf={_fmt_mtbf(mtbf)} "
+                        f"ckpt={_fmt_interval(interval)}")
+                system = next(s for s in frontier if s.name == name)
+                by_point[(mtbf, interval)] = curves[(spec, system,
+                                                     float(bandwidth))]
+        result.frontier[label] = by_point
+    for policy_spec in policies:
+        policy = SyncPolicy.parse(policy_spec)
+        by_severity: Dict[Tuple[float, float], ScalingCurve] = {}
+        for fraction, factor in stragglers:
+            name = f"PS {policy} slow={fraction:g}x{factor:g}"
+            system = next(s for s in masking if s.name == name)
+            by_severity[(fraction, factor)] = curves[(spec, system,
+                                                      float(bandwidth))]
+        result.masking[policy_spec] = by_severity
+    return result
+
+
+def render(result: FaultSweepResult) -> str:
+    """Frontier and masking views as report text."""
+    lines: List[str] = [
+        "Fault frontier: checkpoint cost vs. MTBF, straggler masking by policy"
+    ]
+    nodes = max(result.node_counts)
+    cost = result.checkpoint_cost
+    lines.append(
+        f"  iteration-time overhead factor at {nodes} nodes "
+        f"(checkpoint cost C={cost:g}s):")
+    mtbf_axis = sorted(m for m in result.mtbfs if m is not None)
+    labels = [_fmt_mtbf(m) for m in mtbf_axis]
+    for scheme in result.scheme_names:
+        for interval in result.intervals:
+            values = [result.overhead(scheme, mtbf, interval, nodes)
+                      for mtbf in mtbf_axis]
+            tag = f"{scheme:16s} ckpt={_fmt_interval(interval):5s}"
+            lines.append("    " + format_series(tag, labels, values,
+                                                y_format="{:.3f}"))
+    lines.append("  Young--Daly optimal intervals (sqrt(2*C*M)):")
+    lines.append("    " + format_series(
+        f"{'interval (s)':16s}", labels,
+        [young_daly_interval(cost, m) for m in mtbf_axis],
+        y_format="{:.0f}"))
+    lines.append("    " + format_series(
+        f"{'model factor':16s}", labels,
+        [fault_overhead_factor(m, None, cost) for m in mtbf_axis],
+        y_format="{:.3f}"))
+    lines.append(
+        f"  straggler slowdown factor at {nodes} nodes (PS, by policy):")
+    severities = [f"{f:g}x{k:g}" for f, k in result.stragglers]
+    for policy in result.policies:
+        values = [result.straggler_slowdown(policy, severity, nodes)
+                  for severity in result.stragglers]
+        lines.append("    " + format_series(f"{policy:16s}", severities,
+                                            values, y_format="{:.3f}"))
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run_fig_faults()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

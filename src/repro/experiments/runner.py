@@ -37,6 +37,7 @@ from repro.experiments import (
     fig11,
     fig_async,
     fig_backends,
+    fig_faults,
     fig_scale,
     fig_topology,
     multigpu,
@@ -107,6 +108,19 @@ def _run_fig_async(quick: bool) -> str:
                                                     policies=policies))
 
 
+def _run_fig_faults(quick: bool) -> str:
+    nodes = (8,) if quick else fig_faults.FIG_FAULTS_NODE_COUNTS
+    mtbfs = ((None, 3600.0, 900.0) if quick
+             else fig_faults.FIG_FAULTS_MTBFS)
+    stragglers = (((0.0, 1.0), (0.25, 4.0)) if quick
+                  else fig_faults.FIG_FAULTS_STRAGGLERS)
+    policies = (("bsp", "ssp-2", "async") if quick
+                else fig_faults.FIG_FAULTS_POLICIES)
+    return fig_faults.render(fig_faults.run_fig_faults(
+        node_counts=nodes, mtbfs=mtbfs, stragglers=stragglers,
+        policies=policies))
+
+
 def _run_fig_backends(quick: bool) -> str:
     nodes = (2, 8, 32) if quick else fig_backends.FIG_BACKENDS_NODE_COUNTS
     return fig_backends.render(fig_backends.run_fig_backends(node_counts=nodes))
@@ -150,6 +164,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig11": _run_fig11,
     "fig_async": _run_fig_async,
     "fig_backends": _run_fig_backends,
+    "fig_faults": _run_fig_faults,
     "fig_scale": _run_fig_scale,
     "fig_topology": _run_fig_topology,
     "multigpu": _run_multigpu,

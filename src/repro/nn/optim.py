@@ -68,3 +68,12 @@ class SGD:
     def reset(self) -> None:
         """Drop all accumulated momentum state."""
         self._velocity.clear()
+
+    def get_state(self) -> Dict[str, np.ndarray]:
+        """Deep copy of the momentum state (for checkpointing)."""
+        return {key: velocity.copy() for key, velocity in self._velocity.items()}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore momentum state from a :meth:`get_state` snapshot."""
+        self._velocity = {key: np.array(velocity, copy=True)
+                          for key, velocity in state.items()}

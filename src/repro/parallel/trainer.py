@@ -21,8 +21,9 @@ reproducible run-to-run.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -32,15 +33,24 @@ from repro.comm.quantization import OneBitQuantizer
 from repro.config import TrainingConfig
 from repro.core.consistency import BSPController
 from repro.core.cost_model import CommScheme
+from repro.core.faults import FailureDetector, FaultInjector, FaultPlan
 from repro.core.policy import SyncPolicy
 from repro.core.staleness import SSPClock
 from repro.core.syncer import Syncer
 from repro.core.wfbp import DeterministicScheduler, ScheduleMode, WFBPScheduler
 from repro.data.samplers import BatchSampler
-from repro.exceptions import TrainingError
+from repro.exceptions import (
+    RecoveryError,
+    TrainingError,
+    TransientFault,
+    WorkerFailure,
+)
 from repro.nn.network import Network
 from repro.nn.optim import SGD
 from repro.parallel.schemes import SchemeAssignment, assign_schemes
+
+#: Recognised crash-recovery modes (validated against backend capabilities).
+RECOVERY_MODES: Tuple[str, ...] = ("none", "restart", "drop")
 
 #: ``(iteration, worker_id) -> (images, labels)``
 BatchProvider = Callable[[int, int], Tuple[np.ndarray, np.ndarray]]
@@ -76,16 +86,39 @@ class TrainingHistory:
         return self.test_errors[-1][1] if self.test_errors else float("nan")
 
 
+@dataclass
+class TrainerCheckpoint:
+    """A consistent cut of the whole training job (restart recovery).
+
+    Captured at a step boundary where no sync is in flight -- inside the
+    BSP barrier release (all other workers parked) or between rounds of
+    the serialized relaxed-policy loop -- so every piece is from the same
+    logical instant: the replicas, their local optimizer / quantizer /
+    sampler state, the substrates' global state (including server-side
+    optimizer state) and the SSP clock vector.
+    """
+
+    step: int
+    replica_states: List[Dict[str, Dict[str, np.ndarray]]]
+    optimizer_states: List[Dict[str, np.ndarray]]
+    quantizer_states: List[dict]
+    sampler_states: List[Optional[dict]]
+    substrate_snapshots: Dict[CommScheme, Any]
+    clock_snapshot: Optional[Dict[int, int]] = None
+
+
 class _WorkerRuntime:
     """Per-worker state: the model replica, its syncers and its scheduler."""
 
     def __init__(self, worker_id: int, network: Network, syncers: Dict[str, Syncer],
-                 scheduler: WFBPScheduler, sampler: Optional[BatchSampler]):
+                 scheduler: WFBPScheduler, sampler: Optional[BatchSampler],
+                 resources: WorkerResources):
         self.worker_id = worker_id
         self.network = network
         self.syncers = syncers
         self.scheduler = scheduler
         self.sampler = sampler
+        self.resources = resources
         self.losses: List[float] = []
 
 
@@ -125,6 +158,21 @@ class DistributedTrainer:
             policy's kind in its ``sync_semantics``.  The degenerate
             policies ssp(0) and local_sgd(1) run the exact BSP path, so
             they are bit-identical to ``"bsp"`` under ``deterministic``.
+        fault_plan: deterministic fault schedule
+            (:class:`~repro.core.faults.FaultPlan`); ``None`` (default)
+            leaves every injection hook a zero-cost no-op.
+        recovery: what to do when a worker dies -- ``"none"`` (fail the
+            run), ``"restart"`` (restore everything from the latest
+            checkpoint and replay; exact, parameters match the fault-free
+            run), or ``"drop"`` (excise the dead worker; the parameter
+            server renormalizes aggregation to a P-1 mean).  Every backend
+            in play must declare the mode in its ``fault_modes``;
+            collectives reject ``"drop"`` at construction.
+        checkpoint_interval: iterations between periodic checkpoints under
+            restart recovery (0 = only the implicit step-0 checkpoint).
+        retry_limit: bounded retries for transient sync failures before a
+            worker is declared dead.
+        retry_backoff: base seconds of the exponential retry backoff.
     """
 
     def __init__(self,
@@ -141,7 +189,12 @@ class DistributedTrainer:
                  aggregation: str = "mean",
                  sync_timeout: float = 60.0,
                  deterministic: bool = False,
-                 policy: Union[SyncPolicy, str, None] = "bsp"):
+                 policy: Union[SyncPolicy, str, None] = "bsp",
+                 fault_plan: Optional[FaultPlan] = None,
+                 recovery: str = "none",
+                 checkpoint_interval: int = 0,
+                 retry_limit: int = 3,
+                 retry_backoff: float = 0.001):
         if num_workers < 1:
             raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
         if train_shards is None and batch_provider is None:
@@ -164,20 +217,65 @@ class DistributedTrainer:
         self._external_provider = batch_provider
         self._train_shards = train_shards
 
+        # Fault tolerance knobs.  The defaults keep the fault-free path
+        # byte-identical to the pre-fault-tolerance trainer: no injector,
+        # no detector, no checkpoints, no extra work in the hot loop.
+        self.fault_plan = fault_plan
+        self.recovery = str(recovery)
+        if self.recovery not in RECOVERY_MODES:
+            raise TrainingError(
+                f"unknown recovery mode {recovery!r}; "
+                f"expected one of {RECOVERY_MODES}")
+        self.checkpoint_interval = int(checkpoint_interval)
+        if self.checkpoint_interval < 0:
+            raise TrainingError(
+                f"checkpoint_interval must be >= 0, got {checkpoint_interval}")
+        if retry_limit < 0 or retry_backoff < 0:
+            raise TrainingError(
+                "retry_limit and retry_backoff must be >= 0, got "
+                f"{retry_limit} / {retry_backoff}")
+        self.retry_limit = int(retry_limit)
+        self.retry_backoff = float(retry_backoff)
+        if self.recovery == "drop" and not self.policy.is_bsp_equivalent:
+            raise TrainingError(
+                f"drop-dead-worker recovery needs a BSP-equivalent policy "
+                f"(the survivors' rendezvous is what renormalizes to P-1); "
+                f"got {self.policy}")
+        if (self.recovery == "restart" and self.checkpoint_interval
+                and self.policy.averages_parameters):
+            raise TrainingError(
+                "periodic checkpoints need a per-iteration rendezvous to cut "
+                f"at; local SGD (H > 1) has none -- got {self.policy}")
+        if (self.recovery == "restart" and self.checkpoint_interval
+                and self.policy.relaxed_consistency and not self.deterministic):
+            raise TrainingError(
+                "periodic checkpoints under a relaxed policy need the "
+                "serialized deterministic schedule (free-running workers "
+                "have no consistent cut); pass deterministic=True")
+
         # Build replicas (identical initial weights by construction).
         self._replicas = [network_factory() for _ in range(self.num_workers)]
         reference = self._replicas[0]
         self.assignment: SchemeAssignment = assign_schemes(
             reference, mode, self.num_workers, self.num_servers, training.batch_size)
 
-        # Every substrate in play must be able to run the policy.
+        # Every substrate in play must be able to run the policy and the
+        # configured recovery mode (collectives reject "drop": a ring or
+        # bulletin board has no server that could renormalize to P-1).
         for scheme in sorted({s for s in self.assignment.schemes.values()},
                              key=lambda s: s.value):
-            if not get_backend(scheme).supports_policy(self.policy):
+            backend = get_backend(scheme)
+            if not backend.supports_policy(self.policy):
                 raise TrainingError(
                     f"backend {scheme.value!r} cannot run under policy "
                     f"{self.policy} (supported semantics: "
-                    f"{get_backend(scheme).sync_semantics})"
+                    f"{backend.sync_semantics})"
+                )
+            if not backend.supports_fault_mode(self.recovery):
+                raise TrainingError(
+                    f"backend {scheme.value!r} cannot run recovery mode "
+                    f"{self.recovery!r} (supported fault modes: "
+                    f"{backend.fault_modes})"
                 )
 
         # Policy state: the shared parameter averager (local SGD) and the
@@ -218,6 +316,27 @@ class DistributedTrainer:
         self._workers = [self._build_worker(w) for w in range(self.num_workers)]
         self._errors: List[BaseException] = []
         self._error_lock = threading.Lock()
+
+        # Fault-tolerance runtime: the injector realizes the plan, the
+        # detector tracks heartbeats and fans an abort out to every
+        # blocking sync primitive so a dead peer fails the run instead of
+        # hanging it.  Both are None on the default fault-free path.
+        self._injector = (FaultInjector(fault_plan)
+                          if fault_plan is not None else None)
+        self._detector: Optional[FailureDetector] = None
+        if self._injector is not None or self.recovery != "none":
+            self._detector = FailureDetector(self.num_workers,
+                                             lease_seconds=self.sync_timeout)
+            self._detector.register(self.bsp)
+            if self.clock is not None:
+                self._detector.register(self.clock)
+            if self._averager is not None:
+                self._detector.register(self._averager)
+            for substrate in self._substrates.values():
+                self._detector.register(substrate)
+        self._checkpoint: Optional[TrainerCheckpoint] = None
+        self._dropped_workers: Set[int] = set()
+        self.recoveries = 0
 
     # -- construction helpers ---------------------------------------------------
     def _make_optimizer(self) -> SGD:
@@ -261,10 +380,7 @@ class DistributedTrainer:
             syncers[layer.name] = backend.create_syncer(
                 layer, self._substrates[scheme], resources,
                 self._backend_context)
-        if self.deterministic and self.schedule is ScheduleMode.WFBP:
-            scheduler: WFBPScheduler = DeterministicScheduler()
-        else:
-            scheduler = WFBPScheduler(mode=self.schedule, num_threads=2)
+        scheduler = self._make_scheduler()
         sampler = None
         if self._train_shards is not None:
             shard_x, _ = self._train_shards[worker_id]
@@ -273,7 +389,13 @@ class DistributedTrainer:
                 batch_size=self.training.batch_size,
                 seed=self.training.seed + worker_id,
             )
-        return _WorkerRuntime(worker_id, network, syncers, scheduler, sampler)
+        return _WorkerRuntime(worker_id, network, syncers, scheduler, sampler,
+                              resources)
+
+    def _make_scheduler(self) -> WFBPScheduler:
+        if self.deterministic and self.schedule is ScheduleMode.WFBP:
+            return DeterministicScheduler()
+        return WFBPScheduler(mode=self.schedule, num_threads=2)
 
     # -- batch access ----------------------------------------------------------------
     def _batch(self, iteration: int, worker_id: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -288,7 +410,19 @@ class DistributedTrainer:
 
     # -- training ---------------------------------------------------------------------
     def train(self, iterations: Optional[int] = None) -> TrainingHistory:
-        """Run the distributed training loop and return its history."""
+        """Run the distributed training loop and return its history.
+
+        Under ``recovery="restart"`` the loop is supervised: an implicit
+        step-0 checkpoint is taken before any thread starts (plus periodic
+        ones every ``checkpoint_interval`` iterations), and when a worker
+        dies the run restores every replica, substrate and sampler from
+        the latest checkpoint and replays from its step.  Because crashes
+        fire exactly once and injection never touches numerics, the
+        recovered run's parameters are bit-identical to a fault-free run
+        under ``deterministic=True``.  Under ``recovery="drop"`` the dead
+        worker is excised instead: the survivors renormalize aggregation
+        to a P-1 mean and finish without it.
+        """
         iterations = iterations if iterations is not None else self.training.iterations
         history = TrainingHistory(
             mode=self.mode, num_workers=self.num_workers, iterations=iterations,
@@ -298,34 +432,51 @@ class DistributedTrainer:
         per_worker_losses: List[List[float]] = [[] for _ in range(self.num_workers)]
         eval_records: List[Tuple[int, float]] = []
 
-        if self.deterministic and self.policy.relaxed_consistency:
-            # Relaxed policies are nondeterministic precisely because their
-            # workers interleave freely; a serialized round-robin schedule
-            # is the reproducible representative of that interleaving.
-            self._serialized_loop(iterations, per_worker_losses, eval_records)
-        else:
-            threads = [
-                threading.Thread(
-                    target=self._worker_loop,
-                    args=(worker_id, iterations, per_worker_losses, eval_records),
-                    name=f"worker-{worker_id}",
-                    daemon=True,
-                )
-                for worker_id in range(self.num_workers)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        if self._errors:
-            raise TrainingError(f"distributed training failed: {self._errors[0]}") \
-                from self._errors[0]
+        if self.recovery == "restart":
+            self._take_checkpoint(0)
+            if self.checkpoint_interval and not self.policy.relaxed_consistency \
+                    and not self.policy.averages_parameters:
+                interval = self.checkpoint_interval
+
+                def _barrier_checkpoint() -> None:
+                    # Runs in the last arriver's thread while every other
+                    # worker is parked inside the barrier: a consistent cut.
+                    completed = self.bsp.iterations_completed + 1
+                    if completed % interval == 0 and completed < iterations:
+                        self._take_checkpoint(completed)
+
+                self.bsp.on_release = _barrier_checkpoint
+
+        start = 0
+        while True:
+            self._run_attempt(start, iterations, per_worker_losses, eval_records)
+            if not self._errors:
+                break
+            failure = self._primary_failure()
+            if (self.recovery != "restart"
+                    or not isinstance(failure, WorkerFailure)
+                    or self._checkpoint is None):
+                raise TrainingError(
+                    f"distributed training failed: {self._errors[0]}"
+                ) from self._errors[0]
+            self.recoveries += 1
+            if self.recoveries > self._max_recoveries():
+                raise RecoveryError(
+                    f"gave up after {self.recoveries - 1} restart attempts; "
+                    f"last failure: {failure}") from failure
+            self._restore_from_checkpoint(per_worker_losses, eval_records)
+            self._errors = []
+            start = self._checkpoint.step
 
         history.per_worker_losses = per_worker_losses
-        history.losses = [
-            float(np.mean([per_worker_losses[w][t] for w in range(self.num_workers)]))
-            for t in range(iterations)
-        ]
+        # Mean over the workers that reached iteration t -- ragged under
+        # drop-dead-worker recovery, rectangular otherwise.
+        history.losses = []
+        for t in range(iterations):
+            values = [losses[t] for losses in per_worker_losses
+                      if len(losses) > t]
+            history.losses.append(
+                float(np.mean(values)) if values else float("nan"))
         history.test_errors = sorted(eval_records)
         for runtime in self._workers:
             for syncer in runtime.syncers.values():
@@ -333,22 +484,56 @@ class DistributedTrainer:
                 history.bytes_received += syncer.stats.bytes_received
         return history
 
-    def _worker_loop(self, worker_id: int, iterations: int,
+    def _run_attempt(self, start: int, iterations: int,
+                     per_worker_losses: List[List[float]],
+                     eval_records: List[Tuple[int, float]]) -> None:
+        """One supervised run of the worker loops from ``start``."""
+        if self.deterministic and self.policy.relaxed_consistency:
+            # Relaxed policies are nondeterministic precisely because their
+            # workers interleave freely; a serialized round-robin schedule
+            # is the reproducible representative of that interleaving.
+            self._serialized_loop(start, iterations, per_worker_losses,
+                                  eval_records)
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(worker_id, start, iterations, per_worker_losses,
+                          eval_records),
+                    name=f"worker-{worker_id}",
+                    daemon=True,
+                )
+                for worker_id in range(self.num_workers)
+                if worker_id not in self._dropped_workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+    def _worker_loop(self, worker_id: int, start: int, iterations: int,
                      per_worker_losses: List[List[float]],
                      eval_records: List[Tuple[int, float]]) -> None:
         runtime = self._workers[worker_id]
         try:
-            for step in range(iterations):
+            for step in range(start, iterations):
                 self._worker_step(worker_id, step, per_worker_losses,
                                   eval_records)
                 self._end_of_step(worker_id)
+        except WorkerFailure as exc:
+            if (self.recovery == "drop" and not exc.cascade
+                    and exc.worker_id == worker_id):
+                # This worker died: excise it so the survivors renormalize
+                # to a P-1 mean instead of waiting for the ghost.
+                self._drop_worker(worker_id)
+            else:
+                self._record_failure(worker_id, exc)
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
-            with self._error_lock:
-                self._errors.append(exc)
+            self._record_failure(worker_id, exc)
         finally:
             runtime.scheduler.shutdown()
 
-    def _serialized_loop(self, iterations: int,
+    def _serialized_loop(self, start: int, iterations: int,
                          per_worker_losses: List[List[float]],
                          eval_records: List[Tuple[int, float]]) -> None:
         """Deterministic driver for relaxed policies: round-robin steps.
@@ -357,13 +542,19 @@ class DistributedTrainer:
         serialization of the asynchronous schedule.  Each worker's clock
         still advances through the policy gate, so the SSP invariant is
         exercised (and never blocks: the round-robin lag is at most 1).
+        Restart checkpoints are cut between rounds, where no worker has
+        anything in flight.
         """
         try:
-            for step in range(iterations):
+            for step in range(start, iterations):
                 for worker_id in range(self.num_workers):
                     self._worker_step(worker_id, step, per_worker_losses,
                                       eval_records)
                     self._end_of_step(worker_id)
+                if (self.recovery == "restart" and self.checkpoint_interval
+                        and (step + 1) % self.checkpoint_interval == 0
+                        and step + 1 < iterations):
+                    self._take_checkpoint(step + 1)
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
             with self._error_lock:
                 self._errors.append(exc)
@@ -371,11 +562,27 @@ class DistributedTrainer:
             for runtime in self._workers:
                 runtime.scheduler.shutdown()
 
+    def _record_failure(self, worker_id: int, exc: BaseException) -> None:
+        """Collect a worker's failure and fan the abort out to its peers."""
+        with self._error_lock:
+            self._errors.append(exc)
+        if self._detector is None:
+            return
+        if isinstance(exc, WorkerFailure) and exc.cascade:
+            return  # secondary: somebody already ran the fan-out
+        self._detector.mark_dead(worker_id, exc)
+
     def _worker_step(self, worker_id: int, step: int,
                      per_worker_losses: List[List[float]],
                      eval_records: List[Tuple[int, float]]) -> None:
         """One iteration of Algorithm 2 at one worker (no end-of-step gate)."""
         runtime = self._workers[worker_id]
+        if self._detector is not None:
+            self._detector.beat(worker_id, step)
+        if self._injector is not None:
+            # Crash-at-step-start: a dying worker contributed nothing this
+            # iteration, so nobody has to unwind a partial push.
+            self._injector.begin_step(worker_id, step)
         self.bsp.reset_worker(worker_id)
         images, labels = self._batch(step, worker_id)
 
@@ -385,7 +592,7 @@ class DistributedTrainer:
             syncer = runtime.syncers[layer.name]
 
             def job(syncer=syncer, layer_name=layer.name) -> None:
-                syncer.sync(step)
+                self._sync_layer(syncer, worker_id, step)
                 self.bsp.mark_done(worker_id, layer_name)
 
             runtime.scheduler.schedule(job)
@@ -415,6 +622,124 @@ class DistributedTrainer:
             self.clock.advance(worker_id)
         elif not self.policy.averages_parameters:
             self.bsp.barrier(worker_id, timeout=self.sync_timeout)
+
+    def _sync_layer(self, syncer: Syncer, worker_id: int, step: int) -> None:
+        """One layer sync, with bounded retry for injected transient faults.
+
+        Transients fire *before* the syncer touches any substrate
+        (fail-before-send), so a retry replays the identical bytes.
+        Exhausting the retry budget escalates to a fatal
+        :class:`WorkerFailure`, which recovery then handles like a crash.
+        """
+        if self._injector is None:
+            syncer.sync(step)
+            return
+        attempts = 0
+        while True:
+            try:
+                self._injector.before_sync(worker_id, step)
+                syncer.sync(step)
+                return
+            except TransientFault as exc:
+                attempts += 1
+                if attempts > self.retry_limit:
+                    raise WorkerFailure(
+                        f"worker {worker_id} exhausted {self.retry_limit} "
+                        f"sync retries at iteration {step}: {exc}",
+                        worker_id=worker_id, iteration=step) from exc
+                time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+
+    # -- checkpointing and recovery ---------------------------------------------------
+    def _take_checkpoint(self, step: int) -> None:
+        """Snapshot the whole job at a quiescent step boundary."""
+        substrate_snapshots: Dict[CommScheme, Any] = {}
+        for scheme, substrate in self._substrates.items():
+            try:
+                substrate_snapshots[scheme] = substrate.checkpoint(
+                    include_optimizer=True)
+            except TypeError:
+                # Stateless collectives take no optimizer flag.
+                substrate_snapshots[scheme] = substrate.checkpoint()
+        self._checkpoint = TrainerCheckpoint(
+            step=step,
+            replica_states=[r.network.get_state() for r in self._workers],
+            optimizer_states=[r.resources.local_optimizer.get_state()
+                              for r in self._workers],
+            quantizer_states=[r.resources.quantizer.get_state()
+                              for r in self._workers],
+            sampler_states=[r.sampler.get_state() if r.sampler is not None
+                            else None for r in self._workers],
+            substrate_snapshots=substrate_snapshots,
+            clock_snapshot=(self.clock.snapshot()
+                            if self.clock is not None else None),
+        )
+
+    def _restore_from_checkpoint(self, per_worker_losses: List[List[float]],
+                                 eval_records: List[Tuple[int, float]]) -> None:
+        """Rewind every replica, substrate and sampler to the checkpoint."""
+        ckpt = self._checkpoint
+        if ckpt is None:
+            raise RecoveryError("no checkpoint to restore from")
+        for runtime in self._workers:
+            worker_id = runtime.worker_id
+            runtime.network.set_state(ckpt.replica_states[worker_id])
+            runtime.resources.local_optimizer.set_state(
+                ckpt.optimizer_states[worker_id])
+            runtime.resources.quantizer.set_state(
+                ckpt.quantizer_states[worker_id])
+            if (runtime.sampler is not None
+                    and ckpt.sampler_states[worker_id] is not None):
+                runtime.sampler.set_state(ckpt.sampler_states[worker_id])
+            runtime.scheduler = self._make_scheduler()
+        for scheme, snapshot in ckpt.substrate_snapshots.items():
+            self._substrates[scheme].restore(snapshot)
+        if self.clock is not None and ckpt.clock_snapshot is not None:
+            self.clock.restore(ckpt.clock_snapshot)
+        self.bsp.reset()
+        self.bsp.iterations_completed = ckpt.step
+        if self._detector is not None:
+            self._detector.revive_all()
+        for losses in per_worker_losses:
+            del losses[ckpt.step:]
+        eval_records[:] = [record for record in eval_records
+                           if record[0] <= ckpt.step]
+
+    def _primary_failure(self) -> Optional[BaseException]:
+        """The root-cause failure of an attempt (cascades are secondary)."""
+        fallback: Optional[BaseException] = None
+        with self._error_lock:
+            errors = list(self._errors)
+        for exc in errors:
+            if isinstance(exc, WorkerFailure):
+                if not exc.cascade:
+                    return exc
+                fallback = fallback or exc
+        if fallback is not None:
+            return fallback
+        return errors[0] if errors else None
+
+    def _max_recoveries(self) -> int:
+        """Restart budget: one per scheduled crash plus slack for cascades."""
+        scheduled = len(self.fault_plan.crashes) if self.fault_plan else 0
+        return scheduled + 2
+
+    def _drop_worker(self, worker_id: int) -> None:
+        """Excise a dead worker; survivors renormalize to a P-1 mean."""
+        self._dropped_workers.add(worker_id)
+        for substrate in self._substrates.values():
+            remover = getattr(substrate, "remove_worker", None)
+            if remover is not None:
+                remover(worker_id)
+        if self._averager is not None:
+            self._averager.remove_worker(worker_id)
+        if self.clock is not None:
+            self.clock.remove_worker(worker_id)
+        self.bsp.remove_worker(worker_id)
+
+    @property
+    def dropped_workers(self) -> Set[int]:
+        """Workers excised by drop-dead-worker recovery so far."""
+        return set(self._dropped_workers)
 
     # -- post-training access -------------------------------------------------------
     def replica(self, worker_id: int) -> Network:

@@ -47,6 +47,7 @@ from repro import units
 from repro.comm.backend import fluid_terms, get_backend
 from repro.config import ClusterConfig
 from repro.core.cost_model import CommScheme, NetworkTopology
+from repro.core.faults import fault_overhead_factor, straggler_excess_seconds
 from repro.core.wfbp import ScheduleMode
 from repro.engines.base import Partitioning, SystemConfig
 from repro.exceptions import ConfigurationError
@@ -290,7 +291,7 @@ class FluidSimulator:
                        + sum(u.backward_seconds for u in w.units)
                        + w.tail_backward_seconds)
         if self.num_workers <= 1:
-            return compute_end
+            return self._apply_faults(compute_end, compute_end)
         self._compute_end = compute_end
         self._events: List[Tuple[float, int, Callable]] = []
         self._seq = 0
@@ -313,7 +314,8 @@ class FluidSimulator:
         result = compute_end
         for completion in self._completions:
             result = np.maximum(result, completion)
-        return self._apply_policy(result, compute_end)
+        return self._apply_faults(self._apply_policy(result, compute_end),
+                                  compute_end)
 
     def _apply_policy(self, total, compute):
         """Rescale one BSP iteration for the system's execution semantics.
@@ -345,6 +347,38 @@ class FluidSimulator:
             return np.maximum(compute, exposed)
         hidden = compute + np.maximum(0.0, exposed - staleness * compute)
         return np.maximum(hidden, exposed)
+
+    def _apply_faults(self, total, compute):
+        """Add the closed-form fault environment on top of one iteration.
+
+        Under the defaults (no stragglers, no MTBF, no checkpointing) the
+        figure passes through untouched -- byte-identical sweeps.
+        Otherwise two effects stack:
+
+        - the expected straggler excess per iteration
+          (:func:`repro.core.faults.straggler_excess_seconds`): a barrier
+          pays the slowest worker's full excess, async only the mean, and
+          ssp(s) interpolates between them;
+        - the checkpoint/restart expected-overhead factor
+          (:func:`repro.core.faults.fault_overhead_factor`), evaluated at
+          the configured interval or its Young--Daly optimum.
+        """
+        system = self.system
+        if (system.straggler_fraction == 0.0
+                and system.straggler_factor == 1.0
+                and system.mtbf_seconds is None
+                and system.checkpoint_interval_seconds is None
+                and system.checkpoint_cost_seconds == 0.0):
+            return total
+        excess = straggler_excess_seconds(
+            compute, system.straggler_fraction, system.straggler_factor,
+            self.num_workers,
+            staleness=(0 if system.staleness is None else system.staleness),
+            is_async=system.staleness is None)
+        factor = fault_overhead_factor(
+            system.mtbf_seconds, system.checkpoint_interval_seconds,
+            system.checkpoint_cost_seconds)
+        return (total + excess) * factor
 
     # -- phase heap ----------------------------------------------------------
     # Phases are booked at their DES request times (push at the unit's
@@ -933,7 +967,10 @@ def sweep_axis(model: ModelSpec, system: SystemConfig,
     # a flat cluster's state for an oversubscribed one.
     key = (workload, system.name, system.comm, cluster.num_workers,
            cluster.num_servers, cluster.racks, cluster.oversubscription,
-           int(background_jobs), system.staleness, system.sync_period)
+           int(background_jobs), system.staleness, system.sync_period,
+           system.straggler_fraction, system.straggler_factor,
+           system.mtbf_seconds, system.checkpoint_interval_seconds,
+           system.checkpoint_cost_seconds)
     simulator = _AXIS_CACHE.get(key)
     if simulator is None:
         simulator = FluidSimulator(workload, cluster, system,

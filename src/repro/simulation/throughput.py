@@ -23,7 +23,8 @@ naturally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro import units
@@ -36,6 +37,7 @@ from repro.comm.backend import (
 )
 from repro.config import ClusterConfig
 from repro.core.cost_model import CommScheme, NetworkTopology
+from repro.core.faults import fault_overhead_factor
 from repro.core.wfbp import ScheduleMode
 from repro.engines.base import CommMode, SystemConfig
 from repro.exceptions import SimulationError
@@ -281,8 +283,40 @@ class IterationSimulator:
         if self._iteration_seconds is not None:
             raise SimulationError("IterationSimulator instances are single-use")
         if self.system.staleness == 0 and self.system.sync_period == 1:
-            return self._run_bsp()
-        return self._run_policy()
+            result = self._run_bsp()
+        else:
+            result = self._run_policy()
+        # Crash/recovery events are modelled by their expected cost: the
+        # Young--Daly checkpoint/rework factor scales the iteration time
+        # (identical closed form in the fluid engine, so the two engines
+        # agree on this axis by construction).  1.0 at the defaults.
+        factor = fault_overhead_factor(
+            self.system.mtbf_seconds,
+            self.system.checkpoint_interval_seconds,
+            self.system.checkpoint_cost_seconds)
+        if factor != 1.0:
+            self._iteration_seconds = result.iteration_seconds * factor
+            result = replace(result,
+                             iteration_seconds=self._iteration_seconds)
+        return result
+
+    def _compute_scale(self, worker: int, round_index: int = 0) -> float:
+        """Straggler compute multiplier of one worker in one round.
+
+        ``ceil(straggler_fraction * P)`` workers run ``straggler_factor``x
+        slower; the slow set rotates with the round index so that over a
+        multi-round (relaxed-policy) simulation every worker stalls the
+        same share of rounds -- which is what lets SSP and async schedules
+        mask stragglers that stall a BSP barrier every iteration.
+        """
+        fraction = self.system.straggler_fraction
+        factor = self.system.straggler_factor
+        if fraction <= 0.0 or factor == 1.0:
+            return 1.0
+        slow_count = math.ceil(fraction * self.num_workers)
+        if (worker - round_index) % self.num_workers < slow_count:
+            return factor
+        return 1.0
 
     def _run_bsp(self) -> SimulationResult:
         """Simulate one globally synchronous (BSP) iteration."""
@@ -420,6 +454,7 @@ class IterationSimulator:
         machine = self.cluster.machine(worker)
         gpu = machine.gpu
         start = self.env.now
+        scale = self._compute_scale(worker)
         # One countdown barrier joins every unit's sync process (a failing
         # sync fails the barrier, and with it this worker).
         sync_barrier = self.env.countdown(self.workload.num_units)
@@ -429,20 +464,20 @@ class IterationSimulator:
                 2 * self.workload.total_param_bytes,
                 self.system.host_copy_bandwidth_bps,
             )
-            yield from gpu.compute(staging_seconds)
+            yield from gpu.compute(staging_seconds * scale)
 
-        yield from gpu.compute(self.workload.forward_seconds)
+        yield from gpu.compute(self.workload.forward_seconds * scale)
 
         pending_sequential = []
         for unit in reversed(self.workload.units):
-            yield from gpu.compute(unit.backward_seconds)
+            yield from gpu.compute(unit.backward_seconds * scale)
             if self.system.schedule is ScheduleMode.WFBP:
                 sync_barrier.arrive_on(
                     self.env.process(self._unit_sync(worker, unit)))
             else:
                 pending_sequential.append(unit)
         if self.workload.tail_backward_seconds > 0:
-            yield from gpu.compute(self.workload.tail_backward_seconds)
+            yield from gpu.compute(self.workload.tail_backward_seconds * scale)
         self._backward_done[worker].succeed()
 
         for unit in pending_sequential:
@@ -474,20 +509,21 @@ class IterationSimulator:
                 if gate is not None:
                     yield self._sync_done[(worker, gate)]
 
+            scale = self._compute_scale(worker, round_index=r)
             if not self.system.overlap_host_copy:
                 staging_seconds = units.transfer_seconds(
                     2 * self.workload.total_param_bytes,
                     self.system.host_copy_bandwidth_bps,
                 )
-                yield from gpu.compute(staging_seconds)
-            yield from gpu.compute(self.workload.forward_seconds)
+                yield from gpu.compute(staging_seconds * scale)
+            yield from gpu.compute(self.workload.forward_seconds * scale)
 
             is_sync = (r + 1) % self.system.sync_period == 0
             view = views.get(r)
             sync_barrier = self._sync_done[(worker, r)] if is_sync else None
             pending_sequential = []
             for unit in reversed(self.workload.units):
-                yield from gpu.compute(unit.backward_seconds)
+                yield from gpu.compute(unit.backward_seconds * scale)
                 if not is_sync:
                     continue
                 if self.system.schedule is ScheduleMode.WFBP:
@@ -496,7 +532,7 @@ class IterationSimulator:
                 else:
                     pending_sequential.append(unit)
             if self.workload.tail_backward_seconds > 0:
-                yield from gpu.compute(self.workload.tail_backward_seconds)
+                yield from gpu.compute(self.workload.tail_backward_seconds * scale)
             if is_sync:
                 view._round_backward_done[worker].succeed()
                 for unit in pending_sequential:
