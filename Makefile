@@ -3,7 +3,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism \
-	scale-smoke async-smoke chaos-smoke \
+	scale-smoke async-smoke chaos-smoke compression-smoke \
 	examples-smoke docs-check
 
 ## tier-1 test suite
@@ -50,6 +50,17 @@ chaos-smoke:
 	@grep -q "Fault frontier" /tmp/fig_faults_smoke.txt
 	@echo "fig_faults smoke report rendered"
 
+## compression smoke: wire/compressor/bucketing tests, then the
+## fig_compression sweep with its headline crossover line checked
+compression-smoke:
+	$(PYTEST) tests/test_compression.py tests/test_bucketing.py \
+		tests/test_fig_compression.py -q
+	PYTHONPATH=src python -m repro.experiments.runner --quick --jobs 1 \
+		fig_compression > /tmp/fig_compression_smoke.txt
+	@grep -q "Compression zoo" /tmp/fig_compression_smoke.txt
+	@grep -q "crossover at" /tmp/fig_compression_smoke.txt
+	@echo "fig_compression smoke report rendered"
+
 ## run all four examples/ scripts at reduced sizes (CI smoke)
 examples-smoke:
 	PYTHONPATH=src python examples/quickstart.py
@@ -76,14 +87,14 @@ bench-smoke:
 bench:
 	$(PYTEST) -x -q
 	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
-		benchmarks/bench_fluid.py \
+		benchmarks/bench_fluid.py benchmarks/bench_compression.py \
 		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json
 
 ## refresh benchmarks/baseline.json from a fresh run (after intentional changes)
 bench-update:
 	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
-		benchmarks/bench_fluid.py \
+		benchmarks/bench_fluid.py benchmarks/bench_compression.py \
 		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json --update
 

@@ -105,11 +105,15 @@ class WorkerResources:
         local_optimizer: optimiser applied to the worker's own replica by
             peer-to-peer schemes (SFB, ring all-reduce).
         quantizer: the worker's stateful 1-bit quantizer (error feedback).
+        compressor: the worker's stateful pluggable
+            :class:`~repro.comm.compression.Compressor` (``None`` for the
+            default dense wire format).
     """
 
     worker_id: int
     local_optimizer: Any = None
     quantizer: Any = None
+    compressor: Any = None
 
 
 class FlowPlan:
@@ -155,6 +159,11 @@ class CommBackend(abc.ABC):
         hybrid_rank: tie-break for equal Algorithm-1 costs -- lower wins,
             which keeps the paper's "SFB on ties" rule.
         compression: payload shrink factor on dense PS-style transfers.
+        compressible: whether the scheme moves whole dense gradients, so a
+            pluggable :mod:`~repro.comm.compression` compressor (and the
+            gradient bucketer) can ride it.  True for the PS and ring
+            backends; factor- and quantized-payload schemes (SFB, Adam,
+            1-bit, hierarchical PS) keep their own encodings.
         sync_semantics: execution-semantics capability declaration -- the
             :class:`~repro.core.policy.SyncPolicy` kinds this substrate can
             run.  Every backend supports ``bsp`` and ``local_sgd``
@@ -178,6 +187,7 @@ class CommBackend(abc.ABC):
     topology_candidate: ClassVar[bool] = False
     hybrid_rank: ClassVar[int] = 0
     compression: ClassVar[float] = 1.0
+    compressible: ClassVar[bool] = False
     sync_semantics: ClassVar[Tuple[str, ...]] = ("bsp", "local_sgd")
     fault_modes: ClassVar[Tuple[str, ...]] = ("restart",)
     flow_plan: ClassVar[FlowPlan]
@@ -287,6 +297,33 @@ class CommBackend(abc.ABC):
             False
         """
         return mode == "none" or mode in self.fault_modes
+
+    def supports_compression(self, compression: Any) -> bool:
+        """Whether this substrate can carry a pluggable compressor.
+
+        ``compression`` is a :class:`repro.comm.wire.CompressionConfig` (or
+        ``None``); identity configs are always valid, anything else needs a
+        dense-gradient (:attr:`compressible`) wire format:
+
+            >>> from repro.comm.backend import get_backend
+            >>> from repro.comm.wire import CompressionConfig
+            >>> cfg = CompressionConfig.parse("topk(0.01)")
+            >>> get_backend("ps").supports_compression(cfg)
+            True
+            >>> get_backend("sfb").supports_compression(cfg)
+            False
+        """
+        return compression is None or compression.is_identity or self.compressible
+
+    def compression_cost_factor(self, compression: Any, m: int, n: int) -> float:
+        """Algorithm-1 scale on :meth:`cost` when a compressor rides this scheme.
+
+        The default (non-compressible backends, identity configs, or
+        matrices below the compressor scope threshold) is exactly 1.0, so
+        cost queries without a compressor are bit-identical to Table 1.
+        Compressible backends override with their wire pattern's ratio.
+        """
+        return 1.0
 
     def create_syncer(self, layer: Any, substrate: Any,
                       resources: WorkerResources, ctx: TrainerContext,
@@ -547,10 +584,15 @@ class PSFlowPlan(FlowPlan):
     def _coarse_worker_sync(self, sim, worker, unit, scheme):
         state = sim.unit_state(unit)
         owner = sim.coarse_owner[unit.name]
-        dense_bytes = unit.param_bytes / sim.compression(scheme)
+        # Push and pull are priced separately: a pluggable compressor
+        # shrinks the pushed gradient while the pulled parameters stay
+        # dense.  Without a compressor both resolve to the same
+        # ``param_bytes / compression`` the plan always charged.
+        push_bytes = sim.coarse_push_bytes(unit, scheme)
+        pull_bytes = sim.coarse_pull_bytes(unit, scheme)
         state.mark_send_started()
         yield from sim.cluster.transfer(
-            worker, owner, dense_bytes, tag=f"push:{unit.name}")
+            worker, owner, push_bytes, tag=f"push:{unit.name}")
         state.all_sent.arrive()
 
         yield state.all_sent
@@ -561,7 +603,7 @@ class PSFlowPlan(FlowPlan):
         # backward-done, and the bootstrap hop keeps those bookings ordered
         # behind the final unit's pushes exactly as the seed serialised them.
         yield sim.env.process(sim.cluster.transfer(
-            owner, worker, dense_bytes, tag=f"pull:{unit.name}"))
+            owner, worker, pull_bytes, tag=f"pull:{unit.name}"))
 
 
 class SFBFlowPlan(FlowPlan):
@@ -606,6 +648,7 @@ class PSBackend(CommBackend):
     scheme = CommScheme.PS
     hybrid_candidate = True
     hybrid_rank = 1  # PS loses Algorithm-1 ties to SFB
+    compressible = True  # whole dense gradients: compressors/buckets apply
     # The server can apply pushes on arrival, so workers may legitimately
     # run ahead of each other: the full consistency spectrum is available.
     sync_semantics = ("bsp", "ssp", "async", "local_sgd")
@@ -622,6 +665,16 @@ class PSBackend(CommBackend):
         return self._topology_cost(flat, m, n, num_workers, num_servers,
                                    batch_size, topology)
 
+    def compression_cost_factor(self, compression, m, n):
+        # PS pushes travel compressed, pulls come back dense; with
+        # ``r = compressed/dense`` the 2 M N worker term becomes
+        # (1 + r) M N, i.e. a (1 + r)/2 scale on every Table-1 PS term.
+        # Non-compressible subclasses (1-bit) keep their own encoding.
+        if (not self.compressible or compression is None
+                or not compression.compresses(m, n)):
+            return 1.0
+        return (1.0 + compression.weight_ratio(m, n)) / 2.0
+
     def build_substrate(self, initial_layers, ctx):
         from repro.comm.parameter_server import ShardedParameterServer
         # Relaxed-consistency policies (ssp s>0, async) apply each push on
@@ -637,6 +690,7 @@ class PSBackend(CommBackend):
         from repro.core.syncer import Syncer
         return Syncer(resources.worker_id, layer, self.scheme, ps=substrate,
                       aggregation=ctx.aggregation,
+                      compressor=resources.compressor,
                       policy=ctx.policy if policy is None else policy,
                       sync_timeout=ctx.sync_timeout)
 
@@ -647,6 +701,7 @@ class OneBitBackend(PSBackend):
     scheme = CommScheme.ONEBIT
     hybrid_candidate = False  # approximate: Algorithm 1 only weighs exact schemes
     compression = ONEBIT_COMPRESSION
+    compressible = False  # already quantized: pluggable compressors don't stack
     flow_plan = PSFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
@@ -768,23 +823,40 @@ class FluidTerms:
 
 def fluid_terms(scheme: CommScheme, unit, batch_size: int, num_workers: int,
                 num_servers: int, fine: bool = True,
-                colocated: bool = True) -> FluidTerms:
+                colocated: bool = True, compression=None) -> FluidTerms:
     """Byte terms of synchronizing ``unit`` once under ``scheme``.
 
     ``unit`` is any object with the :class:`repro.simulation.workload.SyncUnit`
     payload interface (``param_bytes``, ``sufficient_factor_bytes``,
     ``chunk_bytes``).  ``fine`` selects the fine-grained KV-sharded PS path
     (Poseidon's default) over the coarse whole-unit owner fan.
+    ``compression`` is a :class:`repro.comm.wire.CompressionConfig`; on a
+    compressible backend it shrinks the gradient-direction payloads
+    through the shared :func:`repro.comm.wire.unit_wire_bytes` accounting
+    (PS pushes compressed / pulls dense, ring symmetric).  ``None`` or an
+    identity config is byte-identical to the historical terms.
     """
+    from repro.comm.wire import unit_wire_bytes
+
     n, s = num_workers, num_servers
-    c = get_backend(scheme).compression
+    backend = get_backend(scheme)
+    c = backend.compression
     dense = unit.param_bytes / c
+    if compression is not None and (compression.is_identity
+                                    or not backend.compressible):
+        compression = None
     if scheme is CommScheme.SFB:
         sf = unit.sufficient_factor_bytes(batch_size)
         each = (n - 1) * sf
         return FluidTerms(sf, sf, 2.0 * each, 0.0)
     if scheme is CommScheme.RING:
-        chunk = unit.chunk_bytes(n)
+        if compression is not None:
+            # Both all-reduce phases carry the (compressed) gradient.
+            payload = unit_wire_bytes(compression, unit.param_bytes,
+                                      unit.fc_dims, unit.payload_parts)
+            chunk = payload / n
+        else:
+            chunk = unit.chunk_bytes(n)
         each = 2 * (n - 1) * chunk
         return FluidTerms(chunk, chunk, 2.0 * each, 0.0)
     if scheme is CommScheme.ADAM:
@@ -805,4 +877,12 @@ def fluid_terms(scheme: CommScheme, unit, batch_size: int, num_workers: int,
         push = dense * remote_shards / s
         shard = dense * remote_workers / s
         return FluidTerms(push, push, 2.0 * (push + shard), 0.0)
+    if compression is not None:
+        # Coarse PS with a compressor: the push travels compressed, the
+        # parameter pull stays dense; the owner's extra share scales with
+        # the same split.
+        push = unit_wire_bytes(compression, unit.param_bytes,
+                               unit.fc_dims, unit.payload_parts)
+        return FluidTerms(push, dense, push + dense,
+                          (n - 2) * (push + dense))
     return FluidTerms(dense, dense, 2.0 * dense, 2.0 * (n - 2) * dense)

@@ -42,10 +42,14 @@ class QuantizedGradient:
         The sign payload is a packed bitfield, so it occupies a whole
         number of bytes: ceiling division, not floor -- flooring would
         undercount every tensor whose element count is not a multiple
-        of 8 (and report zero bytes for tensors under 8 elements).
+        of 8 (and report zero bytes for tensors under 8 elements).  The
+        ceil-divide itself lives in :func:`repro.comm.wire.sign_payload_bytes`
+        so the trainer, cost model and simulators share one formula.
         """
+        from repro.comm.wire import sign_payload_bytes
         bits = int(np.prod(self.shape))
-        return (bits + 7) // 8 + int(self.positive_scale.nbytes) + int(self.negative_scale.nbytes)
+        return (sign_payload_bytes(bits) + int(self.positive_scale.nbytes)
+                + int(self.negative_scale.nbytes))
 
     def dequantize(self) -> np.ndarray:
         """Reconstruct the dense tensor from signs and scales."""

@@ -76,9 +76,17 @@ class RingAllReducer:
 
     def allreduce(self, worker_id: int, layer: str, iteration: int,
                   grads: ArrayDict, aggregation: str = "mean",
-                  timeout: Optional[float] = 30.0
+                  timeout: Optional[float] = 30.0,
+                  nbytes: Optional[int] = None
                   ) -> Tuple[ArrayDict, int, int]:
         """Contribute ``grads`` and block for the aggregate of all workers.
+
+        Args:
+            nbytes: wire size of one worker's payload; defaults to the
+                dense size of ``grads``.  Compressed payloads pass the
+                compressed size here -- both ring phases carry the
+                compressed representation, so the ``2 (P-1)/P`` factor
+                applies to it directly.
 
         Returns:
             ``(reduced, bytes_sent, bytes_received)``.  The reduced arrays
@@ -98,8 +106,9 @@ class RingAllReducer:
                 f"aggregation must be 'mean' or 'sum', got {aggregation!r}"
             )
         key = (layer, int(iteration))
-        dense_bytes = sum(int(g.nbytes) for g in grads.values())
-        wire = self.wire_bytes(dense_bytes)
+        payload = (sum(int(g.nbytes) for g in grads.values())
+                   if nbytes is None else int(nbytes))
+        wire = self.wire_bytes(payload)
         with self._condition:
             entry = self._board.setdefault(key, {})
             if worker_id in entry:
@@ -191,11 +200,12 @@ class RingSyncer(Syncer):
 
     def __init__(self, worker_id: int, layer, ring: RingAllReducer,
                  local_optimizer, aggregation: str = "mean", policy=None,
-                 sync_timeout: Optional[float] = 30.0):
+                 compressor=None, sync_timeout: Optional[float] = 30.0):
         self.ring = ring
         super().__init__(worker_id, layer, CommScheme.RING,
                          local_optimizer=local_optimizer, aggregation=aggregation,
-                         policy=policy, sync_timeout=sync_timeout)
+                         compressor=compressor, policy=policy,
+                         sync_timeout=sync_timeout)
 
     def _validate_backends(self) -> None:
         if self.ring is None or self.local_optimizer is None:
@@ -209,9 +219,15 @@ class RingSyncer(Syncer):
 
     def _sync_ring(self, iteration: int) -> None:
         assert self._staged_grads is not None
+        grads, nbytes = self._staged_grads, None
+        if self.compressor is not None:
+            # Compress-then-all-reduce: every replica reduces the lossy
+            # gradients, so all replicas still apply the identical update.
+            grads, nbytes = self.compressor.compress(self.layer.name, grads)
         reduced, sent, received = self.ring.allreduce(
-            self.worker_id, self.layer.name, iteration, self._staged_grads,
-            aggregation=self.aggregation, timeout=self.sync_timeout)
+            self.worker_id, self.layer.name, iteration, grads,
+            aggregation=self.aggregation, timeout=self.sync_timeout,
+            nbytes=nbytes)
         for key, grad in reduced.items():
             self.local_optimizer.apply(
                 f"{self.layer.name}/{key}", self.layer.params[key], grad)
@@ -238,7 +254,7 @@ class RingFlowPlan(FlowPlan):
                         for _ in range(2 * (num_workers - 1))]
             state.extra["ring"] = barriers
         state.mark_send_started()
-        chunk = unit.chunk_bytes(num_workers)
+        chunk = sim.ring_chunk_bytes(unit, scheme)
         successor = sim.cluster.ring_successor(worker)
         for barrier in barriers:
             yield from sim.cluster.transfer(worker, successor, chunk,
@@ -256,6 +272,9 @@ class RingBackend(CommBackend):
     #: single boundary hop per rack makes it far cheaper than peer fan-outs.
     topology_candidate = True
     hybrid_rank = 2  # never steals a flat tie from SFB (0) or PS (1)
+    #: Dense-gradient collective: pluggable compressors apply (the lossy
+    #: payload is what both ring phases carry).
+    compressible = True
     flow_plan = RingFlowPlan()
 
     def cost(self, m, n, num_workers, num_servers, batch_size,
@@ -283,6 +302,13 @@ class RingBackend(CommBackend):
         # independent of how many nodes the rack aggregates.
         return 4.0 * m * n * (num_workers - 1) / num_workers
 
+    def compression_cost_factor(self, compression, m, n):
+        """Both ring phases carry the compressed payload: the factor is
+        the wire ratio itself."""
+        if compression is None or not compression.compresses(m, n):
+            return 1.0
+        return compression.weight_ratio(m, n)
+
     def build_substrate(self, initial_layers, ctx: TrainerContext):
         return RingAllReducer(ctx.num_workers)
 
@@ -290,6 +316,7 @@ class RingBackend(CommBackend):
                     ctx: TrainerContext, policy=None):
         return RingSyncer(resources.worker_id, layer, substrate,
                           resources.local_optimizer, aggregation=ctx.aggregation,
+                          compressor=resources.compressor,
                           policy=ctx.policy if policy is None else policy,
                           sync_timeout=ctx.sync_timeout)
 

@@ -260,11 +260,23 @@ class CostModel:
     """
 
     def __init__(self, cluster: ClusterConfig, batch_size: int,
-                 policy=None):
+                 policy=None, compression=None):
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.cluster = cluster
         self.batch_size = int(batch_size)
+        # Imported lazily for symmetry with the backend imports below
+        # (repro.comm.wire itself has no circular dependency on us).
+        from repro.comm.wire import CompressionConfig
+
+        #: Pluggable-compressor spec the byte queries reflect.  Scheme
+        #: *choice* (Algorithm 1 / :meth:`best_scheme`) never considers it
+        #: -- compression is orthogonal to the routing decision -- but
+        #: :meth:`scheme_cost_params` scales each compressible backend's
+        #: cost by its :meth:`~repro.comm.backend.CommBackend.compression_cost_factor`.
+        parsed = CompressionConfig.parse(compression)
+        self.compression: Optional[CompressionConfig] = (
+            None if parsed.is_identity else parsed)
         #: Execution semantics the costs are amortized under.  Per-iteration
         #: comm terms scale by the policy's effective sync frequency (1/H
         #: for local SGD), so scheme rankings and byte budgets reflect what
@@ -368,18 +380,23 @@ class CostModel:
                 f"layer {layer.name!r} is not SF-decomposable; "
                 f"{scheme} does not apply"
             )
-        if layer.kind is LayerKind.FC:
+        is_fc = layer.kind is LayerKind.FC
+        if is_fc:
             m, n = layer.fc_dims
         else:
             m, n = 1, max(layer.param_count, 1)
         freq = self._sync_frequency(policy)
+        # The compressor only touches FC weight matrices (the shared scope
+        # rule of repro.comm.wire); conv/bias blobs ship dense everywhere.
+        factor = (backend.compression_cost_factor(self.compression, m, n)
+                  if is_fc and self.compression is not None else 1.0)
         if self.topology is None:
-            return freq * backend.cost(m, n, self.cluster.num_workers,
-                                       self.cluster.num_servers,
-                                       self.batch_size)
-        return freq * backend.cost(m, n, self.cluster.num_workers,
-                                   self.cluster.num_servers, self.batch_size,
-                                   topology=self.topology)
+            return freq * factor * backend.cost(
+                m, n, self.cluster.num_workers, self.cluster.num_servers,
+                self.batch_size)
+        return freq * factor * backend.cost(
+            m, n, self.cluster.num_workers, self.cluster.num_servers,
+            self.batch_size, topology=self.topology)
 
     def scheme_cost_bytes(self, layer: LayerSpec, scheme: CommScheme,
                           policy=None) -> float:

@@ -56,6 +56,7 @@ class Syncer:
                  adam: Optional[AdamSFServer] = None,
                  local_optimizer: Optional[SGD] = None,
                  quantizer: Optional[OneBitQuantizer] = None,
+                 compressor=None,
                  aggregation: str = "mean",
                  policy: Optional[SyncPolicy] = None,
                  sync_timeout: Optional[float] = 30.0):
@@ -67,6 +68,10 @@ class Syncer:
         self.adam = adam
         self.local_optimizer = local_optimizer
         self.quantizer = quantizer
+        #: Optional pluggable :class:`repro.comm.compression.Compressor`;
+        #: when set on a dense-gradient scheme the push travels lossy at
+        #: the compressed wire size while the pull stays dense.
+        self.compressor = compressor
         self.aggregation = aggregation
         self.policy = BSP if policy is None else policy
         #: Deadline for every blocking wait on this syncer's sync path; the
@@ -160,6 +165,8 @@ class Syncer:
         :class:`repro.comm.ring.RingSyncer`.
         """
         try:
+            if self.scheme is CommScheme.PS and self.compressor is not None:
+                return self._sync_compressed
             return {
                 CommScheme.PS: self._sync_ps,
                 CommScheme.ONEBIT: self._sync_onebit,
@@ -183,6 +190,21 @@ class Syncer:
                               timeout=self.sync_timeout, copy=False)
         self.layer.set_params(params)
         self.stats.bytes_sent += sent
+        self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
+
+    def _sync_compressed(self, iteration: int) -> None:
+        """PS sync with a pluggable compressor: lossy push, dense pull."""
+        assert self.ps is not None and self.compressor is not None
+        assert self._staged_grads is not None
+        lossy_grads, wire_bytes = self.compressor.compress(
+            self.layer.name, self._staged_grads)
+        self.ps.push(self.worker_id, self.layer.name, lossy_grads,
+                     nbytes=wire_bytes)
+        params = self.ps.pull(self.worker_id, self.layer.name,
+                              min_version=self._pull_min_version(iteration),
+                              timeout=self.sync_timeout, copy=False)
+        self.layer.set_params(params)
+        self.stats.bytes_sent += wire_bytes
         self.stats.bytes_received += sum(int(p.nbytes) for p in params.values())
 
     def _sync_onebit(self, iteration: int) -> None:

@@ -75,6 +75,14 @@ class SystemConfig:
             picks the Young--Daly optimum ``sqrt(2*C*M)`` when an MTBF is
             set.
         checkpoint_cost_seconds: seconds one checkpoint costs (``C``).
+        compressor: gradient compressor spec for the dense-gradient
+            backends (``"none"``, ``"onebit"``, ``"topk(k)"``,
+            ``"powersgd(r)"``); parsed by
+            :meth:`repro.comm.wire.CompressionConfig.parse`.
+        bucket_bytes: wire granularity -- fuse consecutive same-scheme
+            dense-gradient units into buckets of this many bytes
+            (:func:`repro.comm.bucketing.bucket_workload`); ``None`` (the
+            default) keeps per-layer messages.
     """
 
     name: str
@@ -92,6 +100,8 @@ class SystemConfig:
     mtbf_seconds: Optional[float] = None
     checkpoint_interval_seconds: Optional[float] = None
     checkpoint_cost_seconds: float = 0.0
+    compressor: str = "none"
+    bucket_bytes: Optional[int] = None
 
     def renamed(self, name: str) -> "SystemConfig":
         """Copy of this system under a different display name."""
@@ -139,3 +149,13 @@ class SystemConfig:
                        mtbf_seconds=mtbf_seconds,
                        checkpoint_interval_seconds=checkpoint_interval_seconds,
                        checkpoint_cost_seconds=checkpoint_cost_seconds)
+
+    def with_compression(self, compressor: str = "none",
+                         bucket_bytes: Optional[int] = None) -> "SystemConfig":
+        """Copy of this system under a wire-compression configuration.
+
+        Both axes are orthogonal to the scheme choice: the compressor
+        shrinks what dense-gradient backends put on the wire, the bucket
+        size changes how many messages carry it.
+        """
+        return replace(self, compressor=compressor, bucket_bytes=bucket_bytes)

@@ -37,6 +37,7 @@ from repro.experiments import (
     fig11,
     fig_async,
     fig_backends,
+    fig_compression,
     fig_faults,
     fig_scale,
     fig_topology,
@@ -121,6 +122,14 @@ def _run_fig_faults(quick: bool) -> str:
         policies=policies))
 
 
+def _run_fig_compression(quick: bool) -> str:
+    nodes = (8,) if quick else fig_compression.FIG_COMPRESSION_NODE_COUNTS
+    bandwidths = ((1.0, 10.0) if quick
+                  else fig_compression.FIG_COMPRESSION_BANDWIDTHS)
+    return fig_compression.render(fig_compression.run_fig_compression(
+        node_counts=nodes, bandwidths=bandwidths))
+
+
 def _run_fig_backends(quick: bool) -> str:
     nodes = (2, 8, 32) if quick else fig_backends.FIG_BACKENDS_NODE_COUNTS
     return fig_backends.render(fig_backends.run_fig_backends(node_counts=nodes))
@@ -164,6 +173,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig11": _run_fig11,
     "fig_async": _run_fig_async,
     "fig_backends": _run_fig_backends,
+    "fig_compression": _run_fig_compression,
     "fig_faults": _run_fig_faults,
     "fig_scale": _run_fig_scale,
     "fig_topology": _run_fig_topology,

@@ -29,7 +29,10 @@ import numpy as np
 
 from repro.comm.averaging import ParameterAverager
 from repro.comm.backend import TrainerContext, WorkerResources, get_backend
+from repro.comm.bucketing import GradientBucketer
+from repro.comm.compression import make_compressor
 from repro.comm.quantization import OneBitQuantizer
+from repro.comm.wire import CompressionConfig
 from repro.config import TrainingConfig
 from repro.core.consistency import BSPController
 from repro.core.cost_model import CommScheme
@@ -40,6 +43,7 @@ from repro.core.syncer import Syncer
 from repro.core.wfbp import DeterministicScheduler, ScheduleMode, WFBPScheduler
 from repro.data.samplers import BatchSampler
 from repro.exceptions import (
+    ConfigurationError,
     RecoveryError,
     TrainingError,
     TransientFault,
@@ -105,6 +109,9 @@ class TrainerCheckpoint:
     sampler_states: List[Optional[dict]]
     substrate_snapshots: Dict[CommScheme, Any]
     clock_snapshot: Optional[Dict[int, int]] = None
+    #: Per-worker pluggable-compressor state (error-feedback residuals,
+    #: PowerSGD factors); empty dicts when no compressor is configured.
+    compressor_states: List[dict] = field(default_factory=list)
 
 
 class _WorkerRuntime:
@@ -173,6 +180,15 @@ class DistributedTrainer:
         retry_limit: bounded retries for transient sync failures before a
             worker is declared dead.
         retry_backoff: base seconds of the exponential retry backoff.
+        compressor: pluggable gradient compressor spec for dense-gradient
+            backends (``"none"``, ``"onebit"``, ``"topk(K)"``,
+            ``"powersgd(R)"``); lossy push at the compressed wire size,
+            dense pull.  The configured mode (or, under ``"hybrid"``, each
+            layer's chosen backend) must have a dense-gradient path.
+        bucket_bytes: fuse per-layer sync jobs of bucketable schemes into
+            combined scheduler jobs of this many dense-gradient bytes
+            (flushed the moment the bucket fills during backprop); ``None``
+            keeps per-layer jobs.
     """
 
     def __init__(self,
@@ -194,7 +210,9 @@ class DistributedTrainer:
                  recovery: str = "none",
                  checkpoint_interval: int = 0,
                  retry_limit: int = 3,
-                 retry_backoff: float = 0.001):
+                 retry_backoff: float = 0.001,
+                 compressor: str = "none",
+                 bucket_bytes: Optional[int] = None):
         if num_workers < 1:
             raise TrainingError(f"num_workers must be >= 1, got {num_workers}")
         if train_shards is None and batch_provider is None:
@@ -236,6 +254,23 @@ class DistributedTrainer:
                 f"{retry_limit} / {retry_backoff}")
         self.retry_limit = int(retry_limit)
         self.retry_backoff = float(retry_backoff)
+
+        # Wire axes: the compressor spec is parsed (and rejected) up front;
+        # worker-local compressor instances are built in _build_worker.
+        parsed = CompressionConfig.parse(compressor)
+        self.compressor_spec: Optional[str] = (
+            None if parsed.is_identity else str(compressor))
+        self.bucket_bytes = None if bucket_bytes is None else int(bucket_bytes)
+        if self.bucket_bytes is not None and self.bucket_bytes < 1:
+            raise ConfigurationError(
+                f"bucket_bytes must be >= 1, got {bucket_bytes}")
+        if self.compressor_spec is not None and mode != "hybrid":
+            backend = get_backend(mode)
+            if not backend.supports_compression(parsed):
+                raise ConfigurationError(
+                    f"mode {mode!r} has no dense-gradient path for "
+                    f"compressor {compressor!r}; compressible backends "
+                    f"carry dense gradients (ps, ring)")
         if self.recovery == "drop" and not self.policy.is_bsp_equivalent:
             raise TrainingError(
                 f"drop-dead-worker recovery needs a BSP-equivalent policy "
@@ -372,6 +407,9 @@ class DistributedTrainer:
             worker_id=worker_id,
             local_optimizer=self._make_optimizer(),
             quantizer=OneBitQuantizer(),
+            # Worker-local instance: error-feedback residuals and PowerSGD
+            # factors are per-replica state, like the 1-bit quantizer's.
+            compressor=make_compressor(self.compressor_spec),
         )
         syncers: Dict[str, Syncer] = {}
         for _, layer in network.parameter_layers():
@@ -586,6 +624,15 @@ class DistributedTrainer:
         self.bsp.reset_worker(worker_id)
         images, labels = self._batch(step, worker_id)
 
+        # Bucketed wire granularity: per-layer jobs of bucketable schemes
+        # accumulate and flush as combined scheduler jobs the moment the
+        # bucket fills during backprop, so flushes still overlap with the
+        # remaining backward pass.  Bucket membership is by dense gradient
+        # bytes in reverse layer order -- the same greedy partition the
+        # simulators apply via bucket_workload.
+        bucketer = (GradientBucketer(self.bucket_bytes, runtime.scheduler)
+                    if self.bucket_bytes is not None else None)
+
         def hook(_index: int, layer) -> None:
             if not layer.has_parameters:
                 return
@@ -595,9 +642,17 @@ class DistributedTrainer:
                 self._sync_layer(syncer, worker_id, step)
                 self.bsp.mark_done(worker_id, layer_name)
 
-            runtime.scheduler.schedule(job)
+            if bucketer is None:
+                runtime.scheduler.schedule(job)
+                return
+            scheme = self.assignment.scheme_for(layer.name)
+            nbytes = sum(int(p.nbytes) for p in layer.params.values())
+            bucketer.add(nbytes, job,
+                         bucketable=get_backend(scheme).compressible)
 
         loss = runtime.network.train_step(images, labels, hook=hook)
+        if bucketer is not None:
+            bucketer.finish()
         runtime.scheduler.wait_all(timeout=self.sync_timeout)
         self.bsp.wait_worker(worker_id, timeout=self.sync_timeout)
         per_worker_losses[worker_id].append(loss)
@@ -667,6 +722,10 @@ class DistributedTrainer:
                               for r in self._workers],
             quantizer_states=[r.resources.quantizer.get_state()
                               for r in self._workers],
+            compressor_states=[
+                r.resources.compressor.get_state()
+                if r.resources.compressor is not None else {}
+                for r in self._workers],
             sampler_states=[r.sampler.get_state() if r.sampler is not None
                             else None for r in self._workers],
             substrate_snapshots=substrate_snapshots,
@@ -687,6 +746,10 @@ class DistributedTrainer:
                 ckpt.optimizer_states[worker_id])
             runtime.resources.quantizer.set_state(
                 ckpt.quantizer_states[worker_id])
+            if (runtime.resources.compressor is not None
+                    and ckpt.compressor_states):
+                runtime.resources.compressor.set_state(
+                    ckpt.compressor_states[worker_id])
             if (runtime.sampler is not None
                     and ckpt.sampler_states[worker_id] is not None):
                 runtime.sampler.set_state(ckpt.sampler_states[worker_id])

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro import units
 from repro.comm.backend import fluid_terms, get_backend
+from repro.comm.wire import unit_compression_flops, unit_wire_bytes
 from repro.config import ClusterConfig
 from repro.core.cost_model import CommScheme, NetworkTopology
 from repro.core.faults import fault_overhead_factor, straggler_excess_seconds
@@ -154,11 +155,15 @@ class FluidSimulator:
                 "expected 'auto', 'detail' or 'aggregate'")
         # Local import: throughput imports this module lazily for engine
         # dispatch, so the reverse import must happen at call time too.
-        from repro.simulation.throughput import decide_schemes
+        from repro.simulation.throughput import (
+            decide_schemes,
+            validate_compression,
+        )
 
         self.workload = workload
         self.cluster_config = cluster
         self.system = system
+        self.compression_config = validate_compression(system)
         self.num_workers = cluster.num_workers
         self.num_servers = cluster.num_servers
         self.lam = cluster.latency_seconds
@@ -178,6 +183,10 @@ class FluidSimulator:
         self.schemes = decide_schemes(
             workload, system.comm, self.num_workers, self.num_servers,
             topology=None if topology.is_flat else topology)
+        if system.bucket_bytes is not None:
+            from repro.comm.bucketing import bucket_workload
+            self.workload, self.schemes = bucket_workload(
+                workload, self.schemes, system.bucket_bytes)
         if cluster.colocate_servers:
             self.server_nodes = [s % self.num_workers
                                  for s in range(self.num_servers)]
@@ -228,6 +237,23 @@ class FluidSimulator:
     def _compression(self, scheme: CommScheme) -> float:
         return get_backend(scheme).compression
 
+    def _unit_compression(self, scheme: CommScheme):
+        """The active compressor config for units of ``scheme`` (or None)."""
+        config = self.compression_config
+        if config is None or not get_backend(scheme).compressible:
+            return None
+        return config
+
+    def _compression_seconds(self, unit: SyncUnit,
+                             scheme: CommScheme) -> float:
+        """Modelled encode time delaying one unit's sync readiness."""
+        config = self._unit_compression(scheme)
+        if config is None:
+            return 0.0
+        flops = unit_compression_flops(config, unit.fc_dims,
+                                       unit.payload_parts)
+        return self.cluster_config.gpu.compute_seconds(flops)
+
     # -- result assembly -----------------------------------------------------
     def run(self):
         """Compute the iteration and wrap it like the DES does."""
@@ -262,7 +288,8 @@ class FluidSimulator:
             scheme = self.schemes[unit.name]
             terms = fluid_terms(scheme, unit, batch, n, s,
                                 fine=self.system.partitioning is Partitioning.FINE,
-                                colocated=self.cluster_config.colocate_servers)
+                                colocated=self.cluster_config.colocate_servers,
+                                compression=self.compression_config)
             owner = self.server_nodes[idx % len(self.server_nodes)]
             for node in range(n):
                 totals[node] += terms.symmetric_bytes
@@ -306,6 +333,11 @@ class FluidSimulator:
             ready = compute_end if seq_mode else t
             idx = num_units - 1 - idx_rev
             scheme = self.schemes[unit.name]
+            encode = self._compression_seconds(unit, scheme)
+            if encode > 0.0:
+                # The compressor's encode pass delays the send, exactly
+                # like the DES's pre-dispatch timeout.
+                ready = ready + encode
             owner = self.server_nodes[idx % len(self.server_nodes)]
             self._at(ready, self._head_phase(unit, scheme, owner))
         while self._events:
@@ -410,7 +442,11 @@ class FluidSimulator:
                 self._sync_ps_fine(unit, call, scheme, finish)
             else:
                 dense = unit.param_bytes / self._compression(scheme)
-                self._sync_owner_fan(unit, call, owner, dense, dense, finish)
+                config = self._unit_compression(scheme)
+                push = (unit_wire_bytes(config, unit.param_bytes,
+                                        unit.fc_dims, unit.payload_parts)
+                        if config is not None else dense)
+                self._sync_owner_fan(unit, call, owner, push, dense, finish)
         return fire
 
     def _pull_call(self, all_sent):
@@ -636,7 +672,12 @@ class FluidSimulator:
     def _sync_ring(self, unit: SyncUnit, ready):
         """Chunked ring all-reduce: a full-cluster barrier per unit."""
         n = self.num_workers
-        chunk = unit.chunk_bytes(n)
+        config = self._unit_compression(CommScheme.RING)
+        if config is not None:
+            chunk = unit_wire_bytes(config, unit.param_bytes, unit.fc_dims,
+                                    unit.payload_parts) / n
+        else:
+            chunk = unit.chunk_bytes(n)
         step = self._tfs(chunk)
         start = np.maximum(ready, self.ring_clock)
         for clock in self.up:
@@ -964,13 +1005,17 @@ def sweep_axis(model: ModelSpec, system: SystemConfig,
     # The key must include every topology field the evaluation depends on
     # (racks, oversubscription) alongside the cluster shape -- the same
     # contract as throughput._SCHEME_CACHE -- or a warm cache would replay
-    # a flat cluster's state for an oversubscribed one.
+    # a flat cluster's state for an oversubscribed one.  The wire axes
+    # (compressor, bucket size) change the byte terms and the unit
+    # structure, so they are key fields too: without them a warm sweep
+    # would serve one compressor's results for another.
     key = (workload, system.name, system.comm, cluster.num_workers,
            cluster.num_servers, cluster.racks, cluster.oversubscription,
            int(background_jobs), system.staleness, system.sync_period,
            system.straggler_fraction, system.straggler_factor,
            system.mtbf_seconds, system.checkpoint_interval_seconds,
-           system.checkpoint_cost_seconds)
+           system.checkpoint_cost_seconds,
+           system.compressor, system.bucket_bytes)
     simulator = _AXIS_CACHE.get(key)
     if simulator is None:
         simulator = FluidSimulator(workload, cluster, system,

@@ -35,12 +35,17 @@ from repro.comm.backend import (
     hybrid_choice,
     registry_generation,
 )
+from repro.comm.wire import (
+    CompressionConfig,
+    unit_compression_flops,
+    unit_wire_bytes,
+)
 from repro.config import ClusterConfig
 from repro.core.cost_model import CommScheme, NetworkTopology
 from repro.core.faults import fault_overhead_factor
 from repro.core.wfbp import ScheduleMode
-from repro.engines.base import CommMode, SystemConfig
-from repro.exceptions import SimulationError
+from repro.engines.base import CommMode, Partitioning, SystemConfig
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.nn.spec import ModelSpec
 from repro.sim import Environment, Event
 from repro.simulation.workload import IterationWorkload, SyncUnit, build_workload
@@ -211,6 +216,42 @@ def decide_schemes(workload: IterationWorkload, comm: CommMode,
     return schemes
 
 
+#: Comm modes whose dense-gradient paths accept a pluggable compressor.
+_COMPRESSIBLE_MODES = (CommMode.PS, CommMode.RING, CommMode.HYBRID)
+
+
+def validate_compression(system: SystemConfig) -> Optional[CompressionConfig]:
+    """Parse and validate a system's compression/bucketing axes.
+
+    Returns the parsed config (``None`` at the identity).  Both engines
+    call this from their constructors so a misconfiguration -- a
+    compressor on a backend without a dense-gradient path, or wire axes
+    combined with fine-grained KV partitioning (whose 2 MB pairs already
+    fix the granularity and slice tensors across shards) -- fails fast
+    and identically everywhere.
+
+    Raises:
+        ConfigurationError: on an invalid combination.
+    """
+    config = CompressionConfig.parse(system.compressor)
+    wire_axes_active = (not config.is_identity
+                       or system.bucket_bytes is not None)
+    if wire_axes_active and system.partitioning is not Partitioning.COARSE:
+        raise ConfigurationError(
+            f"system {system.name!r}: compressor/bucket_bytes require coarse "
+            f"partitioning; fine-grained KV pairs fix the wire granularity")
+    if not config.is_identity and system.comm not in _COMPRESSIBLE_MODES:
+        raise ConfigurationError(
+            f"system {system.name!r}: comm mode {system.comm.value!r} has no "
+            f"dense-gradient path for compressor {system.compressor!r} "
+            f"(supported modes: "
+            f"{', '.join(m.value for m in _COMPRESSIBLE_MODES)})")
+    if system.bucket_bytes is not None and system.bucket_bytes < 1:
+        raise ConfigurationError(
+            f"bucket_bytes must be >= 1, got {system.bucket_bytes}")
+    return None if config.is_identity else config
+
+
 class IterationSimulator:
     """Simulates one BSP iteration of one system on one cluster."""
 
@@ -224,10 +265,20 @@ class IterationSimulator:
         self.num_workers = cluster.num_workers
         self.num_servers = cluster.num_servers
         self.server_nodes = self.cluster.server_ids
+        self.compression_config = validate_compression(system)
         topology = NetworkTopology.from_cluster(cluster)
-        self.schemes: Dict[str, CommScheme] = decide_schemes(
+        schemes: Dict[str, CommScheme] = decide_schemes(
             workload, system.comm, self.num_workers, self.num_servers,
             topology=None if topology.is_flat else topology)
+        if system.bucket_bytes is not None:
+            # Bucketed wire granularity: fuse consecutive same-scheme runs
+            # of dense-gradient units (lazy import: bucketing imports this
+            # module's workload types via repro.simulation.workload only,
+            # but keep the dependency one-directional at import time).
+            from repro.comm.bucketing import bucket_workload
+            self.workload, schemes = bucket_workload(
+                workload, schemes, system.bucket_bytes)
+        self.schemes = schemes
         self.coarse_owner: Dict[str, int] = self._assign_coarse_owners()
         self._unit_state: Dict[str, _UnitSyncState] = {}
         self._backward_done: Dict[int, Event] = {}
@@ -256,6 +307,49 @@ class IterationSimulator:
     def compression(self, scheme: CommScheme) -> float:
         """Payload shrink factor of a scheme's dense transfers."""
         return get_backend(scheme).compression
+
+    def unit_compression(self, scheme: CommScheme
+                         ) -> Optional[CompressionConfig]:
+        """The active compressor for units of ``scheme`` (None if dense).
+
+        The configured compressor applies only to backends with a dense
+        gradient path (``compressible``); in a HYBRID workload the SFB
+        units keep their factor payloads while the PS units compress.
+        """
+        config = self.compression_config
+        if config is None or not get_backend(scheme).compressible:
+            return None
+        return config
+
+    def coarse_push_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
+        """Bytes one worker pushes for a coarse unit (compressed if active)."""
+        config = self.unit_compression(scheme)
+        if config is not None:
+            return float(unit_wire_bytes(config, unit.param_bytes,
+                                         unit.fc_dims, unit.payload_parts))
+        return unit.param_bytes / self.compression(scheme)
+
+    def coarse_pull_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
+        """Bytes one worker pulls back for a coarse unit (always dense)."""
+        return unit.param_bytes / self.compression(scheme)
+
+    def ring_chunk_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
+        """Bytes of one ring step's chunk (1/P of the wire payload)."""
+        config = self.unit_compression(scheme)
+        if config is not None:
+            payload = unit_wire_bytes(config, unit.param_bytes,
+                                      unit.fc_dims, unit.payload_parts)
+            return payload / self.num_workers
+        return unit.chunk_bytes(self.num_workers)
+
+    def compression_seconds(self, unit: SyncUnit, scheme: CommScheme) -> float:
+        """GPU seconds the active compressor spends encoding one unit."""
+        config = self.unit_compression(scheme)
+        if config is None:
+            return 0.0
+        flops = unit_compression_flops(config, unit.fc_dims,
+                                       unit.payload_parts)
+        return self.cluster_config.gpu.compute_seconds(flops)
 
     def fine_push_bytes(self, unit: SyncUnit, scheme: CommScheme) -> float:
         """Bytes a worker sends towards the sharded KV store (remote shards only)."""
@@ -556,6 +650,12 @@ class IterationSimulator:
             yield self.env.timeout(units.transfer_seconds(
                 local_bytes, self.cluster_config.gpu.pcie_bandwidth_bps))
         scheme = self.schemes[unit.name]
+        encode_seconds = self.compression_seconds(unit, scheme)
+        if encode_seconds > 0.0:
+            # The compressor's encode pass delays the unit's send; modelled
+            # as a plain delay (not GPU occupancy) because production
+            # stacks run it on side streams/CPU without stalling backprop.
+            yield self.env.timeout(encode_seconds)
         plan = get_backend(scheme).flow_plan
         yield from plan.worker_sync(self if view is None else view,
                                     worker, unit, scheme)

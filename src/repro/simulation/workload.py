@@ -44,6 +44,11 @@ class SyncUnit:
             this unit's gradient becoming available (the unit's own backward
             pass plus any parameter-free layers above it).
         layer_names: all model layers folded into this unit.
+        payload_parts: per-member ``(param_bytes, fc_dims)`` of a merged
+            gradient *bucket* (:func:`repro.comm.bucketing.bucket_workload`),
+            so compressed wire accounting stays exact member by member.
+            ``None`` (the default, and every non-bucketed unit) prices the
+            unit from its own ``param_bytes``/``fc_dims``.
     """
 
     name: str
@@ -52,6 +57,7 @@ class SyncUnit:
     fc_dims: Optional[Tuple[int, int]]
     backward_seconds: float
     layer_names: Tuple[str, ...]
+    payload_parts: Optional[Tuple[Tuple[int, Optional[Tuple[int, int]]], ...]] = None
 
     def sufficient_factor_bytes(self, batch_size: int) -> int:
         """Bytes of the unit's gradient encoded as sufficient factors.

@@ -1,0 +1,525 @@
+"""Tests for the pluggable gradient-compression zoo.
+
+Four layers of protection:
+
+* the shared wire-size helper (:mod:`repro.comm.wire`): payload formulas
+  for every compressor kind, the FC-only scope rule, spec parsing (and
+  its rejection of malformed specs at construction time);
+* compressor math (:mod:`repro.comm.compression`): top-k error feedback
+  conserves gradient mass (residual = exactly the un-sent entries, a
+  hypothesis property), the 1-bit compressor reproduces
+  ``OneBitQuantizer`` byte-for-byte and value-for-value, PowerSGD's
+  warm-started factors are deterministic, and every compressor's state
+  round-trips through ``get_state``/``set_state`` -- including through a
+  trainer checkpoint/restore cycle under fault injection;
+* end-to-end wire-byte agreement: the trainer's measured per-layer
+  ``bytes_sent``, the cost model's compression factor, and both
+  simulation engines' traffic bookings all derive from the same
+  ``repro.comm.wire`` formulas, pinned exactly for every (backend,
+  compressor) pair;
+* configuration validation: a compressor on a backend with no
+  dense-gradient path (sfb, onebit, adam) and wire axes under fine
+  partitioning raise ``ConfigurationError`` in the trainer and in both
+  simulators.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import wire
+from repro.comm.backend import get_backend
+from repro.comm.compression import (
+    OneBitCompressor,
+    PowerSGDCompressor,
+    TopKCompressor,
+    make_compressor,
+)
+from repro.comm.quantization import OneBitQuantizer
+from repro.comm.wire import CompressionConfig
+from repro.config import ClusterConfig, TrainingConfig
+from repro.core.cost_model import CommScheme, CostModel
+from repro.core.faults import CrashFault, FaultPlan
+from repro.core.wfbp import ScheduleMode
+from repro.data import make_linearly_separable, shard_dataset
+from repro.engines.base import CommMode, Partitioning, SystemConfig
+from repro.exceptions import ConfigurationError
+from repro.nn.model_zoo import build_mlp_network, get_model_spec
+from repro.nn.spec import LayerKind
+from repro.parallel import DistributedTrainer
+from repro.simulation.fluid import FluidSimulator
+from repro.simulation.throughput import (
+    IterationSimulator,
+    validate_compression,
+)
+from repro.simulation.workload import build_workload
+
+VGG = get_model_spec("vgg19")
+NUM_WORKERS = 3
+BATCH = 8
+
+F32 = 4  # float32 bytes
+
+
+# -- shared trainer fixture ----------------------------------------------------
+@pytest.fixture
+def setup():
+    train_x, train_y, test_x, test_y = make_linearly_separable(
+        num_train=180, num_test=60, input_dim=16, num_classes=4, seed=1)
+    shards = shard_dataset(train_x, train_y, NUM_WORKERS, seed=2)
+    config = TrainingConfig(batch_size=BATCH, learning_rate=0.05,
+                            iterations=6, seed=5)
+
+    def factory():
+        return build_mlp_network(input_dim=16, hidden_dims=(32, 16),
+                                 num_classes=4, seed=21)
+
+    return factory, shards, config
+
+
+def make_trainer(setup, mode, **kwargs):
+    factory, shards, config = setup
+    return DistributedTrainer(
+        network_factory=factory,
+        num_workers=NUM_WORKERS,
+        train_shards=shards,
+        training=config,
+        mode=mode,
+        schedule=ScheduleMode.WFBP,
+        deterministic=True,
+        **kwargs,
+    )
+
+
+def coarse_system(comm: CommMode, compressor: str = "none",
+                  bucket_bytes=None) -> SystemConfig:
+    return SystemConfig(
+        name="probe", engine="probe", comm=comm,
+        schedule=ScheduleMode.WFBP, partitioning=Partitioning.COARSE,
+        overlap_pull=True, overlap_host_copy=True,
+    ).with_compression(compressor, bucket_bytes)
+
+
+# -- wire formulas -------------------------------------------------------------
+class TestWireFormulas:
+    def test_sign_payload_ceil_divides(self):
+        assert wire.sign_payload_bytes(8) == 1
+        assert wire.sign_payload_bytes(9) == 2
+        assert wire.sign_payload_bytes(0) == 0
+
+    def test_onebit_payload_matches_quantizer(self):
+        grad = np.random.default_rng(0).standard_normal((37, 21)).astype(np.float32)
+        quantized = OneBitQuantizer().quantize("w", grad)
+        assert wire.onebit_payload_bytes(37, 21) == quantized.nbytes
+
+    def test_topk_count_fraction_and_absolute(self):
+        assert wire.topk_count(0.01, 1000) == 10
+        assert wire.topk_count(0.0001, 1000) == 1      # floor of one entry
+        assert wire.topk_count(50, 1000) == 50         # absolute count
+        assert wire.topk_count(5000, 1000) == 1000     # clamped to elements
+        with pytest.raises(ConfigurationError):
+            wire.topk_count(0.5, 0)
+
+    def test_topk_payload_is_index_value_pairs(self):
+        assert wire.topk_payload_bytes(0.01, 100, 10) == 10 * wire.TOPK_ENTRY_BYTES
+
+    def test_powersgd_payload_and_rank_clamp(self):
+        assert wire.powersgd_rank(4, 100, 10) == 4
+        assert wire.powersgd_rank(64, 100, 10) == 10   # clamped to min(m, n)
+        assert wire.powersgd_payload_bytes(4, 100, 10) == (100 + 10) * 4 * F32
+
+    def test_scope_rule_small_matrices_ship_dense(self):
+        config = CompressionConfig.parse("topk(0.01)")
+        assert not config.compresses(7, 9)             # 63 < 64 elements
+        assert config.compresses(8, 8)
+        assert config.weight_payload_bytes(7, 9) == 63 * F32
+
+    def test_unit_wire_bytes_identity_and_dense(self):
+        config = CompressionConfig.parse("topk(0.01)")
+        assert wire.unit_wire_bytes(None, 1000) == 1000
+        # No fc_dims: the unit is conv/bias-only and ships dense.
+        assert wire.unit_wire_bytes(config, 1000) == 1000
+
+    def test_unit_wire_bytes_fc_plus_dense_remainder(self):
+        config = CompressionConfig.parse("powersgd(2)")
+        m, n = 100, 50
+        param_bytes = m * n * F32 + 200    # weight + 200 bytes of bias
+        expected = config.weight_payload_bytes(m, n) + 200
+        assert wire.unit_wire_bytes(config, param_bytes, (m, n)) == expected
+
+    def test_unit_wire_bytes_sums_payload_parts(self):
+        config = CompressionConfig.parse("topk(0.01)")
+        parts = ((100 * 50 * F32, (100, 50)), (300, None))
+        merged = wire.unit_wire_bytes(config, 100 * 50 * F32 + 300,
+                                      fc_dims=None, payload_parts=parts)
+        assert merged == (wire.unit_wire_bytes(config, 100 * 50 * F32, (100, 50))
+                          + 300)
+
+    @pytest.mark.parametrize("spec", [
+        "gzip", "topk", "topk()", "topk(-1)", "topk(x)", "powersgd",
+        "powersgd(0)", "powersgd(1.5)", "onebit(3)", "none(1)", "topk(0.1",
+    ])
+    def test_parse_rejects_malformed_specs(self, spec):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig.parse(spec)
+
+    def test_parse_accepts_canonical_specs(self):
+        assert CompressionConfig.parse(None).is_identity
+        assert CompressionConfig.parse("none").is_identity
+        assert CompressionConfig.parse("onebit").kind == "onebit"
+        assert CompressionConfig.parse("topk(0.01)").k == 0.01
+        assert CompressionConfig.parse("powersgd(4)").rank == 4
+
+    def test_compression_flops_zero_at_identity_and_out_of_scope(self):
+        assert CompressionConfig.parse("none").compression_flops(100, 100) == 0.0
+        assert CompressionConfig.parse("topk(0.1)").compression_flops(7, 9) == 0.0
+        assert CompressionConfig.parse("topk(0.1)").compression_flops(10, 10) > 0.0
+
+
+# -- compressor math -----------------------------------------------------------
+def random_grads(seed: int, shape=(24, 16)):
+    rng = np.random.default_rng(seed)
+    return {
+        "weight": rng.standard_normal(shape).astype(np.float32),
+        "bias": rng.standard_normal(shape[1]).astype(np.float32),
+    }
+
+
+class TestTopKCompressor:
+    def test_error_feedback_conserves_mass(self):
+        compressor = TopKCompressor(CompressionConfig.parse("topk(0.1)"))
+        grads = random_grads(1)
+        lossy, _ = compressor.compress("fc", grads)
+        residual = compressor._residuals["fc/weight"]
+        # Sent + residual == the full corrected gradient, elementwise.
+        np.testing.assert_allclose(lossy["weight"] + residual,
+                                   grads["weight"], rtol=0, atol=1e-7)
+
+    def test_residual_reenters_next_iteration(self):
+        compressor = TopKCompressor(CompressionConfig.parse("topk(1)"))
+        grads = {"weight": np.arange(64, dtype=np.float32).reshape(8, 8)}
+        compressor.compress("fc", grads)   # sends entry 63, zero residual there
+        # Iteration 2's corrected gradient doubles every un-sent entry, so
+        # entry 62 (62 + 62 = 124) overtakes the freshly-sent entry 63.
+        lossy, _ = compressor.compress("fc", grads)
+        assert lossy["weight"].reshape(-1)[62] == pytest.approx(124.0)
+        assert np.count_nonzero(lossy["weight"]) == 1
+
+    def test_bias_passes_through_dense(self):
+        compressor = TopKCompressor(CompressionConfig.parse("topk(0.1)"))
+        grads = random_grads(2)
+        lossy, nbytes = compressor.compress("fc", grads)
+        np.testing.assert_array_equal(lossy["bias"], grads["bias"])
+        assert nbytes == (wire.topk_payload_bytes(0.1, 24, 16)
+                          + grads["bias"].nbytes)
+
+    def test_state_round_trips(self):
+        a = TopKCompressor(CompressionConfig.parse("topk(0.1)"))
+        b = TopKCompressor(CompressionConfig.parse("topk(0.1)"))
+        a.compress("fc", random_grads(3))
+        b.set_state(a.get_state())
+        lossy_a, _ = a.compress("fc", random_grads(4))
+        lossy_b, _ = b.compress("fc", random_grads(4))
+        np.testing.assert_array_equal(lossy_a["weight"], lossy_b["weight"])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.sampled_from([0.01, 0.1, 0.5, 3]))
+    def test_error_feedback_property(self, seed, k):
+        """Residual always equals the un-sent mass of the corrected gradient."""
+        compressor = TopKCompressor(CompressionConfig.parse(f"topk({k})"))
+        corrected = np.zeros((12, 8), dtype=np.float32)
+        for step in range(3):
+            grads = random_grads(seed + step, shape=(12, 8))
+            corrected = corrected + grads["weight"]
+            lossy, _ = compressor.compress("fc", grads)
+            sent = lossy["weight"]
+            count = wire.topk_count(k, 96)
+            assert int(np.count_nonzero(sent)) <= count
+            residual = compressor._residuals["fc/weight"]
+            np.testing.assert_allclose(sent + residual, corrected, atol=1e-5)
+            corrected = residual
+
+
+class TestOneBitCompressor:
+    def test_matches_quantizer_bytes_and_values(self):
+        compressor = OneBitCompressor(CompressionConfig.parse("onebit"))
+        quantizer = OneBitQuantizer()
+        for step in range(3):   # across steps, so residuals must agree too
+            grads = random_grads(10 + step)
+            lossy, nbytes = compressor.compress("fc", grads)
+            reference = quantizer.quantize("fc/weight", grads["weight"])
+            np.testing.assert_array_equal(lossy["weight"],
+                                          reference.dequantize())
+            assert nbytes == reference.nbytes + grads["bias"].nbytes
+
+    def test_state_round_trips(self):
+        a = OneBitCompressor(CompressionConfig.parse("onebit"))
+        b = OneBitCompressor(CompressionConfig.parse("onebit"))
+        a.compress("fc", random_grads(20))
+        b.set_state(a.get_state())
+        lossy_a, _ = a.compress("fc", random_grads(21))
+        lossy_b, _ = b.compress("fc", random_grads(21))
+        np.testing.assert_array_equal(lossy_a["weight"], lossy_b["weight"])
+
+
+class TestPowerSGDCompressor:
+    def test_lossy_is_rank_r(self):
+        compressor = PowerSGDCompressor(CompressionConfig.parse("powersgd(2)"))
+        lossy, nbytes = compressor.compress("fc", random_grads(30))
+        assert np.linalg.matrix_rank(lossy["weight"]) <= 2
+        assert nbytes == (wire.powersgd_payload_bytes(2, 24, 16)
+                          + random_grads(30)["bias"].nbytes)
+
+    def test_warm_start_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            compressor = PowerSGDCompressor(
+                CompressionConfig.parse("powersgd(2)"))
+            for step in range(3):
+                lossy, _ = compressor.compress("fc", random_grads(40 + step))
+            runs.append(lossy["weight"])
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_state_round_trips(self):
+        a = PowerSGDCompressor(CompressionConfig.parse("powersgd(2)"))
+        b = PowerSGDCompressor(CompressionConfig.parse("powersgd(2)"))
+        a.compress("fc", random_grads(50))
+        b.set_state(a.get_state())
+        lossy_a, _ = a.compress("fc", random_grads(51))
+        lossy_b, _ = b.compress("fc", random_grads(51))
+        np.testing.assert_array_equal(lossy_a["weight"], lossy_b["weight"])
+
+
+class TestMakeCompressor:
+    def test_identity_returns_none(self):
+        assert make_compressor(None) is None
+        assert make_compressor("none") is None
+
+    def test_spec_round_trips(self):
+        for spec in ("onebit", "topk(0.01)", "powersgd(4)"):
+            assert make_compressor(spec).spec == spec
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_compressor("gzip")
+
+
+# -- configuration validation --------------------------------------------------
+class TestValidation:
+    @pytest.mark.parametrize("mode", ["sfb", "onebit", "adam"])
+    def test_trainer_rejects_compressor_on_non_dense_backend(self, setup, mode):
+        with pytest.raises(ConfigurationError):
+            make_trainer(setup, mode, compressor="topk(0.1)")
+
+    def test_trainer_rejects_bad_bucket(self, setup):
+        with pytest.raises(ConfigurationError):
+            make_trainer(setup, "ps", bucket_bytes=0)
+
+    def test_backend_compressible_registry(self):
+        config = CompressionConfig.parse("topk(0.1)")
+        assert get_backend(CommScheme.PS).supports_compression(config)
+        assert get_backend(CommScheme.RING).supports_compression(config)
+        assert not get_backend(CommScheme.ONEBIT).supports_compression(config)
+        assert not get_backend(CommScheme.SFB).supports_compression(config)
+        # Identity is supported everywhere.
+        identity = CompressionConfig.parse("none")
+        assert get_backend(CommScheme.SFB).supports_compression(identity)
+
+    def test_simulators_reject_compressor_under_fine_partitioning(self):
+        fine = SystemConfig(
+            name="probe", engine="probe", comm=CommMode.PS,
+            schedule=ScheduleMode.WFBP, partitioning=Partitioning.FINE,
+            overlap_pull=True, overlap_host_copy=True,
+        ).with_compression("topk(0.1)")
+        with pytest.raises(ConfigurationError):
+            validate_compression(fine)
+        cluster = ClusterConfig(num_workers=4, bandwidth_gbps=10.0)
+        workload = build_workload(VGG, gpu=cluster.gpu)
+        with pytest.raises(ConfigurationError):
+            IterationSimulator(workload, cluster, fine)
+        with pytest.raises(ConfigurationError):
+            FluidSimulator(workload, cluster, fine)
+
+    def test_simulators_reject_compressor_on_non_dense_backend(self):
+        system = coarse_system(CommMode.SFB_ONLY, "topk(0.1)")
+        with pytest.raises(ConfigurationError):
+            validate_compression(system)
+
+    def test_validate_identity_returns_none(self):
+        assert validate_compression(coarse_system(CommMode.PS)) is None
+        config = validate_compression(coarse_system(CommMode.PS, "topk(0.1)"))
+        assert config is not None and config.kind == "topk"
+
+
+# -- end-to-end wire-byte agreement --------------------------------------------
+class TestTrainerWireBytes:
+    """Trainer-measured bytes == the shared wire formulas, per layer."""
+
+    @pytest.mark.parametrize("spec", ["topk(0.1)", "powersgd(2)", "onebit"])
+    def test_ps_bytes_sent_match_formula(self, setup, spec):
+        config = CompressionConfig.parse(spec)
+        trainer = make_trainer(setup, "ps", compressor=spec)
+        iterations = 4
+        trainer.train(iterations)
+        network = setup[0]()
+        for layer in network.layers:
+            if not layer.has_parameters:
+                continue
+            expected_per_iter = sum(
+                config.weight_payload_bytes(*param.shape)
+                if param.ndim == 2 and param.size >= wire.MIN_COMPRESS_ELEMENTS
+                else int(param.nbytes)
+                for param in layer.params.values())
+            for worker in range(NUM_WORKERS):
+                syncer = trainer._workers[worker].syncers[layer.name]
+                assert syncer.stats.bytes_sent == iterations * expected_per_iter
+
+    def test_ring_bytes_sent_match_formula(self, setup):
+        config = CompressionConfig.parse("topk(0.1)")
+        trainer = make_trainer(setup, "ring", compressor="topk(0.1)")
+        iterations = 4
+        trainer.train(iterations)
+        network = setup[0]()
+        ring_factor = 2 * (NUM_WORKERS - 1) / NUM_WORKERS
+        for layer in network.layers:
+            if not layer.has_parameters:
+                continue
+            payload = sum(
+                config.weight_payload_bytes(*param.shape)
+                if param.ndim == 2 and param.size >= wire.MIN_COMPRESS_ELEMENTS
+                else int(param.nbytes)
+                for param in layer.params.values())
+            expected_per_iter = int(payload * ring_factor)
+            syncer = trainer._workers[0].syncers[layer.name]
+            assert syncer.stats.bytes_sent == iterations * expected_per_iter
+
+    def test_compressed_losses_agree_across_backends(self, setup):
+        """The lossy math is substrate-independent: ps == ring == hybrid."""
+        losses = {}
+        for mode in ("ps", "ring", "hybrid"):
+            trainer = make_trainer(setup, mode, compressor="topk(0.1)")
+            losses[mode] = trainer.train(4).losses
+        assert losses["ps"] == losses["ring"] == losses["hybrid"]
+
+
+class TestCostModelAgreement:
+    """Cost-model compression factors derive from the same wire formulas."""
+
+    def test_ps_factor_is_push_compressed_pull_dense(self):
+        cluster = ClusterConfig(num_workers=8, bandwidth_gbps=10.0)
+        config = CompressionConfig.parse("topk(0.01)")
+        plain = CostModel(cluster, batch_size=32)
+        compressed = CostModel(cluster, batch_size=32, compression="topk(0.01)")
+        for layer in VGG.layers:
+            if layer.kind is not LayerKind.FC:
+                continue
+            m, n = layer.fc_dims
+            base = plain.scheme_cost_params(layer, CommScheme.PS)
+            got = compressed.scheme_cost_params(layer, CommScheme.PS)
+            expected = base * (1.0 + config.weight_ratio(m, n)) / 2.0
+            assert got == pytest.approx(expected)
+
+    def test_ring_factor_is_wire_ratio(self):
+        cluster = ClusterConfig(num_workers=8, bandwidth_gbps=10.0)
+        config = CompressionConfig.parse("powersgd(4)")
+        plain = CostModel(cluster, batch_size=32)
+        compressed = CostModel(cluster, batch_size=32,
+                               compression="powersgd(4)")
+        for layer in VGG.layers:
+            if layer.kind is not LayerKind.FC:
+                continue
+            m, n = layer.fc_dims
+            base = plain.scheme_cost_params(layer, CommScheme.RING)
+            got = compressed.scheme_cost_params(layer, CommScheme.RING)
+            assert got == pytest.approx(base * config.weight_ratio(m, n))
+
+    def test_best_scheme_never_considers_compression(self):
+        """Algorithm 1 routes on dense bytes; compression is orthogonal."""
+        cluster = ClusterConfig(num_workers=8, bandwidth_gbps=10.0)
+        plain = CostModel(cluster, batch_size=32)
+        compressed = CostModel(cluster, batch_size=32, compression="topk(0.01)")
+        for layer in VGG.layers:
+            assert (plain.best_scheme(layer)
+                    == compressed.best_scheme(layer))
+
+
+class TestSimulatorAgreement:
+    """DES and fluid book identical traffic for every compressor."""
+
+    @pytest.mark.parametrize("comm", [CommMode.PS, CommMode.RING])
+    @pytest.mark.parametrize("spec", ["none", "topk(0.01)", "powersgd(4)",
+                                      "onebit"])
+    def test_des_and_fluid_traffic_exactly_equal(self, comm, spec):
+        cluster = ClusterConfig(num_workers=8, bandwidth_gbps=10.0)
+        workload = build_workload(VGG, gpu=cluster.gpu)
+        system = coarse_system(comm, spec)
+        des = IterationSimulator(workload, cluster, system).run()
+        fluid = FluidSimulator(workload, cluster, system).run()
+        assert des.mean_traffic_gbits == pytest.approx(
+            fluid.mean_traffic_gbits, rel=1e-12)
+
+    def test_compression_shrinks_traffic_and_time(self):
+        cluster = ClusterConfig(num_workers=8, bandwidth_gbps=10.0)
+        workload = build_workload(VGG, gpu=cluster.gpu)
+        dense = IterationSimulator(
+            workload, cluster, coarse_system(CommMode.RING)).run()
+        sparse = IterationSimulator(
+            workload, cluster,
+            coarse_system(CommMode.RING, "topk(0.01)")).run()
+        assert sparse.mean_traffic_gbits < dense.mean_traffic_gbits / 4
+        assert sparse.iteration_seconds < dense.iteration_seconds
+
+    def test_des_traffic_matches_wire_formula(self):
+        """The booked PS push bytes are exactly unit_wire_bytes per unit."""
+        cluster = ClusterConfig(num_workers=4, bandwidth_gbps=10.0)
+        workload = build_workload(VGG, gpu=cluster.gpu)
+        config = CompressionConfig.parse("topk(0.01)")
+        sim = IterationSimulator(workload, cluster,
+                                 coarse_system(CommMode.PS, "topk(0.01)"))
+        for unit in sim.workload.units:
+            got = sim.coarse_push_bytes(unit, CommScheme.PS)
+            expected = wire.unit_wire_bytes(config, unit.param_bytes,
+                                            unit.fc_dims, unit.payload_parts)
+            assert got == expected
+            # Pulls stay dense under every pluggable compressor.
+            assert sim.coarse_pull_bytes(unit, CommScheme.PS) == unit.param_bytes
+
+
+# -- compressor state through checkpoint/restore -------------------------------
+class TestCheckpointedCompressorState:
+    def test_state_survives_crash_recovery(self, setup):
+        """A crash + restore run matches an undisturbed run bit-for-bit.
+
+        Only true because compressor state (error-feedback residuals,
+        PowerSGD factors) joins the checkpoint; without it the restored
+        replica would re-lose mass the residuals already carried.
+        """
+        baseline = make_trainer(setup, "ps", compressor="topk(0.1)")
+        baseline_history = baseline.train(6)
+        plan = FaultPlan(crashes=(CrashFault(worker_id=1, iteration=3),))
+        faulted = make_trainer(setup, "ps", compressor="topk(0.1)",
+                               fault_plan=plan, recovery="restart",
+                               checkpoint_interval=2)
+        faulted_history = faulted.train(6)
+        assert faulted_history.losses[-1] == pytest.approx(
+            baseline_history.losses[-1])
+        base_state = baseline.replica(0).get_state()
+        fault_state = faulted.replica(0).get_state()
+        assert base_state.keys() == fault_state.keys()
+        for layer, params in base_state.items():
+            for name, value in params.items():
+                np.testing.assert_array_equal(
+                    fault_state[layer][name], value,
+                    err_msg=f"{layer}/{name} diverged after recovery")
+
+    def test_checkpoint_carries_compressor_states(self, setup):
+        trainer = make_trainer(setup, "ps", compressor="powersgd(2)",
+                               checkpoint_interval=2, recovery="restart",
+                               fault_plan=FaultPlan())
+        trainer.train(4)
+        ckpt = trainer._checkpoint
+        assert ckpt is not None
+        assert len(ckpt.compressor_states) == NUM_WORKERS
+        for state in ckpt.compressor_states:
+            assert state["qs"]            # warm factors were checkpointed
+            assert state["residuals"]

@@ -1,0 +1,80 @@
+"""Tests for the fig_compression experiment (compressor x bucket x backend).
+
+Pins the headline crossover the figure exists to show -- an aggressive
+sparsifier on the bandwidth-optimal ring substrate beats the paper's
+1-bit PS at constrained bandwidth -- plus the runner registration and
+the structure of the rendering.
+"""
+
+import pytest
+
+from repro.engines.base import CommMode, Partitioning
+from repro.experiments import fig_compression
+from repro.experiments.runner import EXPERIMENTS
+
+#: Reduced sweep shared by the tests (module-scoped: one simulation pass).
+NODES = (8,)
+BANDWIDTHS = (1.0,)
+VARIANTS = tuple(
+    variant for variant in fig_compression.FIG_COMPRESSION_VARIANTS
+    if variant[0] in ("PS dense", "1-bit PS", "Ring topk(0.01)",
+                      "Ring topk(0.01) +bucket"))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_compression.run_fig_compression(
+        node_counts=NODES, bandwidths=BANDWIDTHS, variants=VARIANTS)
+
+
+class TestVariantSystems:
+    def test_systems_are_coarse_with_unique_names(self):
+        systems = fig_compression.variant_systems()
+        names = [system.name for system in systems]
+        assert len(names) == len(set(names))
+        assert all(system.partitioning is Partitioning.COARSE
+                   for system in systems)
+
+    def test_default_variants_cover_both_axes(self):
+        variants = fig_compression.FIG_COMPRESSION_VARIANTS
+        assert any(bucket is not None for *_, bucket in variants)
+        assert any(spec.startswith("topk") for _, _, spec, _ in variants)
+        assert any(spec.startswith("powersgd") for _, _, spec, _ in variants)
+        assert any(comm is CommMode.ONEBIT for _, comm, _, _ in variants)
+
+
+class TestCrossover:
+    def test_ring_topk_beats_onebit_at_constrained_bandwidth(self, result):
+        """The acceptance crossover: sparsified ring > dense 1-bit PS."""
+        winner, loser, winner_tput, loser_tput, bandwidth = \
+            result.crossover(max(NODES))
+        assert winner == "Ring topk(0.01)"
+        assert loser == "1-bit PS"
+        assert winner_tput > loser_tput
+        assert bandwidth == min(BANDWIDTHS)
+
+    def test_compression_beats_dense_everywhere_constrained(self, result):
+        nodes = max(NODES)
+        dense = result.throughput("PS dense", 1.0, nodes)
+        for label in ("1-bit PS", "Ring topk(0.01)"):
+            assert result.throughput(label, 1.0, nodes) > dense
+
+    def test_bucketing_preserves_traffic(self, result):
+        nodes = max(NODES)
+        assert result.traffic_gbits("Ring topk(0.01) +bucket", 1.0, nodes) \
+            == pytest.approx(result.traffic_gbits("Ring topk(0.01)", 1.0,
+                                                  nodes), rel=1e-12)
+
+
+class TestRendering:
+    def test_render_structure_and_crossover_line(self, result):
+        rendering = fig_compression.render(result)
+        assert rendering.startswith(
+            "Compression zoo: compressor x bucketing x backend x bandwidth")
+        assert "throughput (images/s)" in rendering
+        assert "mean per-node traffic" in rendering
+        assert "crossover at 1 GbE" in rendering
+        assert "Ring topk(0.01)" in rendering
+
+    def test_registered_in_runner(self):
+        assert "fig_compression" in EXPERIMENTS
