@@ -3,7 +3,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test bench bench-update bench-full bench-smoke sweep-quick determinism \
-	scale-smoke async-smoke chaos-smoke compression-smoke \
+	scale-smoke async-smoke chaos-smoke compression-smoke llm-smoke \
 	examples-smoke docs-check
 
 ## tier-1 test suite
@@ -61,6 +61,16 @@ compression-smoke:
 	@grep -q "crossover at" /tmp/fig_compression_smoke.txt
 	@echo "fig_compression smoke report rendered"
 
+## transformer smoke: layer gradchecks + fig_llm tests, then the quick
+## fig_llm sweep with its headline lines checked (SFB vocab head, crossover)
+llm-smoke:
+	$(PYTEST) tests/test_layers.py tests/test_fig_llm.py -q
+	PYTHONPATH=src python -m repro.experiments.runner --quick --jobs 1 \
+		fig_llm > /tmp/fig_llm_smoke.txt
+	@grep -q "Transformer/LLM sweep" /tmp/fig_llm_smoke.txt
+	@grep -q "vocab head lm_head" /tmp/fig_llm_smoke.txt
+	@echo "fig_llm smoke report rendered"
+
 ## run all four examples/ scripts at reduced sizes (CI smoke)
 examples-smoke:
 	PYTHONPATH=src python examples/quickstart.py
@@ -88,6 +98,7 @@ bench:
 	$(PYTEST) -x -q
 	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
 		benchmarks/bench_fluid.py benchmarks/bench_compression.py \
+		benchmarks/bench_transformer.py \
 		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json
 
@@ -95,6 +106,7 @@ bench:
 bench-update:
 	$(PYTEST) benchmarks/bench_micro.py benchmarks/bench_flow.py \
 		benchmarks/bench_fluid.py benchmarks/bench_compression.py \
+		benchmarks/bench_transformer.py \
 		--benchmark-only -q --benchmark-json=bench_results.json
 	python benchmarks/compare.py bench_results.json --update
 

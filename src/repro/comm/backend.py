@@ -258,6 +258,26 @@ class CommBackend(abc.ABC):
                              topology=topology)
         return cost * units.FLOAT32_BYTES
 
+    # -- timed Algorithm 1 hooks -------------------------------------------------
+    def latency_messages(self, num_workers: int, num_servers: int) -> float:
+        """Serialized message rounds on the critical path of one sync.
+
+        Multiplied by the cluster's per-message latency in the timed variant
+        of Algorithm 1 (:meth:`repro.core.cost_model.CostModel.scheme_seconds`).
+        The default models the PS family's push + pull round trip; schemes
+        whose critical path touches every peer individually override this.
+        """
+        return 2.0
+
+    def extra_flops(self, m: int, n: int, num_workers: int, num_servers: int,
+                    batch_size: int) -> float:
+        """Scheme-specific compute overhead (FLOPs) of one sync at one node.
+
+        Zero for schemes that ship ready-to-apply dense gradients; factor
+        schemes pay the outer-product reconstruction of each peer's update.
+        """
+        return 0.0
+
     # -- functional trainer -----------------------------------------------------
     @abc.abstractmethod
     def build_substrate(self, initial_layers: Dict[str, ArrayDict],
@@ -737,6 +757,14 @@ class SFBBackend(CommBackend):
         return self._topology_cost(flat, m, n, num_workers, num_servers,
                                    batch_size, topology)
 
+    def latency_messages(self, num_workers, num_servers):
+        # P-1 unicast broadcasts: each peer transfer pays its own setup.
+        return float(max(num_workers - 1, 1))
+
+    def extra_flops(self, m, n, num_workers, num_servers, batch_size):
+        # Reconstruct each peer's dW = U^T V: 2 K M N FLOPs per peer.
+        return 2.0 * batch_size * max(num_workers - 1, 0) * m * n
+
     def build_substrate(self, initial_layers, ctx):
         from repro.comm.sfb import SufficientFactorBroadcaster
         return SufficientFactorBroadcaster(ctx.num_workers)
@@ -770,6 +798,10 @@ class AdamBackend(CommBackend):
         local = min(topology.nodes_per_rack(num_workers), num_workers)
         remote = num_workers - local
         return remote * (m * n + batch_size * (m + n))
+
+    def extra_flops(self, m, n, num_workers, num_servers, batch_size):
+        # The owning node reconstructs every peer's factors before applying.
+        return 2.0 * batch_size * max(num_workers - 1, 0) * m * n
 
     def build_substrate(self, initial_layers, ctx):
         from repro.comm.adam import AdamSFServer

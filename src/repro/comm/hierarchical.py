@@ -330,6 +330,10 @@ class HierPSBackend(CommBackend):
         # aggregate comes in and the updated parameters go back out.
         return 2.0 * m * n * (topology.num_racks(num_workers) - 1)
 
+    def latency_messages(self, num_workers, num_servers):
+        # Two tree levels, each a push + pull round trip.
+        return 4.0
+
     def build_substrate(self, initial_layers, ctx: TrainerContext):
         return HierarchicalParameterServer(
             initial_layers, ctx.num_workers, rack_size=self.rack_size,

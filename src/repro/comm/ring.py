@@ -302,6 +302,10 @@ class RingBackend(CommBackend):
         # independent of how many nodes the rack aggregates.
         return 4.0 * m * n * (num_workers - 1) / num_workers
 
+    def latency_messages(self, num_workers, num_servers):
+        # 2 (P1 - 1) serialized ring steps (reduce-scatter + all-gather).
+        return 2.0 * max(num_workers - 1, 1)
+
     def compression_cost_factor(self, compression, m, n):
         """Both ring phases carry the compressed payload: the factor is
         the wire ratio itself."""

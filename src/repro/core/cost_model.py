@@ -362,6 +362,71 @@ class CostModel:
                              self.cluster.num_servers, self.batch_size,
                              sf_eligible=True, topology=self.topology)
 
+    # -- timed Algorithm 1 -------------------------------------------------------
+    def scheme_seconds(self, layer: LayerSpec, scheme: CommScheme,
+                       policy=None) -> float:
+        """Estimated seconds a combined node spends synchronizing ``layer``.
+
+        The timed refinement of Table 1: wire bytes at the cluster's
+        effective bandwidth, plus per-message latency on the scheme's
+        critical path (:meth:`~repro.comm.backend.CommBackend.latency_messages`),
+        plus scheme compute overhead at the cluster's GPU
+        (:meth:`~repro.comm.backend.CommBackend.extra_flops` -- the
+        outer-product reconstruction factor schemes pay).  Unlike the
+        volumetric costs this depends on bandwidth: as the network speeds
+        up, the fixed latency and reconstruction terms dominate and the
+        cheapest scheme can flip.
+        """
+        from repro.comm.backend import get_backend
+
+        backend = get_backend(scheme)
+        wire_seconds = (self.scheme_cost_bytes(layer, scheme, policy=policy)
+                        / (self.cluster.effective_bandwidth_bps / 8.0))
+        p1 = self.cluster.num_workers
+        p2 = self.cluster.num_servers
+        if layer.kind is LayerKind.FC:
+            m, n = layer.fc_dims
+        else:
+            m, n = 1, max(layer.param_count, 1)
+        freq = self._sync_frequency(policy)
+        latency_seconds = (backend.latency_messages(p1, p2)
+                           * self.cluster.latency_seconds)
+        compute_seconds = self.cluster.gpu.compute_seconds(
+            backend.extra_flops(m, n, p1, p2, self.batch_size))
+        return wire_seconds + freq * (latency_seconds + compute_seconds)
+
+    def best_scheme_timed(self, layer: LayerSpec, policy=None) -> CommScheme:
+        """Algorithm 1 with a clock: cheapest candidate by :meth:`scheme_seconds`.
+
+        :meth:`best_scheme` compares transmitted parameter *counts*, so its
+        choice is bandwidth-invariant.  This variant compares estimated
+        wall time instead, which adds two bandwidth-dependent effects: at
+        high bandwidth SFB's ``P1 - 1`` per-peer broadcast setups and its
+        gradient-reconstruction matmuls stop amortizing, pushing
+        near-crossover layers (a transformer's ``C x C`` attention output
+        projection) back to PS, while strongly factor-favoured layers (a
+        GPT vocabulary head) stay SFB at any swept bandwidth.  Candidate
+        set and tie-breaking mirror :func:`~repro.comm.backend.hybrid_choice`.
+        """
+        from repro.comm.backend import hybrid_candidates, topology_candidates
+
+        if not layer.sf_decomposable or layer.kind is not LayerKind.FC:
+            return CommScheme.PS
+        candidates = hybrid_candidates()
+        if self.topology is not None:
+            candidates += topology_candidates()
+        best: Optional[tuple] = None
+        for backend in candidates:
+            if backend.requires_factorization and self.cluster.num_workers <= 1:
+                continue
+            seconds = self.scheme_seconds(layer, backend.scheme, policy=policy)
+            key = (seconds, backend.hybrid_rank)
+            if best is None or key < best[0]:
+                best = (key, backend.scheme)
+        if best is None:
+            raise ConfigurationError("no hybrid-candidate backend is registered")
+        return best[1]
+
     # -- bytes-on-the-wire helpers ----------------------------------------------
     def scheme_cost_params(self, layer: LayerSpec, scheme: CommScheme,
                            policy=None) -> float:

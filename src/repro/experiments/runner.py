@@ -39,6 +39,7 @@ from repro.experiments import (
     fig_backends,
     fig_compression,
     fig_faults,
+    fig_llm,
     fig_scale,
     fig_topology,
     multigpu,
@@ -135,6 +136,11 @@ def _run_fig_backends(quick: bool) -> str:
     return fig_backends.render(fig_backends.run_fig_backends(node_counts=nodes))
 
 
+def _run_fig_llm(quick: bool) -> str:
+    models = ("nanogpt-12l",) if quick else fig_llm.FIG_LLM_MODELS
+    return fig_llm.render(fig_llm.run_fig_llm(models=models))
+
+
 def _run_fig_scale(quick: bool) -> str:
     nodes = (1000,) if quick else fig_scale.FIG_SCALE_NODE_COUNTS
     return fig_scale.render(fig_scale.run_fig_scale(node_counts=nodes))
@@ -175,6 +181,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig_backends": _run_fig_backends,
     "fig_compression": _run_fig_compression,
     "fig_faults": _run_fig_faults,
+    "fig_llm": _run_fig_llm,
     "fig_scale": _run_fig_scale,
     "fig_topology": _run_fig_topology,
     "multigpu": _run_multigpu,

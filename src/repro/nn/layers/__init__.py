@@ -4,9 +4,17 @@ from repro.nn.layers.base import Layer
 from repro.nn.layers.dense import Dense
 from repro.nn.layers.conv import Conv2D
 from repro.nn.layers.pooling import MaxPool2D, AvgPool2D
-from repro.nn.layers.activation import ReLU
+from repro.nn.layers.activation import GELU, ReLU
 from repro.nn.layers.flatten import Flatten
 from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.embedding import Embedding, PositionalEmbedding
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.layers.attention import (
+    MultiHeadAttention,
+    SequenceMeanPool,
+    TokenFlatten,
+    TransformerBlock,
+)
 
 __all__ = [
     "Layer",
@@ -15,6 +23,14 @@ __all__ = [
     "MaxPool2D",
     "AvgPool2D",
     "ReLU",
+    "GELU",
     "Flatten",
     "Dropout",
+    "Embedding",
+    "PositionalEmbedding",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "TransformerBlock",
+    "TokenFlatten",
+    "SequenceMeanPool",
 ]

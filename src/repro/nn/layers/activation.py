@@ -30,6 +30,40 @@ class ReLU(Layer):
         return grad_output * self._mask
 
 
+class GELU(Layer):
+    """Gaussian error linear unit (tanh approximation), applied elementwise.
+
+    Uses the tanh form standard in GPT-family models:
+    ``0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 * x^3)))``.
+    """
+
+    _COEFF = 0.044715
+    _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        inner = self._SQRT_2_OVER_PI * (inputs + self._COEFF * inputs ** 3)
+        out = 0.5 * inputs * (1.0 + np.tanh(inner))
+        if training:
+            self._input = inputs
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError(
+                f"layer {self.name!r}: backward called before forward(training=True)"
+            )
+        x = self._input
+        inner = self._SQRT_2_OVER_PI * (x + self._COEFF * x ** 3)
+        tanh_inner = np.tanh(inner)
+        d_inner = self._SQRT_2_OVER_PI * (1.0 + 3.0 * self._COEFF * x ** 2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * (1.0 - tanh_inner ** 2) * d_inner
+        return grad_output * local
+
+
 class Tanh(Layer):
     """Hyperbolic tangent activation."""
 

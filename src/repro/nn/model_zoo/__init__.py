@@ -28,6 +28,12 @@ from repro.nn.model_zoo.vgg import vgg19_spec, vgg19_22k_spec, vgg16_spec
 from repro.nn.model_zoo.googlenet import googlenet_spec
 from repro.nn.model_zoo.inception_v3 import inception_v3_spec
 from repro.nn.model_zoo.resnet import resnet50_spec, resnet152_spec
+from repro.nn.model_zoo.transformer import (
+    build_transformer_network,
+    gpt2_small_spec,
+    nanogpt_12l_spec,
+    transformer_spec,
+)
 
 __all__ = [
     "MODEL_REGISTRY",
@@ -47,4 +53,8 @@ __all__ = [
     "inception_v3_spec",
     "resnet50_spec",
     "resnet152_spec",
+    "transformer_spec",
+    "nanogpt_12l_spec",
+    "gpt2_small_spec",
+    "build_transformer_network",
 ]

@@ -62,6 +62,7 @@ def _register_builtin_models() -> None:
         inception_v3,
         mlp,
         resnet,
+        transformer,
         vgg,
     )
 
@@ -76,6 +77,8 @@ def _register_builtin_models() -> None:
         "vgg19-22k": vgg.vgg19_22k_spec,
         "resnet-50": resnet.resnet50_spec,
         "resnet-152": resnet.resnet152_spec,
+        "nanogpt-12l": transformer.nanogpt_12l_spec,
+        "gpt2-small": transformer.gpt2_small_spec,
     }
     for name, factory in builders.items():
         if name not in MODEL_REGISTRY:

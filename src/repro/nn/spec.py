@@ -39,11 +39,14 @@ class LayerKind(str, enum.Enum):
     CONCAT = "concat"
     ADD = "add"
     SOFTMAX = "softmax"
+    EMBED = "embed"
+    ATTENTION = "attention"
 
     @property
     def has_parameters(self) -> bool:
         """Whether layers of this kind can carry trainable parameters."""
-        return self in (LayerKind.CONV, LayerKind.FC, LayerKind.NORM)
+        return self in (LayerKind.CONV, LayerKind.FC, LayerKind.NORM,
+                        LayerKind.EMBED)
 
 
 @dataclass(frozen=True)
@@ -535,6 +538,175 @@ class SpecBuilder:
                 output_shape=self._shape,
             )
         )
+
+    # -- transformer layers ----------------------------------------------------
+    def _require_tokens(self, op: str) -> Tuple[int, int]:
+        if len(self._shape) != 2:
+            raise ModelSpecError(
+                f"{op} requires a (seq_len, channels) activation, got {self._shape}"
+            )
+        return self._shape  # type: ignore[return-value]
+
+    def embedding(self, name: str, vocab_size: int, dim: int) -> LayerSpec:
+        """Append a token-embedding lookup: ``(T,)`` int ids -> ``(T, dim)``.
+
+        The table syncs as a dense ``vocab_size x dim`` blob (no sparse-push
+        path), so its wire cost is its full parameter size.
+        """
+        seq_len = self._require_flat("embedding")
+        params = int(vocab_size) * int(dim)
+        count = float(seq_len * dim)
+        return self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.EMBED,
+                param_count=params,
+                param_shape=(int(vocab_size), int(dim)),
+                flops_forward=count,
+                flops_backward=2.0 * count,
+                output_shape=(seq_len, int(dim)),
+            )
+        )
+
+    def positional(self, name: str) -> LayerSpec:
+        """Append a learned positional table added to a ``(T, C)`` activation."""
+        seq_len, dim = self._require_tokens("positional")
+        count = float(seq_len * dim)
+        return self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.EMBED,
+                param_count=seq_len * dim,
+                param_shape=(seq_len, dim),
+                flops_forward=count,
+                flops_backward=count,
+                output_shape=self._shape,
+            )
+        )
+
+    def layer_norm(self, name: str) -> LayerSpec:
+        """Append a layer normalisation (2 learned scalars per channel)."""
+        channels = self._shape[-1]
+        count = float(_shape_numel(self._shape))
+        return self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.NORM,
+                param_count=2 * channels,
+                param_shape=(2, channels),
+                flops_forward=4.0 * count,
+                flops_backward=8.0 * count,
+                output_shape=self._shape,
+            )
+        )
+
+    def gelu(self, name: str) -> LayerSpec:
+        """Append a GELU activation (tanh approximation)."""
+        count = float(_shape_numel(self._shape))
+        return self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.ACTIVATION,
+                flops_forward=8.0 * count,
+                flops_backward=12.0 * count,
+                output_shape=self._shape,
+            )
+        )
+
+    def token_fc(self, name: str, out_features: int, bias: bool = True) -> LayerSpec:
+        """Append a token-wise FC layer applied to a ``(T, C)`` activation.
+
+        The ``C x out_features`` weight is shared across the ``T`` positions,
+        so the layer is FC-shaped for scheme decisions (``fc_dims``,
+        sufficient-factor decomposable) while its FLOPs scale with ``T``.
+        Table-1 costing keeps ``K = batch`` (sequences, like images for CNN
+        FC layers); see :mod:`repro.nn.model_zoo.transformer` for the
+        token-level caveat.
+        """
+        seq_len, in_features = self._require_tokens("token_fc")
+        weights = in_features * int(out_features)
+        params = weights + (int(out_features) if bias else 0)
+        flops_fwd = 2.0 * weights * seq_len
+        flops_bwd = 2.0 * flops_fwd
+        return self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.FC,
+                param_count=params,
+                param_shape=(in_features, int(out_features)),
+                flops_forward=flops_fwd,
+                flops_backward=flops_bwd,
+                output_shape=(seq_len, int(out_features)),
+                sf_decomposable=True,
+            )
+        )
+
+    def attention_core(self, name: str, num_heads: int) -> LayerSpec:
+        """Append the parameter-free attention core: ``(T, 3C) -> (T, C)``.
+
+        Consumes a fused QKV activation (from a preceding ``token_fc``) and
+        models the ``QK^T`` / softmax / ``AV`` compute; the projections on
+        either side carry the parameters, so only they become sync units.
+        """
+        seq_len, qkv_dim = self._require_tokens("attention_core")
+        if qkv_dim % 3 != 0:
+            raise ModelSpecError(
+                f"attention_core {name!r}: QKV activation width {qkv_dim} "
+                f"not divisible by 3"
+            )
+        dim = qkv_dim // 3
+        if dim % int(num_heads) != 0:
+            raise ModelSpecError(
+                f"attention_core {name!r}: width {dim} not divisible by "
+                f"{num_heads} heads"
+            )
+        matmul_flops = 4.0 * seq_len * seq_len * dim
+        softmax_flops = 5.0 * int(num_heads) * seq_len * seq_len
+        return self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.ATTENTION,
+                flops_forward=matmul_flops + softmax_flops,
+                flops_backward=2.0 * (matmul_flops + softmax_flops),
+                output_shape=(seq_len, dim),
+            )
+        )
+
+    def residual(self, name: str) -> LayerSpec:
+        """Append a residual add (skip connection merge point)."""
+        count = float(_shape_numel(self._shape))
+        return self._add(
+            LayerSpec(
+                name=name,
+                kind=LayerKind.ADD,
+                flops_forward=count,
+                flops_backward=count,
+                output_shape=self._shape,
+            )
+        )
+
+    def transformer_block(self, prefix: str, num_heads: int,
+                          mlp_ratio: int = 4) -> Tuple[LayerSpec, ...]:
+        """Append a full pre-norm transformer block (10 layer records).
+
+        The QKV / output / MLP projections are emitted as individual
+        ``token_fc`` records so each enters Algorithm-1 scheme decisions on
+        its own ``(M, N)`` shape, exactly like the FC layers of a CNN.
+        """
+        _, dim = self._require_tokens("transformer_block")
+        specs = [
+            self.layer_norm(f"{prefix}_ln1"),
+            self.token_fc(f"{prefix}_attn_qkv", 3 * dim),
+            self.attention_core(f"{prefix}_attn_core", num_heads),
+            self.token_fc(f"{prefix}_attn_proj", dim),
+            self.residual(f"{prefix}_res1"),
+            self.layer_norm(f"{prefix}_ln2"),
+            self.token_fc(f"{prefix}_mlp_fc", int(mlp_ratio) * dim),
+            self.gelu(f"{prefix}_mlp_gelu"),
+            self.token_fc(f"{prefix}_mlp_proj", dim),
+            self.residual(f"{prefix}_res2"),
+        ]
+        return tuple(specs)
 
     def concat_channels(self, name: str, channel_counts: Iterable[int]) -> LayerSpec:
         """Record a channel concatenation (used by inception modules).

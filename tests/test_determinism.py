@@ -20,7 +20,7 @@ from repro.config import TrainingConfig
 from repro.core.wfbp import DeterministicScheduler, ScheduleMode
 from repro.data import make_linearly_separable, shard_dataset
 from repro.experiments.fig11 import run_fig11
-from repro.nn.model_zoo import build_mlp_network
+from repro.nn.model_zoo import build_mlp_network, build_transformer_network
 from repro.nn.optim import SGD
 from repro.nn.sufficient_factors import SufficientFactors
 from repro.parallel import DistributedTrainer
@@ -162,6 +162,47 @@ class TestTrainerBitReproducibility:
         for layer, params in state_bsp.items():
             for key, value in params.items():
                 np.testing.assert_array_equal(value, state[layer][key])
+
+
+class TestTransformerTrainerDeterminism:
+    """The attention stack trains bit-identically under every comm mode."""
+
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(3)
+        tokens = rng.integers(0, 24, size=(180, 6))
+        labels = tokens[:, 0] % 4  # learnable: class is the first token mod 4
+        shards = shard_dataset(tokens, labels, 3, seed=2)
+        config = TrainingConfig(batch_size=8, learning_rate=0.05, iterations=4,
+                                seed=5)
+
+        def factory():
+            return build_transformer_network(vocab_size=24, block_size=6,
+                                             n_embd=12, num_heads=2,
+                                             num_blocks=1, num_classes=4,
+                                             seed=11)
+
+        return factory, shards, config
+
+    def run_once(self, setup, mode):
+        factory, shards, config = setup
+        trainer = DistributedTrainer(factory, 3, shards, config, mode=mode,
+                                     deterministic=True)
+        history = trainer.train(4)
+        return history.losses, trainer.replica(0).get_state()
+
+    @pytest.mark.parametrize("mode", ["ps", "sfb", "hybrid", "ring"])
+    def test_transformer_bit_identical_across_runs(self, setup, mode):
+        losses_a, state_a = self.run_once(setup, mode)
+        losses_b, state_b = self.run_once(setup, mode)
+        assert losses_a == losses_b
+        for layer, params in state_a.items():
+            for key, value in params.items():
+                np.testing.assert_array_equal(value, state_b[layer][key])
+
+    def test_transformer_loss_decreases(self, setup):
+        losses, _ = self.run_once(setup, "ps")
+        assert losses[-1] < losses[0]
 
 
 class TestFig11Regression:

@@ -1,0 +1,95 @@
+"""Tests for the fig_llm experiment (transformer scheme choice x topology).
+
+Pins the acceptance physics the figure exists to show: the untied
+vocabulary head picks SFB at every swept bandwidth and topology, while at
+least one attention/MLP projection flips scheme across the swept
+bandwidths (the timed Algorithm-1 crossover the volumetric variant cannot
+see).  Also pins byte-identity of the report across sweep worker counts
+and the runner registration.
+"""
+
+import pytest
+
+from repro.experiments import fig_llm
+from repro.experiments.runner import EXPERIMENTS
+from repro.nn.model_zoo import get_model_spec
+
+#: Reduced sweep shared by the tests (module-scoped: one simulation pass).
+MODELS = ("nanogpt-12l",)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_llm.run_fig_llm(models=MODELS)
+
+
+class TestDecisionLayers:
+    def test_block0_and_head_only(self):
+        spec = get_model_spec("nanogpt-12l")
+        layers = fig_llm.decision_layers(spec)
+        assert layers == ["h0_attn_qkv", "h0_attn_proj", "h0_mlp_fc",
+                          "h0_mlp_proj", "lm_head"]
+
+    def test_systems_subset_of_backend_zoo(self):
+        names = [system.name for system in fig_llm.llm_systems()]
+        assert names == list(fig_llm.FIG_LLM_SYSTEM_NAMES)
+
+
+class TestDecisions:
+    def test_vocab_head_is_sfb_everywhere(self, result):
+        """The headline: the giant untied head always favours factors."""
+        assert set(result.head_schemes("nanogpt-12l")) == {"sfb"}
+
+    def test_vocab_head_is_sfb_at_10gbe_flat(self, result):
+        assert result.decision("nanogpt-12l", "flat", 10.0, "lm_head") == "sfb"
+
+    def test_attention_projection_flips_across_bandwidths(self, result):
+        """The crossover: a square projection changes scheme with bandwidth."""
+        flips = result.flipping_layers("nanogpt-12l", topology="flat")
+        assert "h0_attn_proj" in flips
+
+    def test_projection_prefers_sfb_only_when_constrained(self, result):
+        assert result.decision("nanogpt-12l", "flat", 10.0,
+                               "h0_attn_proj") == "sfb"
+        assert result.decision("nanogpt-12l", "flat", 40.0,
+                               "h0_attn_proj") == "ps"
+
+    def test_oversubscription_pulls_in_topology_schemes(self, result):
+        """On the 4:1 fabric the projection goes topology-aware, not PS."""
+        scheme = result.decision("nanogpt-12l", "4:1-oversub", 10.0,
+                                 "h0_attn_proj")
+        assert scheme in ("ring", "hierps")
+
+    def test_speedups_positive_for_all_systems(self, result):
+        for system in fig_llm.FIG_LLM_SYSTEM_NAMES:
+            for bandwidth in fig_llm.FIG_LLM_BANDWIDTHS:
+                for label, _, _ in fig_llm.FIG_LLM_TOPOLOGIES:
+                    assert result.speedup("nanogpt-12l", system, bandwidth,
+                                          label) > 0.0
+
+    def test_sfb_beats_ps_when_constrained(self, result):
+        """Factor traffic wins end to end at 10 GbE on both fabrics."""
+        for label, _, _ in fig_llm.FIG_LLM_TOPOLOGIES:
+            assert result.speedup("nanogpt-12l", "SFB", 10.0, label) > \
+                result.speedup("nanogpt-12l", "PS", 10.0, label)
+
+
+class TestRendering:
+    def test_render_structure(self, result):
+        rendering = fig_llm.render(result)
+        assert rendering.startswith(
+            "Transformer/LLM sweep: timed Algorithm-1 choice per FC layer")
+        assert "vocab head lm_head" in rendering
+        assert "sfb at every swept bandwidth and topology" in rendering
+        assert "crossover: h0_attn_proj flips" in rendering
+        assert "DES throughput speedup" in rendering
+
+    def test_report_byte_identical_across_jobs(self, result):
+        """The report must not depend on the sweep worker count."""
+        sequential = fig_llm.run_fig_llm(models=MODELS, jobs=1)
+        parallel = fig_llm.run_fig_llm(models=MODELS, jobs=2)
+        assert fig_llm.render(sequential) == fig_llm.render(parallel)
+        assert fig_llm.render(sequential) == fig_llm.render(result)
+
+    def test_registered_in_runner(self):
+        assert "fig_llm" in EXPERIMENTS

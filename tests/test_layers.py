@@ -2,10 +2,27 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import ShapeError
-from repro.nn.gradcheck import check_layer_gradients
-from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+from repro.nn.gradcheck import check_layer_gradients, numeric_gradient
+from repro.nn.layers import (
+    GELU,
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    MaxPool2D,
+    MultiHeadAttention,
+    PositionalEmbedding,
+    ReLU,
+    SequenceMeanPool,
+    TokenFlatten,
+    TransformerBlock,
+)
 from repro.nn.layers.activation import Tanh
 from repro.nn.layers.conv import col2im, im2col
 
@@ -206,3 +223,246 @@ class TestActivationsAndFriends:
     def test_param_count_zero_for_stateless_layers(self):
         assert ReLU("r").param_count == 0
         assert Flatten("f").param_count == 0
+
+    def test_gelu_matches_tanh_approximation(self):
+        layer = GELU("gelu")
+        x = np.array([[-2.0, -0.5, 0.0, 0.5, 2.0]])
+        expected = 0.5 * x * (1.0 + np.tanh(
+            np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+        np.testing.assert_allclose(layer.forward(x), expected, rtol=1e-12)
+
+    def test_gelu_gradient_check(self, rng):
+        layer = GELU("gelu")
+        x = rng.standard_normal((3, 7))
+        proj = rng.standard_normal((3, 7))
+        layer.forward(x.copy())
+        analytic = layer.backward(proj)
+        numeric = numeric_gradient(
+            lambda arr: float((layer.forward(arr.copy()) * proj).sum()),
+            x, max_elements=16, rng=rng)
+        for index, estimate in numeric.items():
+            assert analytic[index] == pytest.approx(estimate, abs=1e-5)
+
+    def test_gelu_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            GELU("gelu").backward(np.ones((2, 2)))
+
+
+class TestEmbedding:
+    def test_forward_looks_up_rows(self, rng):
+        layer = Embedding("wte", 10, 4, rng=rng)
+        tokens = np.array([[1, 3], [3, 9]])
+        out = layer.forward(tokens)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out[0, 1], layer.params["weight"][3])
+        np.testing.assert_array_equal(out[1, 0], layer.params["weight"][3])
+
+    def test_rejects_float_tokens(self, rng):
+        layer = Embedding("wte", 10, 4, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 3), dtype=np.float32))
+
+    def test_rejects_out_of_range_tokens(self, rng):
+        layer = Embedding("wte", 10, 4, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.array([[0, 10]]))
+
+    def test_gradient_check_sparse_rows(self, rng):
+        """The batch touches few rows; the helper must still find them."""
+        layer = Embedding("wte", 50, 6, rng=rng)
+        tokens = rng.integers(0, 50, size=(3, 4))
+        check_layer_gradients(layer, tokens)
+
+    def test_backward_scatter_adds_repeated_tokens(self, rng):
+        layer = Embedding("wte", 10, 4, rng=rng)
+        tokens = np.array([[2, 2, 2]])
+        out = layer.forward(tokens)
+        layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(layer.grads["weight"][2], 3.0)
+
+    def test_untouched_rows_get_zero_gradient(self, rng):
+        layer = Embedding("wte", 10, 4, rng=rng)
+        out = layer.forward(np.array([[1, 2]]))
+        layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(layer.grads["weight"][5], 0.0)
+
+    def test_positional_gradient_check(self, rng):
+        layer = PositionalEmbedding("wpe", 8, 6, rng=rng)
+        check_layer_gradients(layer, rng.standard_normal((3, 5, 6)))
+
+    def test_positional_rejects_long_sequence(self, rng):
+        layer = PositionalEmbedding("wpe", 4, 6, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 5, 6)))
+
+
+class TestLayerNorm:
+    def test_output_is_normalized(self, rng):
+        layer = LayerNorm("ln", 16)
+        out = layer.forward(10.0 + 3.0 * rng.standard_normal((4, 5, 16)))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradient_check_3d(self, rng):
+        layer = LayerNorm("ln", 8)
+        check_layer_gradients(layer, rng.standard_normal((3, 5, 8)))
+
+    def test_gradient_check_2d(self, rng):
+        layer = LayerNorm("ln", 8)
+        check_layer_gradients(layer, rng.standard_normal((6, 8)))
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = LayerNorm("ln", 8)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 3, 7)))
+
+    def test_identical_train_and_eval(self, rng):
+        layer = LayerNorm("ln", 8)
+        x = rng.standard_normal((2, 3, 8))
+        np.testing.assert_array_equal(layer.forward(x.copy(), training=True),
+                                      layer.forward(x.copy(), training=False))
+
+
+class TestMultiHeadAttention:
+    def test_forward_shape(self, rng):
+        layer = MultiHeadAttention("attn", 8, 2, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 5, 8)))
+        assert out.shape == (2, 5, 8)
+
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ShapeError):
+            MultiHeadAttention("attn", 8, 3, rng=rng)
+
+    def test_gradient_check_causal(self, rng):
+        layer = MultiHeadAttention("attn", 8, 2, causal=True, rng=rng)
+        check_layer_gradients(layer, rng.standard_normal((2, 4, 8)))
+
+    def test_gradient_check_unmasked(self, rng):
+        layer = MultiHeadAttention("attn", 8, 2, causal=False, rng=rng)
+        check_layer_gradients(layer, rng.standard_normal((2, 4, 8)))
+
+    def test_causal_mask_blocks_future_tokens(self, rng):
+        layer = MultiHeadAttention("attn", 8, 2, causal=True, rng=rng)
+        x = rng.standard_normal((1, 5, 8))
+        base = layer.forward(x.copy(), training=False)
+        perturbed = x.copy()
+        perturbed[0, 4] += 10.0
+        shifted = layer.forward(perturbed, training=False)
+        np.testing.assert_allclose(base[0, :4], shifted[0, :4], atol=1e-12)
+        assert not np.allclose(base[0, 4], shifted[0, 4])
+
+    def test_unmasked_attention_sees_future_tokens(self, rng):
+        layer = MultiHeadAttention("attn", 8, 2, causal=False, rng=rng)
+        x = rng.standard_normal((1, 5, 8))
+        base = layer.forward(x.copy(), training=False)
+        perturbed = x.copy()
+        perturbed[0, 4] += 10.0
+        shifted = layer.forward(perturbed, training=False)
+        assert not np.allclose(base[0, :4], shifted[0, :4])
+
+
+class TestTransformerBlock:
+    def test_gradient_check(self, rng):
+        layer = TransformerBlock("h0", 8, 2, rng=rng)
+        check_layer_gradients(layer, rng.standard_normal((2, 4, 8)),
+                              max_elements=16)
+
+    def test_params_share_arrays_with_sublayers(self, rng):
+        layer = TransformerBlock("h0", 8, 2, rng=rng)
+        assert layer.params["attn.qkv_weight"] is \
+            layer.sublayer("attn").params["qkv_weight"]
+        update = {"ln1.gain": np.full((8,), 2.0, dtype=np.float32)}
+        layer.set_params(update)
+        np.testing.assert_array_equal(layer.sublayer("ln1").params["gain"], 2.0)
+
+    def test_residual_path_dominates_at_init(self, rng):
+        """Pre-norm blocks start near the identity: output tracks the input."""
+        layer = TransformerBlock("h0", 8, 2, rng=rng)
+        x = rng.standard_normal((2, 4, 8))
+        out = layer.forward(x.copy(), training=False)
+        assert np.corrcoef(out.ravel(), x.ravel())[0, 1] > 0.5
+
+    def test_grads_cover_every_param(self, rng):
+        layer = TransformerBlock("h0", 8, 2, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 4, 8)))
+        layer.backward(np.ones_like(out))
+        assert set(layer.grads) == set(layer.params)
+        for key, grad in layer.grads.items():
+            assert grad.shape == layer.params[key].shape
+
+
+class TestTokenReshapeHeads:
+    def test_token_flatten_roundtrip(self, rng):
+        layer = TokenFlatten("tokens")
+        x = rng.standard_normal((2, 4, 8))
+        out = layer.forward(x)
+        assert out.shape == (8, 8)
+        np.testing.assert_array_equal(layer.backward(out), x)
+
+    def test_mean_pool_value_and_gradient(self, rng):
+        layer = SequenceMeanPool("pool")
+        x = rng.standard_normal((2, 4, 8))
+        np.testing.assert_allclose(layer.forward(x), x.mean(axis=1))
+        grad = layer.backward(np.ones((2, 8)))
+        np.testing.assert_allclose(grad, 0.25)
+
+
+class TestTransformerLayerProperties:
+    """Hypothesis property tests over arbitrary shapes and dtypes."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(batch=st.integers(1, 3), seq=st.integers(1, 6),
+           dim=st.sampled_from([4, 8]),
+           dtype=st.sampled_from([np.float32, np.float64]))
+    def test_layernorm_shape_and_stats(self, batch, seq, dim, dtype):
+        layer = LayerNorm("ln", dim)
+        x = np.random.default_rng(0).standard_normal(
+            (batch, seq, dim)).astype(dtype)
+        out = layer.forward(x)
+        assert out.shape == x.shape
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        if dim > 1:
+            np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(batch=st.integers(1, 3), seq=st.integers(1, 5),
+           heads=st.sampled_from([1, 2]), causal=st.booleans(),
+           dtype=st.sampled_from([np.float32, np.float64]))
+    def test_mha_shapes_any_config(self, batch, seq, heads, causal, dtype):
+        dim = 4 * heads
+        layer = MultiHeadAttention("attn", dim, heads, causal=causal,
+                                   rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).standard_normal(
+            (batch, seq, dim)).astype(dtype)
+        out = layer.forward(x)
+        assert out.shape == (batch, seq, dim)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == (batch, seq, dim)
+        assert np.isfinite(out).all() and np.isfinite(grad).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(vocab=st.integers(2, 30), batch=st.integers(1, 3),
+           seq=st.integers(1, 6), dim=st.sampled_from([2, 8]))
+    def test_embedding_gradient_rows_match_token_counts(self, vocab, batch,
+                                                        seq, dim):
+        layer = Embedding("wte", vocab, dim, rng=np.random.default_rng(3))
+        tokens = np.random.default_rng(4).integers(0, vocab, size=(batch, seq))
+        out = layer.forward(tokens)
+        layer.backward(np.ones_like(out))
+        counts = np.bincount(tokens.ravel(), minlength=vocab).astype(float)
+        np.testing.assert_allclose(
+            layer.grads["weight"], counts[:, None] * np.ones((1, dim)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=st.tuples(st.integers(1, 4), st.integers(1, 5)),
+           dtype=st.sampled_from([np.float32, np.float64]))
+    def test_gelu_monotone_and_dtype_preserving(self, shape, dtype):
+        layer = GELU("gelu")
+        x = np.sort(np.random.default_rng(5).standard_normal(shape).astype(dtype),
+                    axis=-1)
+        out = layer.forward(x)
+        assert out.dtype == x.dtype
+        # GELU is monotone on [-0.7, inf); restrict to positives for the check.
+        positive = np.clip(x, 0.1, None)
+        assert (np.diff(layer.forward(positive), axis=-1) >= 0).all()
